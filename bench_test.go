@@ -1,0 +1,246 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§5), plus complexity and micro benchmarks for the model's
+// components. Each figure benchmark runs the full sim-vs-model sweep and
+// logs the rows the paper reports (use -v to see them); absolute seconds
+// come from the simulator substrate, so shapes — not magnitudes — are the
+// comparison target (see EXPERIMENTS.md).
+package hadoop2perf
+
+import (
+	"fmt"
+	"testing"
+
+	"hadoop2perf/internal/bench"
+	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/dist"
+	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/mva"
+	"hadoop2perf/internal/ptree"
+	"hadoop2perf/internal/timeline"
+	"hadoop2perf/internal/workload"
+)
+
+func benchFigure(b *testing.B, id string) {
+	var spec bench.Spec
+	for _, s := range bench.FigureSpecs() {
+		if s.ID == id {
+			spec = s
+		}
+	}
+	if spec.ID == "" {
+		b.Fatalf("unknown figure %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		fig, err := bench.RunFigure(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", fig.Format())
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: 1 GB input, 1 job, 4/6/8 nodes.
+func BenchmarkFig10(b *testing.B) { benchFigure(b, "fig10") }
+
+// BenchmarkFig11 regenerates Figure 11: 1 GB input, 4 concurrent jobs.
+func BenchmarkFig11(b *testing.B) { benchFigure(b, "fig11") }
+
+// BenchmarkFig12 regenerates Figure 12: 5 GB input, 1 job.
+func BenchmarkFig12(b *testing.B) { benchFigure(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13: 5 GB input, 4 concurrent jobs.
+func BenchmarkFig13(b *testing.B) { benchFigure(b, "fig13") }
+
+// BenchmarkFig14 regenerates Figure 14: 4 nodes, 5 GB, 1..4 jobs.
+func BenchmarkFig14(b *testing.B) { benchFigure(b, "fig14") }
+
+// BenchmarkFig15 regenerates Figure 15: 64 MB blocks, 5 GB, 1 job.
+func BenchmarkFig15(b *testing.B) { benchFigure(b, "fig15") }
+
+// BenchmarkTable1 regenerates the ResourceRequest table of the running
+// example.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := bench.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", out)
+		}
+	}
+}
+
+// BenchmarkModelComplexityMaps sweeps the map count: the paper's §4.3 says
+// the per-iteration tree cost is O(C·T) and the MVA step dominates; the
+// model should stay comfortably sub-second even at hundreds of tasks.
+func BenchmarkModelComplexityMaps(b *testing.B) {
+	for _, maps := range []int{8, 40, 80, 160} {
+		job, err := workload.NewJob(0, float64(maps)*128, 128, 4, workload.WordCount())
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := DefaultCluster(4)
+		b.Run(benchName("maps", maps), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Predict(core.Config{Spec: spec, Job: job, NumJobs: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModelComplexityJobs sweeps the concurrent-job count (the N² term
+// of the paper's O(C²N²K) MVA complexity).
+func BenchmarkModelComplexityJobs(b *testing.B) {
+	job, err := workload.NewJob(0, 5*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := DefaultCluster(4)
+	for _, jobs := range []int{1, 2, 4, 8} {
+		b.Run(benchName("jobs", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Predict(core.Config{Spec: spec, Job: job, NumJobs: jobs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimulator measures one full cluster simulation (1 GB, 4 nodes).
+func BenchmarkSimulator(b *testing.B) {
+	job, err := workload.NewJob(0, 1024, 128, 4, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mrsim.Config{Spec: DefaultCluster(4), Jobs: []workload.Job{job}, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mrsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimelineConstruction isolates Algorithm 1 (§4.3: O(C·T) per
+// iteration).
+func BenchmarkTimelineConstruction(b *testing.B) {
+	in := timeline.Input{NumNodes: 8, MapSlotsPerNode: 8, ReduceSlotsPerNode: 4, SlowStart: true}
+	for i := 0; i < 160; i++ {
+		in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: 30, ShuffleDuration: 1})
+	}
+	for i := 0; i < 8; i++ {
+		in.Reduces = append(in.Reduces, timeline.ReduceTask{ID: i, ShuffleSortBase: 10, MergeDuration: 50})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timeline.Build(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPrecedenceTree isolates tree construction and balancing.
+func BenchmarkPrecedenceTree(b *testing.B) {
+	in := timeline.Input{NumNodes: 8, MapSlotsPerNode: 8, ReduceSlotsPerNode: 4, SlowStart: true}
+	for i := 0; i < 160; i++ {
+		in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: 30, ShuffleDuration: 1})
+	}
+	for i := 0; i < 8; i++ {
+		in.Reduces = append(in.Reduces, timeline.ReduceTask{ID: i, ShuffleSortBase: 10, MergeDuration: 50})
+	}
+	tl, err := timeline.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ptree.Build(tl); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMVAExact measures the classical Reiser-Lavenberg recursion.
+func BenchmarkMVAExact(b *testing.B) {
+	centers := []mva.Center{{Demand: 1}, {Demand: 2}, {Demand: 0.5}}
+	for i := 0; i < b.N; i++ {
+		if _, err := mva.ExactSingleClass(centers, 100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMVAOverlapStep measures the overlap-weighted fixed point at the
+// scale of a 5 GB job (48 tasks, 3 centers).
+func BenchmarkMVAOverlapStep(b *testing.B) {
+	n := 48
+	tasks := make([]mva.TaskDemand, n)
+	alpha := make([][][]float64, 3)
+	beta := make([][][]float64, 3)
+	for k := 0; k < 3; k++ {
+		alpha[k] = make([][]float64, n)
+		beta[k] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			alpha[k][i] = make([]float64, n)
+			beta[k][i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if i != j {
+					alpha[k][i][j] = 0.5
+				}
+				beta[k][i][j] = 0.25
+			}
+		}
+	}
+	for i := range tasks {
+		tasks[i] = mva.TaskDemand{Demands: []float64{20, 2, 1}}
+	}
+	in := mva.OverlapInput{Tasks: tasks, Alpha: alpha, Beta: beta, Servers: []float64{4, 1, 2}, OtherJobs: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mva.OverlapStep(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTripathiMaxMoments measures the numeric max-moment integration
+// behind the Tripathi estimator.
+func BenchmarkTripathiMaxMoments(b *testing.B) {
+	d1 := dist.MustFit(30, 0.2)
+	d2 := dist.MustFit(25, 0.4)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dist.MaxMoments([]dist.Distribution{d1, d2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEstimators compares the cost of the two tree estimators on a
+// 5 GB prediction.
+func BenchmarkEstimators(b *testing.B) {
+	job, err := workload.NewJob(0, 5*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := DefaultCluster(4)
+	for _, est := range []core.Estimator{core.EstimatorForkJoin, core.EstimatorTripathi} {
+		est := est
+		b.Run(est.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Predict(core.Config{Spec: spec, Job: job, Estimator: est}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return fmt.Sprintf("%s=%03d", prefix, v)
+}

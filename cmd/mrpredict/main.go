@@ -1,0 +1,96 @@
+// Command mrpredict estimates the average response time of a MapReduce job
+// on a Hadoop 2.x cluster using the analytic performance model.
+//
+// Usage:
+//
+//	mrpredict -nodes 4 -input-gb 1 -block-mb 128 -reduces 4 -jobs 1 \
+//	          -estimator forkjoin -workload wordcount [-baselines] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hadoop2perf"
+	"hadoop2perf/internal/timeline"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mrpredict: ")
+	var (
+		nodes     = flag.Int("nodes", 4, "cluster size")
+		inputGB   = flag.Float64("input-gb", 1, "input size in GB")
+		blockMB   = flag.Float64("block-mb", 128, "HDFS block size in MB")
+		reduces   = flag.Int("reduces", 0, "reducer count (default: one per node)")
+		jobs      = flag.Int("jobs", 1, "number of identical concurrent jobs")
+		estimator = flag.String("estimator", "forkjoin", "forkjoin | tripathi | literal")
+		wl        = flag.String("workload", "wordcount", "wordcount | grep | terasort")
+		baselines = flag.Bool("baselines", false, "also print ARIA and Herodotou baselines")
+		verbose   = flag.Bool("v", false, "print per-class responses and the precedence tree")
+	)
+	flag.Parse()
+
+	var prof hadoop2perf.Profile
+	switch *wl {
+	case "wordcount":
+		prof = hadoop2perf.WordCount()
+	case "grep":
+		prof = hadoop2perf.Grep()
+	case "terasort":
+		prof = hadoop2perf.TeraSort()
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+	var est hadoop2perf.Estimator
+	switch *estimator {
+	case "forkjoin":
+		est = hadoop2perf.EstimatorForkJoin
+	case "tripathi":
+		est = hadoop2perf.EstimatorTripathi
+	case "literal":
+		est = hadoop2perf.EstimatorPaperLiteral
+	default:
+		log.Fatalf("unknown estimator %q", *estimator)
+	}
+	r := *reduces
+	if r <= 0 {
+		r = *nodes
+	}
+	spec := hadoop2perf.DefaultCluster(*nodes)
+	job, err := hadoop2perf.NewJob(0, *inputGB*1024, *blockMB, r, prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := hadoop2perf.Predict(hadoop2perf.ModelConfig{
+		Spec: spec, Job: job, NumJobs: *jobs, Estimator: est,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload=%s input=%.1fGB block=%.0fMB maps=%d reduces=%d nodes=%d jobs=%d\n",
+		prof.Name, *inputGB, *blockMB, job.NumMaps(), r, *nodes, *jobs)
+	fmt.Printf("estimated job response time (%s): %.1f s  (converged=%v after %d iterations)\n",
+		est, pred.ResponseTime, pred.Converged, pred.Iterations)
+
+	if *verbose {
+		for _, cls := range []timeline.Class{timeline.ClassMap, timeline.ClassShuffleSort, timeline.ClassMerge} {
+			fmt.Printf("  %-13s mean task response: %.2f s\n", cls, pred.ClassResponse[cls])
+		}
+		fmt.Printf("  timeline makespan: %.1f s, precedence tree: depth=%d leaves=%d\n",
+			pred.Timeline.Makespan, pred.Tree.Depth(), pred.Tree.NumLeaves())
+	}
+	if *baselines {
+		h, err := hadoop2perf.PredictHerodotou(job, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := hadoop2perf.PredictARIA(job, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline herodotou (static): %.1f s\n", h.Total)
+		fmt.Printf("baseline ARIA: T_low=%.1f T_avg=%.1f T_up=%.1f s\n", a.Low, a.Avg, a.Up)
+	}
+}

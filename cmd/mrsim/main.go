@@ -1,0 +1,101 @@
+// Command mrsim executes MapReduce jobs on the discrete-event YARN cluster
+// simulator and reports measured response times; optionally it writes the
+// job-history trace consumed by the model's history-based initialization.
+//
+// Usage:
+//
+//	mrsim -nodes 4 -input-gb 1 -jobs 1 -reps 5 [-trace out.json] [-fair]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"hadoop2perf"
+	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mrsim: ")
+	var (
+		nodes    = flag.Int("nodes", 4, "cluster size")
+		inputGB  = flag.Float64("input-gb", 1, "input size in GB per job")
+		blockMB  = flag.Float64("block-mb", 128, "HDFS block size in MB")
+		reduces  = flag.Int("reduces", 0, "reducer count (default: one per node)")
+		jobs     = flag.Int("jobs", 1, "number of concurrent jobs")
+		reps     = flag.Int("reps", 5, "seeded repetitions (median reported)")
+		seed     = flag.Int64("seed", 1, "base RNG seed")
+		fair     = flag.Bool("fair", false, "fair scheduling across jobs (default FIFO; multi-job runs usually want -fair)")
+		traceOut = flag.String("trace", "", "write the median run's job-history trace to this file")
+		wl       = flag.String("workload", "wordcount", "wordcount | grep | terasort")
+	)
+	flag.Parse()
+
+	var prof hadoop2perf.Profile
+	switch *wl {
+	case "wordcount":
+		prof = hadoop2perf.WordCount()
+	case "grep":
+		prof = hadoop2perf.Grep()
+	case "terasort":
+		prof = hadoop2perf.TeraSort()
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+	r := *reduces
+	if r <= 0 {
+		r = *nodes
+	}
+	spec := hadoop2perf.DefaultCluster(*nodes)
+	var jobList []hadoop2perf.Job
+	for i := 0; i < *jobs; i++ {
+		job, err := hadoop2perf.NewJob(i, *inputGB*1024, *blockMB, r, prof)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobList = append(jobList, job)
+	}
+	pol := hadoop2perf.PolicyFIFO
+	if *fair {
+		pol = hadoop2perf.PolicyFair
+	}
+	res, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: jobList, Seed: *seed, Scheduler: pol,
+	}, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster=%d nodes, %d job(s) of %.1fGB %s (%d maps, %d reduces each), scheduler=%s\n",
+		*nodes, *jobs, *inputGB, prof.Name, jobList[0].NumMaps(), r, pol)
+	for _, j := range res.Jobs {
+		fmt.Printf("  job %d: response %.1f s (start %.1f, end %.1f, %d task records)\n",
+			j.JobID, j.Response, j.Start, j.End, len(j.Tasks))
+	}
+	fmt.Printf("mean response: %.1f s, makespan: %.1f s, %d events\n",
+		res.MeanResponse(), res.Makespan, res.Events)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.Write(f, res); err != nil {
+			log.Fatal(err)
+		}
+		prof, err := trace.Extract(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *traceOut)
+		for _, cls := range []mrsim.TaskClass{mrsim.ClassMap, mrsim.ClassShuffleSort, mrsim.ClassMerge} {
+			cp := prof.Classes[cls]
+			fmt.Printf("  %-13s n=%d meanResponse=%.2f cv=%.3f demands cpu=%.2f disk=%.2f net=%.2f\n",
+				cls, cp.Count, cp.MeanResponse, cp.CVResponse, cp.MeanCPU, cp.MeanDisk, cp.MeanNetwork)
+		}
+	}
+}

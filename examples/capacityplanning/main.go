@@ -1,0 +1,84 @@
+// Capacity planning: the paper's motivating use case — "critical decision
+// making in workload management and resource capacity planning" — answered
+// with the analytic model instead of test runs on a real cluster.
+//
+// Question: how many nodes does a nightly 20 GB WordCount-like aggregation
+// need to finish within a 6-minute SLA, and what does each size cost in
+// node-hours? The model answers in milliseconds per candidate size; a real
+// evaluation run would take tens of cluster-minutes per point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hadoop2perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		inputGB  = 20
+		slaSec   = 360.0
+		maxNodes = 24
+	)
+	fmt.Printf("SLA: %.0f s for a %d GB wordcount-style job\n\n", slaSec, inputGB)
+	fmt.Println("nodes  maps  est. response (fork/join)   meets SLA   node-seconds")
+
+	best := -1
+	for n := 2; n <= maxNodes; n += 2 {
+		spec := hadoop2perf.DefaultCluster(n)
+		job, err := hadoop2perf.NewJob(0, inputGB*1024, 128, n, hadoop2perf.WordCount())
+		if err != nil {
+			log.Fatal(err)
+		}
+		pred, err := hadoop2perf.Predict(hadoop2perf.ModelConfig{
+			Spec: spec, Job: job, NumJobs: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		meets := pred.ResponseTime <= slaSec
+		mark := "  no"
+		if meets {
+			mark = " YES"
+			if best < 0 {
+				best = n
+			}
+		}
+		fmt.Printf("%5d  %4d  %22.1f s  %s  %12.0f\n",
+			n, job.NumMaps(), pred.ResponseTime, mark, pred.ResponseTime*float64(n))
+	}
+	if best < 0 {
+		fmt.Printf("\nno cluster size up to %d nodes meets the SLA; relax it or shrink the input\n", maxNodes)
+		return
+	}
+	fmt.Printf("\nsmallest cluster meeting the SLA: %d nodes\n", best)
+
+	// Sanity-check the chosen size on the simulator before committing.
+	spec := hadoop2perf.DefaultCluster(best)
+	job, err := hadoop2perf.NewJob(0, inputGB*1024, 128, best, hadoop2perf.WordCount())
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 7,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulator check at %d nodes: %.1f s (SLA %.0f s)\n",
+		best, res.MeanResponse(), slaSec)
+
+	// What would the job actually consume at this size? (paper §6 extension)
+	use, _, err := hadoop2perf.EstimateResources(hadoop2perf.ModelConfig{
+		Spec: spec, Job: job, NumJobs: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted consumption: %.0f core-s CPU, %.0f disk-s, %.0f net-s\n",
+		use.Total.CPUSeconds, use.Total.DiskSeconds, use.Total.NetworkSeconds)
+	fmt.Printf("predicted mean utilization: cpu %.0f%%, disk %.0f%%, network %.0f%%\n",
+		100*use.CPUUtilization, 100*use.DiskUtilization, 100*use.NetworkUtilization)
+}

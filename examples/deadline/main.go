@@ -1,0 +1,58 @@
+// Deadline-driven resource allocation: the ARIA use case (paper §2.1) —
+// given a job and a soft deadline, infer the number of task slots required,
+// then cross-check ARIA's slot answer against the dynamic model and the
+// simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hadoop2perf"
+	"hadoop2perf/internal/aria"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec := hadoop2perf.DefaultCluster(4)
+	job, err := hadoop2perf.NewJob(0, 5*1024, 128, 4, hadoop2perf.WordCount())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, deadline := range []float64{600, 300, 150} {
+		slots, err := aria.SlotsForDeadline(job, spec, deadline)
+		if err != nil {
+			fmt.Printf("deadline %5.0f s: %v\n", deadline, err)
+			continue
+		}
+		est, err := hadoop2perf.PredictARIA(job, spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("deadline %5.0f s: ARIA wants %d map+reduce slots "+
+			"(cluster bounds: T_low=%.0f T_avg=%.0f T_up=%.0f)\n",
+			deadline, slots, est.Low, est.Avg, est.Up)
+	}
+
+	// ARIA's slot arithmetic ignores contention and the map/shuffle pipeline;
+	// the dynamic model and the simulator judge its cluster-level estimate.
+	pred, err := hadoop2perf.Predict(hadoop2perf.ModelConfig{Spec: spec, Job: job, NumJobs: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 3,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := hadoop2perf.PredictARIA(job, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\non the full 4-node cluster: ARIA T_avg=%.0f s, dynamic model=%.0f s, simulated=%.0f s\n",
+		est.Avg, pred.ResponseTime, res.MeanResponse())
+	fmt.Println("ARIA brackets the truth but its point estimate ignores pipeline overlap and contention;")
+	fmt.Println("the dynamic model lands closer — the paper's argument for queueing-aware models.")
+}

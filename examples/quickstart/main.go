@@ -1,0 +1,59 @@
+// Quickstart: predict the response time of a WordCount job on a 4-node
+// Hadoop 2.x cluster with both estimators, then validate the prediction
+// against the discrete-event cluster simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hadoop2perf"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 4-node cluster with the calibrated evaluation hardware and a 1 GB
+	// WordCount job (8 input splits at the 128 MB default block size, one
+	// reducer per node).
+	spec := hadoop2perf.DefaultCluster(4)
+	job, err := hadoop2perf.NewJob(0, 1024, 128, 4, hadoop2perf.WordCount())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job: %.0f MB input -> %d map tasks, %d reduce tasks\n",
+		job.InputMB, job.NumMaps(), job.NumReduces)
+
+	// Analytic prediction with the paper's two estimators.
+	for _, est := range []hadoop2perf.Estimator{
+		hadoop2perf.EstimatorForkJoin,
+		hadoop2perf.EstimatorTripathi,
+	} {
+		pred, err := hadoop2perf.Predict(hadoop2perf.ModelConfig{
+			Spec: spec, Job: job, NumJobs: 1, Estimator: est,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model (%s): %.1f s (converged after %d iterations)\n",
+			est, pred.ResponseTime, pred.Iterations)
+	}
+
+	// "Measure" on the simulated cluster: 5 seeded runs, median (the paper's
+	// methodology).
+	res, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 1,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated cluster: %.1f s\n", res.MeanResponse())
+
+	// One call for the full comparison.
+	cmp, err := hadoop2perf.Compare(spec, job, 1, 1, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("errors: fork/join %+.1f%%, tripathi %+.1f%%\n",
+		100*cmp.ForkJoinErr, 100*cmp.TripathiErr)
+}

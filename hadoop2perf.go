@@ -1,0 +1,173 @@
+// Package hadoop2perf predicts the response time of MapReduce jobs on
+// Hadoop 2.x / YARN clusters, reproducing the performance model of
+// Glushkova, Jovanovic and Abelló, "MapReduce Performance Models for
+// Hadoop 2.x" (EDBT/ICDT Workshops 2017).
+//
+// The package bundles three layers:
+//
+//   - an analytic model (Predict) combining Algorithm-1 timeline
+//     construction, precedence trees and overlap-weighted Mean Value
+//     Analysis, with the paper's two job-level estimators (fork/join-based
+//     and Tripathi-based);
+//   - a discrete-event YARN cluster simulator (Simulate) standing in for a
+//     real Hadoop 2.x testbed, used to validate the model;
+//   - static baselines from related work: Herodotou's phase cost model and
+//     ARIA's makespan bounds.
+//
+// Quick start:
+//
+//	spec := hadoop2perf.DefaultCluster(4)
+//	job, _ := hadoop2perf.NewJob(0, 1024, 128, 4, hadoop2perf.WordCount())
+//	pred, _ := hadoop2perf.Predict(hadoop2perf.ModelConfig{Spec: spec, Job: job, NumJobs: 1})
+//	fmt.Printf("estimated response: %.1fs\n", pred.ResponseTime)
+package hadoop2perf
+
+import (
+	"hadoop2perf/internal/aria"
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/herodotou"
+	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/stats"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+// Re-exported types: the library's public surface. See the internal packages
+// for full documentation of each.
+type (
+	// Cluster describes a homogeneous YARN cluster.
+	Cluster = cluster.Spec
+	// Resource is a YARN resource vector.
+	Resource = cluster.Resource
+	// Job describes one MapReduce job.
+	Job = workload.Job
+	// Profile holds per-phase workload costs (the "job profile").
+	Profile = workload.Profile
+	// ModelConfig drives an analytic prediction.
+	ModelConfig = core.Config
+	// Prediction is the analytic model output.
+	Prediction = core.Prediction
+	// Estimator selects the tree estimator.
+	Estimator = core.Estimator
+	// SimConfig drives a cluster simulation.
+	SimConfig = mrsim.Config
+	// SimResult is a simulated execution.
+	SimResult = mrsim.Result
+	// SchedulerPolicy orders applications in the RM's root queue.
+	SchedulerPolicy = yarn.Policy
+	// AriaEstimate holds ARIA makespan bounds.
+	AriaEstimate = aria.Estimate
+	// HerodotouEstimate holds the static phase-model prediction.
+	HerodotouEstimate = herodotou.Estimate
+	// ResourceEstimate holds predicted per-job resource consumption.
+	ResourceEstimate = core.ResourceEstimate
+)
+
+// Estimators (paper §4.2.4).
+const (
+	EstimatorForkJoin     = core.EstimatorForkJoin
+	EstimatorTripathi     = core.EstimatorTripathi
+	EstimatorPaperLiteral = core.EstimatorPaperLiteral
+)
+
+// Scheduler policies.
+const (
+	PolicyFIFO = yarn.PolicyFIFO
+	PolicyFair = yarn.PolicyFair
+)
+
+// DefaultCluster returns the calibrated evaluation cluster with the given
+// node count (paper §5.1).
+func DefaultCluster(numNodes int) Cluster { return cluster.Default(numNodes) }
+
+// WordCount returns the paper's evaluation workload profile.
+func WordCount() Profile { return workload.WordCount() }
+
+// Grep returns a map-heavy, low-shuffle profile.
+func Grep() Profile { return workload.Grep() }
+
+// TeraSort returns a shuffle-heavy profile.
+func TeraSort() Profile { return workload.TeraSort() }
+
+// NewJob builds a validated job: inputMB of data split into blockSizeMB
+// splits, with the given reducer count and workload profile.
+func NewJob(id int, inputMB, blockSizeMB float64, reduces int, p Profile) (Job, error) {
+	return workload.NewJob(id, inputMB, blockSizeMB, reduces, p)
+}
+
+// Predict runs the analytic performance model (modified MVA, §4.2).
+func Predict(cfg ModelConfig) (Prediction, error) { return core.Predict(cfg) }
+
+// EstimateResources predicts per-class and total resource consumption and
+// cluster utilization for the configured job (the paper's §6 future work).
+func EstimateResources(cfg ModelConfig) (ResourceEstimate, Prediction, error) {
+	return core.EstimateResources(cfg)
+}
+
+// Simulate executes jobs on the discrete-event YARN cluster simulator.
+func Simulate(cfg SimConfig) (SimResult, error) { return mrsim.Run(cfg) }
+
+// SimulateMedian runs reps seeded simulations and returns the median run
+// (the paper's measurement methodology, §5.1).
+func SimulateMedian(cfg SimConfig, reps int) (SimResult, error) {
+	return mrsim.RunMedianOfSeeds(cfg, reps)
+}
+
+// PredictARIA computes the ARIA baseline bounds.
+func PredictARIA(job Job, spec Cluster) (AriaEstimate, error) { return aria.Predict(job, spec) }
+
+// PredictHerodotou computes the static Herodotou baseline.
+func PredictHerodotou(job Job, spec Cluster) (HerodotouEstimate, error) {
+	return herodotou.Predict(job, spec)
+}
+
+// Comparison is the outcome of validating the model against the simulator
+// for one configuration.
+type Comparison struct {
+	// Simulated is the median measured mean job response time.
+	Simulated float64
+	// ForkJoin and Tripathi are the two model estimates.
+	ForkJoin float64
+	Tripathi float64
+	// ForkJoinErr and TripathiErr are signed relative errors vs. Simulated
+	// (positive = overestimate).
+	ForkJoinErr float64
+	TripathiErr float64
+}
+
+// Compare validates both model variants against a simulated execution of
+// numJobs concurrent copies of job (fair scheduling for numJobs > 1), using
+// reps simulator repetitions.
+func Compare(spec Cluster, job Job, numJobs int, seed int64, reps int) (Comparison, error) {
+	jobs := make([]Job, numJobs)
+	for i := range jobs {
+		j := job
+		j.ID = i
+		jobs[i] = j
+	}
+	pol := PolicyFIFO
+	if numJobs > 1 {
+		pol = PolicyFair
+	}
+	res, err := mrsim.RunMedianOfSeeds(SimConfig{Spec: spec, Jobs: jobs, Seed: seed, Scheduler: pol}, reps)
+	if err != nil {
+		return Comparison{}, err
+	}
+	fj, err := core.Predict(ModelConfig{Spec: spec, Job: job, NumJobs: numJobs, Estimator: EstimatorForkJoin})
+	if err != nil {
+		return Comparison{}, err
+	}
+	tp, err := core.Predict(ModelConfig{Spec: spec, Job: job, NumJobs: numJobs, Estimator: EstimatorTripathi})
+	if err != nil {
+		return Comparison{}, err
+	}
+	sim := res.MeanResponse()
+	return Comparison{
+		Simulated:   sim,
+		ForkJoin:    fj.ResponseTime,
+		Tripathi:    tp.ResponseTime,
+		ForkJoinErr: stats.SignedRelError(fj.ResponseTime, sim),
+		TripathiErr: stats.SignedRelError(tp.ResponseTime, sim),
+	}, nil
+}

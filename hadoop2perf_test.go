@@ -1,0 +1,70 @@
+package hadoop2perf
+
+import "testing"
+
+func TestFacadeQuickstart(t *testing.T) {
+	spec := DefaultCluster(2)
+	job, err := NewJob(0, 512, 128, 2, WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := Predict(ModelConfig{Spec: spec, Job: job, NumJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.ResponseTime <= 0 {
+		t.Errorf("response = %v", pred.ResponseTime)
+	}
+	res, err := Simulate(SimConfig{Spec: spec, Jobs: []Job{job}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanResponse() <= 0 {
+		t.Errorf("sim response = %v", res.MeanResponse())
+	}
+}
+
+func TestFacadeProfilesAndBaselines(t *testing.T) {
+	spec := DefaultCluster(2)
+	for _, p := range []Profile{WordCount(), Grep(), TeraSort()} {
+		job, err := NewJob(0, 512, 128, 2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := PredictHerodotou(job, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := PredictARIA(job, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Total <= 0 || a.Avg <= 0 {
+			t.Errorf("%s: baselines %v / %v", p.Name, h.Total, a.Avg)
+		}
+		if !(a.Low <= a.Avg && a.Avg <= a.Up) {
+			t.Errorf("%s: ARIA bounds out of order", p.Name)
+		}
+	}
+}
+
+func TestFacadeCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed comparison in -short mode")
+	}
+	spec := DefaultCluster(2)
+	job, err := NewJob(0, 512, 128, 2, WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := Compare(spec, job, 1, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Simulated <= 0 || cmp.ForkJoin <= 0 || cmp.Tripathi <= 0 {
+		t.Errorf("comparison = %+v", cmp)
+	}
+	if cmp.ForkJoin >= cmp.Tripathi {
+		t.Errorf("estimator ordering: fj %v >= tp %v", cmp.ForkJoin, cmp.Tripathi)
+	}
+}

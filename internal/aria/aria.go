@@ -1,0 +1,149 @@
+// Package aria implements the ARIA performance model (Verma, Cherkasova,
+// Campbell: "ARIA: Automatic Resource Inference and Allocation for MapReduce
+// Environments", ICAC 2011) as a related-work baseline (paper §2.1).
+//
+// ARIA bounds the completion time of a greedy assignment of n tasks of known
+// average (avg) and maximum (max) duration onto k slots via the Makespan
+// Theorem:
+//
+//	T_low = n*avg / k
+//	T_up  = (n-1)*avg / k + max
+//
+// and uses T_avg = (T_up + T_low)/2 as the estimate. The job estimate
+// composes the map stage, the (first-wave overlapped) shuffle stage and the
+// reduce stage.
+package aria
+
+import (
+	"errors"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+// StageProfile is ARIA's per-stage job profile: average and maximum task
+// durations observed (or derived from a cost model).
+type StageProfile struct {
+	Avg, Max float64
+}
+
+// Bounds holds the Makespan-Theorem bounds for one stage.
+type Bounds struct {
+	Low, Up float64
+}
+
+// Avg returns (Low+Up)/2, ARIA's point estimate.
+func (b Bounds) Avg() float64 { return (b.Low + b.Up) / 2 }
+
+// StageBounds applies the Makespan Theorem to n tasks on k slots.
+func StageBounds(p StageProfile, n, k int) (Bounds, error) {
+	if n <= 0 {
+		return Bounds{}, errors.New("aria: task count must be positive")
+	}
+	if k <= 0 {
+		return Bounds{}, errors.New("aria: slot count must be positive")
+	}
+	if p.Avg <= 0 || p.Max < p.Avg {
+		return Bounds{}, errors.New("aria: profile requires 0 < avg <= max")
+	}
+	return Bounds{
+		Low: float64(n) * p.Avg / float64(k),
+		Up:  float64(n-1)*p.Avg/float64(k) + p.Max,
+	}, nil
+}
+
+// Estimate is ARIA's job-level prediction.
+type Estimate struct {
+	Map, Shuffle, Reduce Bounds
+	// Low, Up, Avg compose the stage bounds into job completion bounds.
+	Low, Up, Avg float64
+}
+
+// Predict derives stage profiles from the workload's cost functions (treating
+// max = avg * straggler factor implied by the jitter CV) and composes the
+// ARIA bounds. Slots are the container-derived map/reduce capacities of the
+// Hadoop 2.x cluster — the same adaptation the paper applies to reuse
+// slot-based models.
+func Predict(job workload.Job, spec cluster.Spec) (Estimate, error) {
+	if err := job.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	straggler := 1 + 2*job.Profile.TaskJitterCV // avg + 2 sigma as the observed max
+	md := job.MapDemands(job.BlockSizeMB, spec.DiskMBps).Total()
+	ss := job.ShuffleSortDemands(spec.NetworkMBps, spec.DiskMBps).Total()
+	mg := job.MergeDemands(spec.DiskMBps).Total()
+
+	mapB, err := StageBounds(StageProfile{Avg: md, Max: md * straggler}, job.NumMaps(), spec.TotalMapSlots())
+	if err != nil {
+		return Estimate{}, err
+	}
+	shB, err := StageBounds(StageProfile{Avg: ss, Max: ss * straggler}, job.NumReduces, spec.TotalReduceSlots())
+	if err != nil {
+		return Estimate{}, err
+	}
+	rdB, err := StageBounds(StageProfile{Avg: mg, Max: mg * straggler}, job.NumReduces, spec.TotalReduceSlots())
+	if err != nil {
+		return Estimate{}, err
+	}
+	e := Estimate{Map: mapB, Shuffle: shB, Reduce: rdB}
+	am := job.Profile.AMStartup
+	e.Low = am + mapB.Low + shB.Low + rdB.Low
+	e.Up = am + mapB.Up + shB.Up + rdB.Up
+	e.Avg = am + mapB.Avg() + shB.Avg() + rdB.Avg()
+	return e, nil
+}
+
+// SlotsForDeadline returns the minimum uniform slot count k such that ARIA's
+// T_avg estimate meets the deadline, or an error when even a slot per task
+// cannot. This is ARIA's resource-inference use case (one knob: k map slots
+// and k reduce slots).
+func SlotsForDeadline(job workload.Job, spec cluster.Spec, deadline float64) (int, error) {
+	if deadline <= 0 {
+		return 0, errors.New("aria: deadline must be positive")
+	}
+	maxSlots := job.NumMaps()
+	if job.NumReduces > maxSlots {
+		maxSlots = job.NumReduces
+	}
+	for k := 1; k <= maxSlots; k++ {
+		trial := spec
+		// Scale the cluster to k map and k reduce slots by adjusting node count
+		// granularity: emulate k slots directly.
+		est, err := predictWithSlots(job, trial, k, k)
+		if err != nil {
+			return 0, err
+		}
+		if est.Avg <= deadline {
+			return k, nil
+		}
+	}
+	return 0, errors.New("aria: deadline unattainable even with one slot per task")
+}
+
+func predictWithSlots(job workload.Job, spec cluster.Spec, mapSlots, redSlots int) (Estimate, error) {
+	straggler := 1 + 2*job.Profile.TaskJitterCV
+	md := job.MapDemands(job.BlockSizeMB, spec.DiskMBps).Total()
+	ss := job.ShuffleSortDemands(spec.NetworkMBps, spec.DiskMBps).Total()
+	mg := job.MergeDemands(spec.DiskMBps).Total()
+	mapB, err := StageBounds(StageProfile{Avg: md, Max: md * straggler}, job.NumMaps(), mapSlots)
+	if err != nil {
+		return Estimate{}, err
+	}
+	shB, err := StageBounds(StageProfile{Avg: ss, Max: ss * straggler}, job.NumReduces, redSlots)
+	if err != nil {
+		return Estimate{}, err
+	}
+	rdB, err := StageBounds(StageProfile{Avg: mg, Max: mg * straggler}, job.NumReduces, redSlots)
+	if err != nil {
+		return Estimate{}, err
+	}
+	e := Estimate{Map: mapB, Shuffle: shB, Reduce: rdB}
+	am := job.Profile.AMStartup
+	e.Low = am + mapB.Low + shB.Low + rdB.Low
+	e.Up = am + mapB.Up + shB.Up + rdB.Up
+	e.Avg = am + mapB.Avg() + shB.Avg() + rdB.Avg()
+	return e, nil
+}

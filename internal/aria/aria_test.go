@@ -1,0 +1,162 @@
+package aria
+
+import (
+	"math"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestStageBoundsFormula(t *testing.T) {
+	// 10 tasks of avg 4 / max 8 on 2 slots:
+	// T_low = 10*4/2 = 20; T_up = 9*4/2 + 8 = 26; T_avg = 23.
+	b, err := StageBounds(StageProfile{Avg: 4, Max: 8}, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(b.Low, 20, 1e-12) || !almostEq(b.Up, 26, 1e-12) {
+		t.Errorf("bounds = %+v", b)
+	}
+	if !almostEq(b.Avg(), 23, 1e-12) {
+		t.Errorf("avg = %v", b.Avg())
+	}
+}
+
+func TestStageBoundsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		p    StageProfile
+		n, k int
+	}{
+		{"zero tasks", StageProfile{Avg: 1, Max: 1}, 0, 1},
+		{"zero slots", StageProfile{Avg: 1, Max: 1}, 1, 0},
+		{"zero avg", StageProfile{Avg: 0, Max: 1}, 1, 1},
+		{"max below avg", StageProfile{Avg: 2, Max: 1}, 1, 1},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := StageBounds(tt.p, tt.n, tt.k); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestStageBoundsSingleTask(t *testing.T) {
+	// One task on one slot: Low = avg, Up = max.
+	b, err := StageBounds(StageProfile{Avg: 5, Max: 9}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Low != 5 || b.Up != 9 {
+		t.Errorf("bounds = %+v", b)
+	}
+}
+
+func TestPredictOrdering(t *testing.T) {
+	job, err := workload.NewJob(0, 5*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := Predict(job, cluster.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(est.Low <= est.Avg && est.Avg <= est.Up) {
+		t.Errorf("bounds out of order: %+v", est)
+	}
+	if est.Low <= 0 {
+		t.Error("non-positive lower bound")
+	}
+}
+
+func TestPredictTightensWithNodes(t *testing.T) {
+	job, err := workload.NewJob(0, 5*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 1e18
+	for _, n := range []int{2, 4, 8} {
+		est, err := Predict(job, cluster.Default(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Avg > prev+1e-9 {
+			t.Fatalf("T_avg grew with nodes at %d", n)
+		}
+		prev = est.Avg
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	if _, err := Predict(workload.Job{}, cluster.Default(4)); err == nil {
+		t.Error("invalid job accepted")
+	}
+	job, _ := workload.NewJob(0, 1024, 128, 4, workload.WordCount())
+	if _, err := Predict(job, cluster.Spec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestSlotsForDeadline(t *testing.T) {
+	job, err := workload.NewJob(0, 5*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.Default(4)
+	// A very generous deadline needs few slots; tighter deadlines need more.
+	loose, err := SlotsForDeadline(job, spec, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := SlotsForDeadline(job, spec, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose > tight {
+		t.Errorf("loose deadline wants %d slots > tight %d", loose, tight)
+	}
+	if loose < 1 {
+		t.Errorf("slots = %d", loose)
+	}
+	// Impossible deadline errors out.
+	if _, err := SlotsForDeadline(job, spec, 0.001); err == nil {
+		t.Error("impossible deadline accepted")
+	}
+	if _, err := SlotsForDeadline(job, spec, -1); err == nil {
+		t.Error("negative deadline accepted")
+	}
+}
+
+func TestSlotsForDeadlineMeetsIt(t *testing.T) {
+	job, err := workload.NewJob(0, 2*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cluster.Default(4)
+	deadline := 400.0
+	k, err := SlotsForDeadline(job, spec, deadline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := predictWithSlots(job, spec, k, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Avg > deadline {
+		t.Errorf("k=%d gives T_avg=%v above deadline %v", k, est.Avg, deadline)
+	}
+	if k > 1 {
+		// One slot fewer must miss the deadline (minimality).
+		est2, err := predictWithSlots(job, spec, k-1, k-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est2.Avg <= deadline {
+			t.Errorf("k-1=%d already meets deadline (%v)", k-1, est2.Avg)
+		}
+	}
+}

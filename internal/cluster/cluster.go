@@ -1,0 +1,128 @@
+// Package cluster describes the physical Hadoop 2.x cluster: homogeneous
+// nodes with memory and vcore capacities, and container sizing from which the
+// per-node container limits pMaxMapsPerNode / pMaxReducePerNode of the paper
+// (§4.3) are derived.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Resource is a YARN-style resource vector (memory in MB, virtual cores).
+type Resource struct {
+	MemoryMB int
+	VCores   int
+}
+
+// Add returns r + o componentwise.
+func (r Resource) Add(o Resource) Resource {
+	return Resource{MemoryMB: r.MemoryMB + o.MemoryMB, VCores: r.VCores + o.VCores}
+}
+
+// Sub returns r - o componentwise.
+func (r Resource) Sub(o Resource) Resource {
+	return Resource{MemoryMB: r.MemoryMB - o.MemoryMB, VCores: r.VCores - o.VCores}
+}
+
+// Fits reports whether o fits within r.
+func (r Resource) Fits(o Resource) bool {
+	return o.MemoryMB <= r.MemoryMB && o.VCores <= r.VCores
+}
+
+// IsZeroOrNegative reports whether any component is <= 0.
+func (r Resource) IsZeroOrNegative() bool { return r.MemoryMB <= 0 || r.VCores <= 0 }
+
+func (r Resource) String() string {
+	return fmt.Sprintf("<%d MB, %d vcores>", r.MemoryMB, r.VCores)
+}
+
+// Spec is a homogeneous cluster specification. All nodes share the same
+// capacity and hardware speeds, matching the paper's assumption
+// ("all of them having the same technical characteristics").
+type Spec struct {
+	// NumNodes is the number of worker nodes in the cluster.
+	NumNodes int
+	// NodeCapacity is the schedulable resource per node.
+	NodeCapacity Resource
+	// MapContainer and ReduceContainer are the container sizes requested by
+	// the MapReduce ApplicationMaster for map and reduce tasks.
+	MapContainer    Resource
+	ReduceContainer Resource
+	// CPUPerNode and DiskPerNode describe the node hardware used by the
+	// contention model (number of cores sharing CPU work, number of disks).
+	CPUPerNode  int
+	DiskPerNode int
+	// DiskMBps and NetworkMBps are per-disk and cluster-link bandwidths used
+	// by the simulator to convert bytes into service demands.
+	DiskMBps    float64
+	NetworkMBps float64
+}
+
+// Default returns the evaluation cluster of the paper (§5.1), scaled to a
+// simulator-friendly container configuration. Like the authors' 128 GB
+// nodes, containers are plentiful (8 map containers per node) so the
+// physical resources — cores, disk, network — are the contended bottleneck,
+// not container slots; this is the regime the paper's queueing model
+// assumes. Reduce containers always fit alongside maps, which lets the
+// shuffle overlap the map phase under slow start.
+func Default(numNodes int) Spec {
+	return Spec{
+		NumNodes:        numNodes,
+		NodeCapacity:    Resource{MemoryMB: 32768, VCores: 32},
+		MapContainer:    Resource{MemoryMB: 4096, VCores: 2},
+		ReduceContainer: Resource{MemoryMB: 4096, VCores: 4},
+		CPUPerNode:      6,
+		DiskPerNode:     1,
+		DiskMBps:        240,
+		NetworkMBps:     110,
+	}
+}
+
+// Validate checks the spec for internally consistent values.
+func (s Spec) Validate() error {
+	switch {
+	case s.NumNodes <= 0:
+		return errors.New("cluster: NumNodes must be positive")
+	case s.NodeCapacity.IsZeroOrNegative():
+		return errors.New("cluster: NodeCapacity must be positive")
+	case s.MapContainer.IsZeroOrNegative():
+		return errors.New("cluster: MapContainer must be positive")
+	case s.ReduceContainer.IsZeroOrNegative():
+		return errors.New("cluster: ReduceContainer must be positive")
+	case !s.NodeCapacity.Fits(s.MapContainer):
+		return errors.New("cluster: map container exceeds node capacity")
+	case !s.NodeCapacity.Fits(s.ReduceContainer):
+		return errors.New("cluster: reduce container exceeds node capacity")
+	case s.CPUPerNode <= 0 || s.DiskPerNode <= 0:
+		return errors.New("cluster: CPUPerNode and DiskPerNode must be positive")
+	case s.DiskMBps <= 0 || s.NetworkMBps <= 0:
+		return errors.New("cluster: DiskMBps and NetworkMBps must be positive")
+	}
+	return nil
+}
+
+// MaxMapsPerNode is pMaxMapsPerNode of §4.3: how many map containers fit in a
+// node, limited by both memory and vcores.
+func (s Spec) MaxMapsPerNode() int { return containersPerNode(s.NodeCapacity, s.MapContainer) }
+
+// MaxReducesPerNode is pMaxReducePerNode of §4.3.
+func (s Spec) MaxReducesPerNode() int { return containersPerNode(s.NodeCapacity, s.ReduceContainer) }
+
+// TotalMapSlots is the cluster-wide map container capacity.
+func (s Spec) TotalMapSlots() int { return s.NumNodes * s.MaxMapsPerNode() }
+
+// TotalReduceSlots is the cluster-wide reduce container capacity.
+func (s Spec) TotalReduceSlots() int { return s.NumNodes * s.MaxReducesPerNode() }
+
+func containersPerNode(capacity, container Resource) int {
+	if container.IsZeroOrNegative() {
+		return 0
+	}
+	byMem := capacity.MemoryMB / container.MemoryMB
+	byCPU := capacity.VCores / container.VCores
+	if byCPU < byMem {
+		return byCPU
+	}
+	return byMem
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceArithmetic(t *testing.T) {
+	a := Resource{MemoryMB: 4096, VCores: 4}
+	b := Resource{MemoryMB: 1024, VCores: 1}
+	if got := a.Add(b); got != (Resource{MemoryMB: 5120, VCores: 5}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != (Resource{MemoryMB: 3072, VCores: 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestResourceFits(t *testing.T) {
+	tests := []struct {
+		name string
+		r, o Resource
+		want bool
+	}{
+		{"exact", Resource{1024, 2}, Resource{1024, 2}, true},
+		{"smaller", Resource{4096, 8}, Resource{1024, 2}, true},
+		{"memory too big", Resource{1024, 8}, Resource{2048, 2}, false},
+		{"vcores too big", Resource{4096, 1}, Resource{1024, 2}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.r.Fits(tt.o); got != tt.want {
+				t.Errorf("%v.Fits(%v) = %v, want %v", tt.r, tt.o, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestResourceIsZeroOrNegative(t *testing.T) {
+	if (Resource{1024, 1}).IsZeroOrNegative() {
+		t.Error("positive resource flagged")
+	}
+	for _, r := range []Resource{{0, 1}, {1, 0}, {-1, 1}, {1, -1}} {
+		if !r.IsZeroOrNegative() {
+			t.Errorf("%v not flagged", r)
+		}
+	}
+}
+
+func TestResourceString(t *testing.T) {
+	if got := (Resource{MemoryMB: 2048, VCores: 3}).String(); got != "<2048 MB, 3 vcores>" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 8, 100} {
+		if err := Default(n).Validate(); err != nil {
+			t.Errorf("Default(%d): %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Default(4)
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"zero nodes", func(s *Spec) { s.NumNodes = 0 }},
+		{"zero capacity", func(s *Spec) { s.NodeCapacity = Resource{} }},
+		{"zero map container", func(s *Spec) { s.MapContainer = Resource{} }},
+		{"zero reduce container", func(s *Spec) { s.ReduceContainer = Resource{} }},
+		{"map exceeds node", func(s *Spec) { s.MapContainer = Resource{MemoryMB: 1 << 20, VCores: 1} }},
+		{"reduce exceeds node", func(s *Spec) { s.ReduceContainer = Resource{MemoryMB: 1 << 20, VCores: 1} }},
+		{"zero cpus", func(s *Spec) { s.CPUPerNode = 0 }},
+		{"zero disks", func(s *Spec) { s.DiskPerNode = 0 }},
+		{"zero disk bw", func(s *Spec) { s.DiskMBps = 0 }},
+		{"zero net bw", func(s *Spec) { s.NetworkMBps = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := base
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestContainerCounts(t *testing.T) {
+	s := Spec{
+		NumNodes:        4,
+		NodeCapacity:    Resource{MemoryMB: 32768, VCores: 32},
+		MapContainer:    Resource{MemoryMB: 4096, VCores: 2},
+		ReduceContainer: Resource{MemoryMB: 8192, VCores: 16},
+		CPUPerNode:      8, DiskPerNode: 1, DiskMBps: 100, NetworkMBps: 100,
+	}
+	if got := s.MaxMapsPerNode(); got != 8 {
+		t.Errorf("MaxMapsPerNode = %d, want 8 (memory-bound)", got)
+	}
+	if got := s.MaxReducesPerNode(); got != 2 {
+		t.Errorf("MaxReducesPerNode = %d, want 2 (vcore-bound)", got)
+	}
+	if got := s.TotalMapSlots(); got != 32 {
+		t.Errorf("TotalMapSlots = %d", got)
+	}
+	if got := s.TotalReduceSlots(); got != 8 {
+		t.Errorf("TotalReduceSlots = %d", got)
+	}
+}
+
+func TestContainersPerNodeZeroContainer(t *testing.T) {
+	if got := containersPerNode(Resource{1024, 8}, Resource{}); got != 0 {
+		t.Errorf("zero container should yield 0, got %d", got)
+	}
+}
+
+// Property: the derived container counts always fit back into the node.
+func TestContainerCountsFitProperty(t *testing.T) {
+	f := func(memMB, vcores, cMem, cCores uint8) bool {
+		capacity := Resource{MemoryMB: int(memMB)*512 + 512, VCores: int(vcores)%16 + 1}
+		container := Resource{MemoryMB: int(cMem)*256 + 256, VCores: int(cCores)%4 + 1}
+		n := containersPerNode(capacity, container)
+		if n < 0 {
+			return false
+		}
+		used := Resource{MemoryMB: n * container.MemoryMB, VCores: n * container.VCores}
+		if !capacity.Fits(used) {
+			return false
+		}
+		// One more container must NOT fit.
+		more := used.Add(container)
+		return !capacity.Fits(more)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

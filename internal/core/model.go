@@ -1,0 +1,650 @@
+// Package core implements the paper's MapReduce performance model for
+// Hadoop 2.x: the modified Mean Value Analysis algorithm of §4.2 (activities
+// A1–A6).
+//
+// Given a cluster specification, a job description and the number of
+// concurrent jobs, the model iterates:
+//
+//	A1  initialize task residence and response times (history trace or the
+//	    Herodotou static model);
+//	A2  build the timeline (Algorithm 1) from current response times;
+//	A3  build the precedence tree from the timeline;
+//	A4  compute intra-job (α) and inter-job (β) overlap factors;
+//	A5  run the overlap-weighted MVA step to re-estimate task response
+//	    times under queueing at the CPU&Memory and Network centers;
+//	A6  estimate the job response time from the tree (Tripathi-based or
+//	    fork/join-based) and test convergence (ε = 1e-7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/dist"
+	"hadoop2perf/internal/mva"
+	"hadoop2perf/internal/ptree"
+	"hadoop2perf/internal/timeline"
+	"hadoop2perf/internal/workload"
+)
+
+// Estimator selects the job-level response-time estimation over the
+// precedence tree (§4.2.4).
+type Estimator int
+
+// Estimators.
+const (
+	// EstimatorForkJoin is the paper's fork/join-based approach with the H₂
+	// inflation attenuated by the node's coefficient of variation (see
+	// DESIGN.md): R_P = max(T_l,T_r)·(1+(H₂−1)·cv). For exponential children
+	// (cv=1) this equals the paper's literal 3/2·max rule.
+	EstimatorForkJoin Estimator = iota
+	// EstimatorTripathi fits Erlang/Hyperexponential distributions per child
+	// and propagates max/sum moments numerically.
+	EstimatorTripathi
+	// EstimatorPaperLiteral applies R_P = 3/2·max(T_l,T_r) verbatim.
+	EstimatorPaperLiteral
+)
+
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorForkJoin:
+		return "fork/join"
+	case EstimatorTripathi:
+		return "tripathi"
+	default:
+		return "paper-literal"
+	}
+}
+
+// Defaults for Config fields left zero.
+const (
+	DefaultEpsilon         = 1e-7
+	DefaultMaxIterations   = 200
+	DefaultTripathiCVFloor = 0.15
+	// DefaultPAttenuation: see Config.PAttenuation.
+	DefaultPAttenuation = 0.85
+	// DefaultLeafCV is used when no history trace supplies per-class CVs; it
+	// reflects task-time dispersion of a lightly-jittered Hadoop task.
+	DefaultLeafCV = 0.12
+	// damping blends successive class-response estimates to stabilize the
+	// outer fixed point.
+	damping = 0.5
+)
+
+// ClassStats carries per-class initialization data.
+type ClassStats struct {
+	// MeanCPU, MeanDisk and MeanNetwork are service demands at the centers.
+	MeanCPU     float64
+	MeanDisk    float64
+	MeanNetwork float64
+	// MeanResponse seeds the iteration (0 = derive from demands).
+	MeanResponse float64
+	// CV is the leaf coefficient of variation (0 = DefaultLeafCV).
+	CV float64
+}
+
+// Config drives one prediction.
+type Config struct {
+	Spec cluster.Spec
+	Job  workload.Job
+	// NumJobs is the number of statistically identical jobs executing
+	// concurrently (N of the closed network). Minimum 1.
+	NumJobs int
+	// Estimator selects the tree estimator; default fork/join.
+	Estimator Estimator
+	// Epsilon is the convergence threshold on the job response time
+	// (default 1e-7, the paper's recommended value).
+	Epsilon float64
+	// MaxIterations bounds the outer loop (default 200).
+	MaxIterations int
+	// TripathiCVFloor floors leaf CVs for the Tripathi estimator, which
+	// assumes exponential-family task times (default 0.15).
+	TripathiCVFloor float64
+	// PAttenuation is the per-level CV attenuation of the fork/join P rule:
+	// the max of two variables disperses less than its inputs, so each
+	// synchronization level carries cv*PAttenuation upward. 1 means no
+	// attenuation (error grows linearly with P-depth); values below 1 bound
+	// the compounding. Default 0.85.
+	PAttenuation float64
+	// History optionally initializes per-class demands, responses and CVs
+	// from a parsed job-history trace (§4.2.1, first approach). When nil, the
+	// Herodotou static model provides initialization (second approach).
+	History map[timeline.Class]ClassStats
+}
+
+func (c *Config) applyDefaults() {
+	if c.NumJobs <= 0 {
+		c.NumJobs = 1
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = DefaultEpsilon
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = DefaultMaxIterations
+	}
+	if c.TripathiCVFloor <= 0 {
+		c.TripathiCVFloor = DefaultTripathiCVFloor
+	}
+	if c.PAttenuation <= 0 {
+		c.PAttenuation = DefaultPAttenuation
+	}
+}
+
+// Prediction is the model output.
+type Prediction struct {
+	// ResponseTime is the estimated average job response time (seconds),
+	// including ApplicationMaster startup.
+	ResponseTime float64
+	// Iterations used by the outer loop; Converged reports whether the
+	// ε-test passed before MaxIterations.
+	Iterations int
+	Converged  bool
+	// ClassResponse is the final per-class mean task response time.
+	ClassResponse map[timeline.Class]float64
+	// Timeline and Tree are the final iteration's artifacts (inspection,
+	// visualization, tests).
+	Timeline *timeline.Timeline
+	Tree     *ptree.Node
+}
+
+// classData is the per-class working state of the iteration.
+type classData struct {
+	demCPU     float64
+	demDisk    float64
+	demNetwork float64
+	response   float64
+	cv         float64
+}
+
+func (c *classData) demandTotal() float64 { return c.demCPU + c.demDisk + c.demNetwork }
+
+// Predict runs the model to convergence.
+func Predict(cfg Config) (Prediction, error) {
+	cfg.applyDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if err := cfg.Job.Validate(); err != nil {
+		return Prediction{}, err
+	}
+	if cfg.Job.NumMaps() == 0 {
+		return Prediction{}, errors.New("core: job has no map tasks")
+	}
+
+	classes := initialize(cfg)
+
+	prevTotal := math.Inf(1)
+	var (
+		tl   *timeline.Timeline
+		tree *ptree.Node
+		err  error
+	)
+	pred := Prediction{ClassResponse: map[timeline.Class]float64{}}
+
+	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		// A2: timeline from current class response times.
+		tl, err = buildTimeline(cfg, classes)
+		if err != nil {
+			return Prediction{}, err
+		}
+		// A3: precedence tree.
+		tree, err = ptree.Build(tl)
+		if err != nil {
+			return Prediction{}, err
+		}
+		// A4: overlap factors.
+		alpha, beta := overlapFactors(cfg, tl)
+		// A5: overlap-weighted MVA step.
+		taskDemands := demandsFor(cfg, tl, classes)
+		step, err := mva.OverlapStep(mva.OverlapInput{
+			Tasks:     taskDemands,
+			Alpha:     alpha,
+			Beta:      beta,
+			Servers:   centerServers(cfg.Spec),
+			OtherJobs: cfg.NumJobs - 1,
+		})
+		if err != nil {
+			return Prediction{}, err
+		}
+		// Aggregate per class with damping.
+		newResp := classMeans(tl, step.Response)
+		for cls, cd := range classes {
+			nr, ok := newResp[cls]
+			if !ok || nr <= 0 {
+				continue
+			}
+			cd.response = damping*cd.response + (1-damping)*nr
+			classes[cls] = cd
+		}
+		// A6: job response from the tree + convergence test.
+		total, err := estimate(cfg, tree, tl, step.Response, classes)
+		if err != nil {
+			return Prediction{}, err
+		}
+		total += cfg.Job.Profile.AMStartup
+		pred.Iterations = iter
+		pred.ResponseTime = total
+		if math.Abs(total-prevTotal) <= cfg.Epsilon {
+			pred.Converged = true
+			break
+		}
+		prevTotal = total
+	}
+	for cls, cd := range classes {
+		pred.ClassResponse[cls] = cd.response
+	}
+	pred.Timeline = tl
+	pred.Tree = tree
+	return pred, nil
+}
+
+// schedulingLatency is the per-container YARN control-loop cost the model
+// charges on top of the workload demand: one AM->RM ask heartbeat plus one
+// allocation-delivery heartbeat (0.25 s each in the substrate cluster).
+const schedulingLatency = 0.5
+
+// initialize implements A1: class demands from the workload's cost functions
+// (or history), and initial responses from the Herodotou-style static view
+// (all resources to maps, then to reduces ⇒ response = uncontended demand).
+func initialize(cfg Config) map[timeline.Class]*classData {
+	md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, cfg.Spec.DiskMBps)
+	ss := cfg.Job.ShuffleSortDemands(cfg.Spec.NetworkMBps, cfg.Spec.DiskMBps)
+	mg := cfg.Job.MergeDemands(cfg.Spec.DiskMBps)
+	classes := map[timeline.Class]*classData{
+		timeline.ClassMap:         {demCPU: md.CPU + schedulingLatency, demDisk: md.Disk, demNetwork: md.Network},
+		timeline.ClassShuffleSort: {demCPU: ss.CPU + schedulingLatency, demDisk: ss.Disk, demNetwork: ss.Network},
+		timeline.ClassMerge:       {demCPU: mg.CPU, demDisk: mg.Disk, demNetwork: mg.Network},
+	}
+	for cls, cd := range classes {
+		if h, ok := cfg.History[cls]; ok {
+			if h.MeanCPU > 0 {
+				cd.demCPU = h.MeanCPU
+				cd.demDisk = h.MeanDisk
+				cd.demNetwork = h.MeanNetwork
+			}
+			if h.MeanResponse > 0 {
+				cd.response = h.MeanResponse
+			}
+			if h.CV > 0 {
+				cd.cv = h.CV
+			}
+		}
+		if cd.response <= 0 {
+			cd.response = cd.demandTotal()
+		}
+		if cd.cv <= 0 {
+			cd.cv = leafCVFor(cfg, cls)
+		}
+		classes[cls] = cd
+	}
+	return classes
+}
+
+func leafCVFor(cfg Config, cls timeline.Class) float64 {
+	cv := cfg.Job.Profile.TaskJitterCV
+	if cv <= 0 {
+		return DefaultLeafCV
+	}
+	// Shuffle-sort aggregates many fetches with independent jitter plus
+	// pipeline variability; keep the class CV at the jitter level. Maps and
+	// merges are single work units.
+	return cv
+}
+
+// buildTimeline converts class responses into Algorithm 1 inputs. The
+// shuffle-sort response is split into a node-local base and a network share
+// that Algorithm 1 redistributes per remote map (sd/|R|).
+func buildTimeline(cfg Config, classes map[timeline.Class]*classData) (*timeline.Timeline, error) {
+	m := cfg.Job.NumMaps()
+	r := cfg.Job.NumReduces
+	mapResp := classes[timeline.ClassMap].response
+	ssResp := classes[timeline.ClassShuffleSort].response
+	mgResp := classes[timeline.ClassMerge].response
+
+	ssd := classes[timeline.ClassShuffleSort]
+	netFrac := 0.0
+	if tot := ssd.demandTotal(); tot > 0 {
+		netFrac = ssd.demNetwork / tot
+	}
+	ssBase := ssResp * (1 - netFrac)
+	// Each map's shuffle contribution: if every map were remote the shares
+	// would reassemble the full network part of the shuffle-sort response.
+	sd := 0.0
+	if m > 0 {
+		sd = ssResp * netFrac * float64(r) / float64(m)
+	}
+
+	// With N identical concurrent jobs the root queue's fair ordering gives
+	// each job ~1/N of the container capacity; the per-job timeline is built
+	// over that share (at least one lane per node).
+	mapSlots := cfg.Spec.MaxMapsPerNode() / cfg.NumJobs
+	if mapSlots < 1 {
+		mapSlots = 1
+	}
+	redSlots := cfg.Spec.MaxReducesPerNode() / cfg.NumJobs
+	if redSlots < 1 {
+		redSlots = 1
+	}
+	in := timeline.Input{
+		NumNodes:           cfg.Spec.NumNodes,
+		MapSlotsPerNode:    mapSlots,
+		ReduceSlotsPerNode: redSlots,
+		SlowStart:          cfg.Job.SlowStart,
+	}
+	for i := 0; i < m; i++ {
+		in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: mapResp, ShuffleDuration: sd})
+	}
+	for i := 0; i < r; i++ {
+		in.Reduces = append(in.Reduces, timeline.ReduceTask{
+			ID: i, ShuffleSortBase: ssBase, MergeDuration: mgResp,
+		})
+	}
+	return timeline.Build(in)
+}
+
+// Centers of the queueing network. The paper groups CPU and disk into one
+// "CPU&Memory" center but lists cpuPerNode and diskPerNode separately in
+// Table 2; we keep CPU and Disk as distinct node-local multi-server centers
+// plus the shared Network center.
+const (
+	centerCPU     = 0
+	centerDisk    = 1
+	centerNetwork = 2
+	numCenters    = 3
+)
+
+// overlapFactors computes α (intra-job) and β (inter-job) per center.
+//
+// α^k_ij is the fraction of task i's execution that overlaps task j's, masked
+// by center visibility: the CPU&Memory center is per-node, so only
+// co-located pairs contend; the Network center is shared by all.
+//
+// β^k_ij uses the aligned-identical-timelines approximation: the paper's
+// multi-job experiments submit N statistically identical jobs together, so
+// another job's copy of task j is active exactly when task j is (its
+// timeline is a replica of this job's). β is therefore the same time-overlap
+// as α — including j = i, whose twin in the other job fully overlaps — with
+// node co-location probability 1/numNodes for the per-node centers (the
+// other job's tasks spread uniformly over nodes).
+func overlapFactors(cfg Config, tl *timeline.Timeline) (alpha, beta [][][]float64) {
+	n := len(tl.Tasks)
+	alpha = make([][][]float64, numCenters)
+	beta = make([][][]float64, numCenters)
+	for k := 0; k < numCenters; k++ {
+		alpha[k] = make([][]float64, n)
+		beta[k] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			alpha[k][i] = make([]float64, n)
+			beta[k][i] = make([]float64, n)
+		}
+	}
+	windows := laneWindows(tl)
+	for i := 0; i < n; i++ {
+		ti := tl.Tasks[i]
+		di := ti.Duration()
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			tj := tl.Tasks[j]
+			ov := 0.0
+			if di > 0 {
+				ov = timeline.Overlap(ti, tj) / di
+			}
+			// Network: global center, pairwise transfer overlap.
+			alpha[centerNetwork][i][j] = ov
+			// CPU and Disk: per-node centers. Contention is assessed against
+			// the *lane* hosting task j rather than j's exact interval: on
+			// the real cluster a freed container is backfilled immediately,
+			// so a lane stays busy wall-to-wall while work remains. Each
+			// lane counts once, with its contention spread over its tasks in
+			// proportion to their durations; same-lane tasks serialize and
+			// never contend.
+			if ti.Node == tj.Node {
+				lov := laneOverlap(ti, tj, windows, ov)
+				alpha[centerCPU][i][j] = lov
+				alpha[centerDisk][i][j] = lov
+			}
+		}
+		for j := 0; j < n; j++ {
+			tj := tl.Tasks[j]
+			ov := 1.0 // the twin of task i in another job overlaps fully
+			if j != i {
+				ov = 0
+				if di > 0 {
+					ov = timeline.Overlap(ti, tj) / di
+				}
+			}
+			beta[centerNetwork][i][j] = ov
+			beta[centerCPU][i][j] = ov / float64(cfg.Spec.NumNodes)
+			beta[centerDisk][i][j] = ov / float64(cfg.Spec.NumNodes)
+		}
+	}
+	return alpha, beta
+}
+
+// laneKey identifies one container lane: reduce subtasks (shuffle-sort and
+// merge) share their reducer's lane; maps have their own lane pool.
+type laneKey struct {
+	mapPool bool
+	node    int
+	slot    int
+}
+
+// laneWindow is the busy envelope of one lane.
+type laneWindow struct {
+	placed timeline.Placed // envelope interval, reused for Overlap
+	total  float64         // sum of task durations in the lane
+}
+
+func laneWindows(tl *timeline.Timeline) map[laneKey]laneWindow {
+	out := map[laneKey]laneWindow{}
+	for _, t := range tl.Tasks {
+		k := laneKey{mapPool: t.Class == timeline.ClassMap, node: t.Node, slot: t.Slot}
+		w, ok := out[k]
+		if !ok {
+			w = laneWindow{placed: t}
+		} else {
+			if t.Start < w.placed.Start {
+				w.placed.Start = t.Start
+			}
+			if t.End > w.placed.End {
+				w.placed.End = t.End
+			}
+		}
+		w.total += t.Duration()
+		out[k] = w
+	}
+	return out
+}
+
+// laneOverlap returns the CPU/disk contention factor of task j on task i:
+// the overlap of i with j's lane envelope, weighted by j's share of the
+// lane's work. Same-lane tasks contribute nothing (they serialize). The
+// pairwise overlap is the fallback for degenerate lanes.
+func laneOverlap(ti, tj timeline.Placed, windows map[laneKey]laneWindow, pairwise float64) float64 {
+	ki := laneKey{mapPool: ti.Class == timeline.ClassMap, node: ti.Node, slot: ti.Slot}
+	kj := laneKey{mapPool: tj.Class == timeline.ClassMap, node: tj.Node, slot: tj.Slot}
+	if ki == kj {
+		return 0
+	}
+	w, ok := windows[kj]
+	if !ok || w.total <= 0 || ti.Duration() <= 0 {
+		return pairwise
+	}
+	return timeline.Overlap(ti, w.placed) / ti.Duration() * (tj.Duration() / w.total)
+}
+
+// demandsFor maps placed tasks to center demands. Map demands use the
+// task's actual split size (the final split may be short).
+func demandsFor(cfg Config, tl *timeline.Timeline, classes map[timeline.Class]*classData) []mva.TaskDemand {
+	out := make([]mva.TaskDemand, len(tl.Tasks))
+	for i, t := range tl.Tasks {
+		var cpu, disk, net float64
+		switch {
+		case t.Class == timeline.ClassMap && cfg.History == nil:
+			d := cfg.Job.MapDemands(cfg.Job.SplitMB(t.ID), cfg.Spec.DiskMBps)
+			cpu, disk, net = d.CPU+schedulingLatency, d.Disk, d.Network
+		default:
+			cd := classes[t.Class]
+			cpu, disk, net = cd.demCPU, cd.demDisk, cd.demNetwork
+		}
+		out[i] = mva.TaskDemand{Demands: []float64{cpu, disk, net}}
+	}
+	return out
+}
+
+// centerServers returns the service multiplicities: cores per node, disks
+// per node, and the network fabric width (bisection grows with node count,
+// matching the cluster substrate).
+func centerServers(spec cluster.Spec) []float64 {
+	fabric := float64(spec.NumNodes) / 2
+	if fabric < 1 {
+		fabric = 1
+	}
+	return []float64{float64(spec.CPUPerNode), float64(spec.DiskPerNode), fabric}
+}
+
+// classMeans averages per-task responses back into class responses.
+func classMeans(tl *timeline.Timeline, resp []float64) map[timeline.Class]float64 {
+	sum := map[timeline.Class]float64{}
+	cnt := map[timeline.Class]int{}
+	for i, t := range tl.Tasks {
+		sum[t.Class] += resp[i]
+		cnt[t.Class]++
+	}
+	out := map[timeline.Class]float64{}
+	for cls, s := range sum {
+		out[cls] = s / float64(cnt[cls])
+	}
+	return out
+}
+
+// estimate computes the job response time from the precedence tree using the
+// configured estimator; leaf response times come from the MVA step (per
+// task), leaf CVs from the class data.
+func estimate(cfg Config, tree *ptree.Node, tl *timeline.Timeline, taskResp []float64, classes map[timeline.Class]*classData) (float64, error) {
+	// Index placed tasks to their MVA responses.
+	type key struct {
+		cls timeline.Class
+		id  int
+	}
+	respOf := make(map[key]float64, len(tl.Tasks))
+	for i, t := range tl.Tasks {
+		respOf[key{t.Class, t.ID}] = taskResp[i]
+	}
+	leaf := func(t *timeline.Placed) (mean, cv float64, err error) {
+		m, ok := respOf[key{t.Class, t.ID}]
+		if !ok || m <= 0 {
+			return 0, 0, fmt.Errorf("core: no response for %s task %d", t.Class, t.ID)
+		}
+		// Pipeline-clamped tasks (a shuffle cannot end before the last map)
+		// occupy their placed window even when their active work is shorter;
+		// the leaf takes the larger of the two (the "alternative strategy to
+		// estimate the average response time of subsets of tasks" of [12]).
+		if d := t.Duration(); d > m {
+			m = d
+		}
+		return m, classes[t.Class].cv, nil
+	}
+
+	switch cfg.Estimator {
+	case EstimatorTripathi:
+		d, err := evalTripathi(tree, leaf, cfg.TripathiCVFloor)
+		if err != nil {
+			return 0, err
+		}
+		return d.Mean(), nil
+	case EstimatorPaperLiteral:
+		m, _, err := evalForkJoin(tree, leaf, true, 1)
+		return m, err
+	default:
+		m, _, err := evalForkJoin(tree, leaf, false, cfg.PAttenuation)
+		return m, err
+	}
+}
+
+// evalForkJoin recursively evaluates the tree with the fork/join rule. With
+// literal=true the P rule is the paper's verbatim 3/2·max; otherwise the
+// CV-attenuated variant (DESIGN.md §4).
+func evalForkJoin(n *ptree.Node, leaf func(*timeline.Placed) (float64, float64, error), literal bool, atten float64) (mean, cv float64, err error) {
+	switch n.Op {
+	case ptree.Leaf:
+		return leaf(n.Task)
+	case ptree.S:
+		ml, cvl, err := evalForkJoin(n.Left, leaf, literal, atten)
+		if err != nil {
+			return 0, 0, err
+		}
+		mr, cvr, err := evalForkJoin(n.Right, leaf, literal, atten)
+		if err != nil {
+			return 0, 0, err
+		}
+		m := ml + mr
+		v := cvl*ml*cvl*ml + cvr*mr*cvr*mr
+		return m, math.Sqrt(v) / m, nil
+	case ptree.P:
+		ml, cvl, err := evalForkJoin(n.Left, leaf, literal, atten)
+		if err != nil {
+			return 0, 0, err
+		}
+		mr, cvr, err := evalForkJoin(n.Right, leaf, literal, atten)
+		if err != nil {
+			return 0, 0, err
+		}
+		mx := math.Max(ml, mr)
+		cvEff := (cvl + cvr) / 2
+		var m float64
+		if literal {
+			m = 1.5 * mx
+		} else {
+			m = mx * (1 + 0.5*cvEff)
+		}
+		// Each synchronization level contributes its own delay margin, so the
+		// estimate (and its error) grows with the depth of the balanced
+		// P-subtree — the paper's "error grows with the number of map tasks".
+		// The carried CV is attenuated per level (a max disperses less than
+		// its inputs), bounding the compounding for very deep trees.
+		return m, cvEff * atten, nil
+	}
+	return 0, 0, errors.New("core: unknown tree operator")
+}
+
+// evalTripathi evaluates the tree with distribution fitting: children are
+// fitted as Erlang/Hyperexponential by (mean, CV); S composes sums, P
+// composes maxima (numeric moments).
+func evalTripathi(n *ptree.Node, leaf func(*timeline.Placed) (float64, float64, error), cvFloor float64) (dist.Distribution, error) {
+	switch n.Op {
+	case ptree.Leaf:
+		m, cv, err := leaf(n.Task)
+		if err != nil {
+			return nil, err
+		}
+		if cv < cvFloor {
+			cv = cvFloor
+		}
+		return dist.Fit(m, cv)
+	case ptree.S, ptree.P:
+		dl, err := evalTripathi(n.Left, leaf, cvFloor)
+		if err != nil {
+			return nil, err
+		}
+		dr, err := evalTripathi(n.Right, leaf, cvFloor)
+		if err != nil {
+			return nil, err
+		}
+		var m, cv float64
+		if n.Op == ptree.S {
+			m, cv, err = dist.SumMoments([]dist.Distribution{dl, dr})
+		} else {
+			m, cv, err = dist.MaxMoments([]dist.Distribution{dl, dr})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return dist.Fit(m, cv)
+	}
+	return nil, errors.New("core: unknown tree operator")
+}

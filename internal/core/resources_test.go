@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/timeline"
+)
+
+func TestEstimateResourcesBasics(t *testing.T) {
+	spec := cluster.Default(4)
+	j := job(t, 1024, 4)
+	est, pred, err := EstimateResources(Config{Spec: spec, Job: j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.ResponseTime <= 0 {
+		t.Fatal("no prediction")
+	}
+	for _, cls := range []timeline.Class{timeline.ClassMap, timeline.ClassShuffleSort, timeline.ClassMerge} {
+		u, ok := est.PerClass[cls]
+		if !ok {
+			t.Fatalf("missing class %s", cls)
+		}
+		if u.CPUSeconds <= 0 {
+			t.Errorf("%s: no CPU use", cls)
+		}
+	}
+	// Only the shuffle-sort class moves data over the network.
+	if est.PerClass[timeline.ClassMap].NetworkSeconds != 0 {
+		t.Error("maps should not use the network")
+	}
+	if est.PerClass[timeline.ClassShuffleSort].NetworkSeconds <= 0 {
+		t.Error("shuffle should use the network")
+	}
+	// Total is the sum of classes.
+	var sum ResourceUse
+	for _, u := range est.PerClass {
+		sum.CPUSeconds += u.CPUSeconds
+		sum.DiskSeconds += u.DiskSeconds
+		sum.NetworkSeconds += u.NetworkSeconds
+	}
+	const tol = 1e-9
+	if diff := sum.CPUSeconds - est.Total.CPUSeconds; diff > tol || diff < -tol {
+		t.Errorf("total CPU %v != class sum %v", est.Total.CPUSeconds, sum.CPUSeconds)
+	}
+	if diff := sum.DiskSeconds - est.Total.DiskSeconds; diff > tol || diff < -tol {
+		t.Errorf("total disk %v != class sum %v", est.Total.DiskSeconds, sum.DiskSeconds)
+	}
+	if diff := sum.NetworkSeconds - est.Total.NetworkSeconds; diff > tol || diff < -tol {
+		t.Errorf("total net %v != class sum %v", est.Total.NetworkSeconds, sum.NetworkSeconds)
+	}
+	// Utilizations must be feasible.
+	for name, u := range map[string]float64{
+		"cpu": est.CPUUtilization, "disk": est.DiskUtilization, "net": est.NetworkUtilization,
+	} {
+		if u <= 0 || u > 1 {
+			t.Errorf("%s utilization = %v outside (0,1]", name, u)
+		}
+	}
+}
+
+func TestEstimateResourcesScaleWithInput(t *testing.T) {
+	spec := cluster.Default(4)
+	small, _, err := EstimateResources(Config{Spec: spec, Job: job(t, 1024, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, _, err := EstimateResources(Config{Spec: spec, Job: job(t, 5*1024, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Total.CPUSeconds <= small.Total.CPUSeconds {
+		t.Error("CPU consumption should grow with input size")
+	}
+	// 5x input ~ 5x CPU work (same per-MB profile, modulo startup constants).
+	ratio := big.Total.CPUSeconds / small.Total.CPUSeconds
+	if ratio < 3.5 || ratio > 6.5 {
+		t.Errorf("CPU scaling ratio = %v, want ~5", ratio)
+	}
+}
+
+func TestEstimateResourcesConsistentAcrossEstimators(t *testing.T) {
+	// Consumption depends on demands and task counts, not on the tree
+	// estimator choice.
+	spec := cluster.Default(4)
+	j := job(t, 1024, 4)
+	a, _, err := EstimateResources(Config{Spec: spec, Job: j, Estimator: EstimatorForkJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := EstimateResources(Config{Spec: spec, Job: j, Estimator: EstimatorTripathi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Errorf("totals differ across estimators: %+v vs %+v", a.Total, b.Total)
+	}
+	// Utilization differs (different predicted response) but stays feasible.
+	if b.CPUUtilization >= a.CPUUtilization {
+		t.Error("tripathi's longer response should give lower utilization")
+	}
+}
+
+func TestEstimateResourcesValidation(t *testing.T) {
+	if _, _, err := EstimateResources(Config{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

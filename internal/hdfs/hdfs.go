@@ -1,0 +1,115 @@
+// Package hdfs models the pieces of HDFS that matter to the performance
+// model: splitting an input file into block-sized input splits and placing
+// block replicas on nodes, so that map-task locality can be resolved.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DefaultBlockSizeMB is the Hadoop 2.x default block size (128 MB). The
+// paper's Figure 15 experiment reduces it to 64 MB.
+const DefaultBlockSizeMB = 128
+
+// DefaultReplication is the HDFS default replication factor.
+const DefaultReplication = 3
+
+// Block is one input split / HDFS block.
+type Block struct {
+	// Index is the block's ordinal within the file.
+	Index int
+	// SizeMB is the block length; the final block may be short.
+	SizeMB float64
+	// Replicas are the node IDs (0-based) holding a replica.
+	Replicas []int
+}
+
+// HasReplicaOn reports whether node holds a replica of b.
+func (b Block) HasReplicaOn(node int) bool {
+	for _, r := range b.Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}
+
+// File is a placed HDFS file: its blocks with replica locations.
+type File struct {
+	Name        string
+	SizeMB      float64
+	BlockSizeMB float64
+	Blocks      []Block
+}
+
+// NumSplits returns the number of input splits (= map tasks for the job).
+func (f *File) NumSplits() int { return len(f.Blocks) }
+
+// Place splits a file of sizeMB into blockSizeMB blocks and places
+// replication replicas of each block across numNodes nodes using the
+// round-robin-with-offset policy: replica r of block i goes to node
+// (i + r*stride) mod numNodes. This spreads primaries evenly (default HDFS
+// balancer behaviour on an idle cluster) and gives every block `replication`
+// distinct homes when numNodes >= replication.
+func Place(name string, sizeMB, blockSizeMB float64, numNodes, replication int) (*File, error) {
+	switch {
+	case sizeMB <= 0:
+		return nil, fmt.Errorf("hdfs: file size must be positive (got %g MB)", sizeMB)
+	case blockSizeMB <= 0:
+		return nil, fmt.Errorf("hdfs: block size must be positive (got %g MB)", blockSizeMB)
+	case numNodes <= 0:
+		return nil, errors.New("hdfs: numNodes must be positive")
+	case replication <= 0:
+		return nil, errors.New("hdfs: replication must be positive")
+	}
+	if replication > numNodes {
+		replication = numNodes
+	}
+	n := int(sizeMB / blockSizeMB)
+	rem := sizeMB - float64(n)*blockSizeMB
+	blocks := make([]Block, 0, n+1)
+	stride := 1
+	if numNodes > 2 {
+		stride = numNodes/replication + 1
+	}
+	appendBlock := func(idx int, size float64) {
+		reps := make([]int, 0, replication)
+		for r := 0; r < replication; r++ {
+			node := (idx + r*stride) % numNodes
+			// Avoid duplicate homes when stride wraps onto an existing one.
+			dup := false
+			for _, existing := range reps {
+				if existing == node {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				node = (node + 1) % numNodes
+			}
+			reps = append(reps, node)
+		}
+		blocks = append(blocks, Block{Index: idx, SizeMB: size, Replicas: reps})
+	}
+	for i := 0; i < n; i++ {
+		appendBlock(i, blockSizeMB)
+	}
+	if rem > 1e-9 {
+		appendBlock(n, rem)
+	}
+	return &File{Name: name, SizeMB: sizeMB, BlockSizeMB: blockSizeMB, Blocks: blocks}, nil
+}
+
+// SplitsFor returns the number of map tasks Hadoop would create for a file of
+// sizeMB with the given block size (ceil division).
+func SplitsFor(sizeMB, blockSizeMB float64) int {
+	if sizeMB <= 0 || blockSizeMB <= 0 {
+		return 0
+	}
+	n := int(sizeMB / blockSizeMB)
+	if sizeMB-float64(n)*blockSizeMB > 1e-9 {
+		n++
+	}
+	return n
+}

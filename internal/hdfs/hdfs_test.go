@@ -1,0 +1,171 @@
+package hdfs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitsFor(t *testing.T) {
+	tests := []struct {
+		name        string
+		size, block float64
+		want        int
+	}{
+		{"exact multiple", 1024, 128, 8},
+		{"remainder", 1000, 128, 8},
+		{"single partial", 100, 128, 1},
+		{"one block", 128, 128, 1},
+		{"tiny", 1, 128, 1},
+		{"zero size", 0, 128, 0},
+		{"zero block", 128, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := SplitsFor(tt.size, tt.block); got != tt.want {
+				t.Errorf("SplitsFor(%v,%v) = %d, want %d", tt.size, tt.block, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	tests := []struct {
+		name               string
+		size, block        float64
+		nodes, replication int
+	}{
+		{"zero size", 0, 128, 4, 3},
+		{"zero block", 128, 0, 4, 3},
+		{"zero nodes", 128, 128, 0, 3},
+		{"zero replication", 128, 128, 4, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Place("f", tt.size, tt.block, tt.nodes, tt.replication); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestPlaceBasics(t *testing.T) {
+	f, err := Place("input", 1024, 128, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumSplits() != 8 {
+		t.Fatalf("splits = %d, want 8", f.NumSplits())
+	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) != 3 {
+			t.Errorf("block %d has %d replicas", b.Index, len(b.Replicas))
+		}
+		seen := map[int]bool{}
+		for _, r := range b.Replicas {
+			if r < 0 || r >= 4 {
+				t.Errorf("block %d replica on invalid node %d", b.Index, r)
+			}
+			if seen[r] {
+				t.Errorf("block %d has duplicate replica on node %d", b.Index, r)
+			}
+			seen[r] = true
+		}
+		if b.SizeMB != 128 {
+			t.Errorf("block %d size %v", b.Index, b.SizeMB)
+		}
+	}
+}
+
+func TestPlacePartialLastBlock(t *testing.T) {
+	f, err := Place("input", 300, 128, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumSplits() != 3 {
+		t.Fatalf("splits = %d, want 3", f.NumSplits())
+	}
+	last := f.Blocks[2]
+	if got := last.SizeMB; got != 300-256 {
+		t.Errorf("last block size = %v, want 44", got)
+	}
+}
+
+func TestPlaceReplicationCappedByNodes(t *testing.T) {
+	f, err := Place("input", 256, 128, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Blocks {
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d: %d replicas, want 2 (capped)", b.Index, len(b.Replicas))
+		}
+	}
+}
+
+func TestHasReplicaOn(t *testing.T) {
+	b := Block{Replicas: []int{0, 2}}
+	if !b.HasReplicaOn(0) || !b.HasReplicaOn(2) {
+		t.Error("expected replicas on 0 and 2")
+	}
+	if b.HasReplicaOn(1) {
+		t.Error("unexpected replica on 1")
+	}
+}
+
+func TestPrimariesSpread(t *testing.T) {
+	// Round-robin primaries: 8 blocks over 4 nodes -> exactly 2 primaries each.
+	f, err := Place("input", 1024, 128, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, b := range f.Blocks {
+		counts[b.Replicas[0]]++
+	}
+	for n := 0; n < 4; n++ {
+		if counts[n] != 2 {
+			t.Errorf("node %d has %d primaries, want 2", n, counts[n])
+		}
+	}
+}
+
+// Property: placements always produce ceil(size/block) blocks whose sizes sum
+// to the file size, each with min(replication, nodes) distinct replicas on
+// valid nodes.
+func TestPlaceInvariantsProperty(t *testing.T) {
+	f := func(sizeQ, blockQ uint8, nodesQ, replQ uint8) bool {
+		size := float64(sizeQ)*16 + 1
+		block := float64(blockQ%64)*8 + 8
+		nodes := int(nodesQ)%12 + 1
+		repl := int(replQ)%4 + 1
+		file, err := Place("f", size, block, nodes, repl)
+		if err != nil {
+			return false
+		}
+		if file.NumSplits() != SplitsFor(size, block) {
+			return false
+		}
+		var total float64
+		wantRepl := repl
+		if wantRepl > nodes {
+			wantRepl = nodes
+		}
+		for _, b := range file.Blocks {
+			total += b.SizeMB
+			if len(b.Replicas) != wantRepl {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, r := range b.Replicas {
+				if r < 0 || r >= nodes || seen[r] {
+					return false
+				}
+				seen[r] = true
+			}
+		}
+		return total > size-1e-6 && total < size+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package herodotou implements the static phase-level MapReduce cost model of
+// Herodotou ("Hadoop Performance Models", arXiv:1106.0940) as used by the
+// paper for two purposes:
+//
+//  1. Initializing the task response times of the iterative model (§4.2.1,
+//     second approach: assume all map tasks execute first using all available
+//     resources, then all reduce tasks).
+//  2. Serving as a static related-work baseline: the job execution time is
+//     simply the sum of the wave-serialized map and reduce phase costs, with
+//     no queueing or synchronization delays.
+package herodotou
+
+import (
+	"errors"
+	"math"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+// TaskCosts holds the uncontended per-task phase costs computed by the static
+// model.
+type TaskCosts struct {
+	// Map is the cost of one (full-split) map task: read+map+collect+spill+merge.
+	Map float64
+	// ShuffleSort is the cost of one reducer's shuffle + partial sorts.
+	ShuffleSort float64
+	// Merge is the cost of one reducer's final sort + reduce + write.
+	Merge float64
+}
+
+// Estimate holds the static model's job-level prediction.
+type Estimate struct {
+	Costs TaskCosts
+	// MapWaves and ReduceWaves are the wave counts given cluster slot capacity.
+	MapWaves    int
+	ReduceWaves int
+	// MapPhase and ReducePhase are the serialized phase durations.
+	MapPhase    float64
+	ReducePhase float64
+	// Total is the job response time estimate: AM startup + map phase +
+	// reduce phase (all maps first, then all reduces).
+	Total float64
+}
+
+// Costs evaluates the per-task phase cost formulas for a job on the given
+// cluster hardware.
+func Costs(job workload.Job, spec cluster.Spec) (TaskCosts, error) {
+	if err := job.Validate(); err != nil {
+		return TaskCosts{}, err
+	}
+	if err := spec.Validate(); err != nil {
+		return TaskCosts{}, err
+	}
+	md := job.MapDemands(job.BlockSizeMB, spec.DiskMBps)
+	ss := job.ShuffleSortDemands(spec.NetworkMBps, spec.DiskMBps)
+	mg := job.MergeDemands(spec.DiskMBps)
+	return TaskCosts{
+		Map:         md.Total(),
+		ShuffleSort: ss.Total(),
+		Merge:       mg.Total(),
+	}, nil
+}
+
+// Predict computes the static job completion time: map tasks run in
+// ceil(m/slots) waves on all map slots, then reduce tasks run in
+// ceil(r/slots) waves. This mirrors Herodotou's "sum of the costs from all
+// map and reduce phases" under a fixed slot configuration; for Hadoop 2.x we
+// feed it the container-derived slot counts, which is exactly how the paper
+// reuses it for initialization.
+func Predict(job workload.Job, spec cluster.Spec) (Estimate, error) {
+	costs, err := Costs(job, spec)
+	if err != nil {
+		return Estimate{}, err
+	}
+	mapSlots := spec.TotalMapSlots()
+	redSlots := spec.TotalReduceSlots()
+	if mapSlots == 0 || redSlots == 0 {
+		return Estimate{}, errors.New("herodotou: cluster has zero task slots")
+	}
+	m := job.NumMaps()
+	r := job.NumReduces
+	mw := int(math.Ceil(float64(m) / float64(mapSlots)))
+	rw := int(math.Ceil(float64(r) / float64(redSlots)))
+	mapPhase := float64(mw) * costs.Map
+	redPhase := float64(rw) * (costs.ShuffleSort + costs.Merge)
+	return Estimate{
+		Costs:       costs,
+		MapWaves:    mw,
+		ReduceWaves: rw,
+		MapPhase:    mapPhase,
+		ReducePhase: redPhase,
+		Total:       job.Profile.AMStartup + mapPhase + redPhase,
+	}, nil
+}

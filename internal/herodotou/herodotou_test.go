@@ -1,0 +1,106 @@
+package herodotou
+
+import (
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+func job(t *testing.T, inputMB float64, reduces int) workload.Job {
+	t.Helper()
+	j, err := workload.NewJob(0, inputMB, 128, reduces, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestCostsPositive(t *testing.T) {
+	c, err := Costs(job(t, 1024, 4), cluster.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Map <= 0 || c.ShuffleSort <= 0 || c.Merge <= 0 {
+		t.Errorf("non-positive costs: %+v", c)
+	}
+}
+
+func TestCostsValidation(t *testing.T) {
+	if _, err := Costs(workload.Job{}, cluster.Default(4)); err == nil {
+		t.Error("invalid job accepted")
+	}
+	if _, err := Costs(job(t, 1024, 4), cluster.Spec{}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}
+
+func TestPredictWaveArithmetic(t *testing.T) {
+	spec := cluster.Default(4) // 8 map slots/node -> 32 slots
+	j := job(t, 5*1024, 4)     // 40 maps
+	est, err := Predict(j, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MapWaves != 2 { // ceil(40/32)
+		t.Errorf("map waves = %d, want 2", est.MapWaves)
+	}
+	if est.ReduceWaves != 1 {
+		t.Errorf("reduce waves = %d, want 1", est.ReduceWaves)
+	}
+	wantMap := 2 * est.Costs.Map
+	if est.MapPhase != wantMap {
+		t.Errorf("map phase = %v, want %v", est.MapPhase, wantMap)
+	}
+	wantTotal := j.Profile.AMStartup + est.MapPhase + est.ReducePhase
+	if est.Total != wantTotal {
+		t.Errorf("total = %v, want %v", est.Total, wantTotal)
+	}
+}
+
+func TestPredictMonotoneInInput(t *testing.T) {
+	spec := cluster.Default(4)
+	prev := 0.0
+	for _, mb := range []float64{512, 1024, 2048, 4096, 8192} {
+		est, err := Predict(job(t, mb, 4), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Total < prev {
+			t.Fatalf("total not monotone at %v MB: %v < %v", mb, est.Total, prev)
+		}
+		prev = est.Total
+	}
+}
+
+func TestPredictNoSlowerWithMoreNodes(t *testing.T) {
+	j := job(t, 5*1024, 4)
+	prev := 1e18
+	for _, n := range []int{2, 4, 8, 16} {
+		est, err := Predict(j, cluster.Default(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Total > prev+1e-9 {
+			t.Fatalf("static estimate grew with nodes at %d: %v > %v", n, est.Total, prev)
+		}
+		prev = est.Total
+	}
+}
+
+func TestPredictStaticIgnoresContention(t *testing.T) {
+	// The static model has no notion of concurrent jobs: this is the paper's
+	// §2 criticism; the estimate depends only on the job and cluster.
+	spec := cluster.Default(4)
+	a, err := Predict(job(t, 1024, 4), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Predict(job(t, 1024, 4), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Error("static prediction not deterministic")
+	}
+}

@@ -1,0 +1,571 @@
+// Package mrsim is a discrete-event simulator of MapReduce job execution on
+// a Hadoop 2.x / YARN cluster. It substitutes for the paper's real 4–8 node
+// Hadoop testbed (§5.1): model estimates are validated against response
+// times *measured* on this simulator.
+//
+// The simulator reproduces the execution mechanics the paper's model must
+// capture:
+//
+//   - YARN container allocation through internal/yarn (FIFO across jobs, map
+//     priority 20 > reduce priority 10, node-locality for maps, late
+//     container delivery via heartbeats);
+//   - HDFS block placement and data-local map scheduling;
+//   - the map/shuffle pipeline: each reducer fetches a map's partition as
+//     soon as that map completes (slow start: reduce containers are requested
+//     after 5% of maps finish);
+//   - contention at shared resources: per-node processor-sharing CPU and
+//     disk, and a shared cluster network;
+//   - stochastic task-time jitter (stragglers), seeded for reproducibility.
+package mrsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/hdfs"
+	"hadoop2perf/internal/simevent"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+// maxEvents bounds a single simulation run.
+const maxEvents = 20_000_000
+
+// TaskClass labels trace records with the paper's three task classes.
+type TaskClass string
+
+// The three task classes of the model (C = 3, §4.1).
+const (
+	ClassMap         TaskClass = "map"
+	ClassShuffleSort TaskClass = "shuffle-sort"
+	ClassMerge       TaskClass = "merge"
+)
+
+// TaskRecord is one executed (sub)task in the job-history trace.
+type TaskRecord struct {
+	JobID   int       `json:"job"`
+	Class   TaskClass `json:"class"`
+	TaskID  int       `json:"task"`
+	Node    int       `json:"node"`
+	Start   float64   `json:"start"`
+	End     float64   `json:"end"`
+	CPU     float64   `json:"cpu"`     // uncontended processor demand, s
+	Disk    float64   `json:"disk"`    // uncontended local-disk demand, s
+	Network float64   `json:"network"` // uncontended network demand, s
+	Local   bool      `json:"local"`   // data-local container (maps)
+}
+
+// Duration returns End-Start.
+func (t TaskRecord) Duration() float64 { return t.End - t.Start }
+
+// JobResult summarizes one job's simulated execution.
+type JobResult struct {
+	JobID    int          `json:"job"`
+	Submit   float64      `json:"submit"`
+	Start    float64      `json:"start"` // AM registered
+	End      float64      `json:"end"`
+	Response float64      `json:"response"` // End - Submit
+	Tasks    []TaskRecord `json:"tasks"`
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Jobs     []JobResult `json:"jobs"`
+	Makespan float64     `json:"makespan"`
+	Events   int         `json:"events"`
+}
+
+// MeanResponse returns the average job response time.
+func (r Result) MeanResponse() float64 {
+	if len(r.Jobs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, j := range r.Jobs {
+		s += j.Response
+	}
+	return s / float64(len(r.Jobs))
+}
+
+// Config drives one simulation run.
+type Config struct {
+	Spec cluster.Spec
+	Jobs []workload.Job
+	// SubmitTimes optionally staggers submissions; default all at t=0.
+	SubmitTimes []float64
+	// Seed selects the jitter stream; identical seeds reproduce runs exactly.
+	Seed int64
+	// Scheduler selects the root-queue ordering policy. Multi-job experiments
+	// use yarn.PolicyFair so concurrent jobs progress together, matching the
+	// per-job slowdowns of the paper's multi-job measurements.
+	Scheduler yarn.Policy
+}
+
+// Run executes the simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(cfg.Jobs) == 0 {
+		return Result{}, errors.New("mrsim: no jobs to run")
+	}
+	for i, j := range cfg.Jobs {
+		if err := j.Validate(); err != nil {
+			return Result{}, fmt.Errorf("mrsim: job %d: %w", i, err)
+		}
+	}
+	if cfg.SubmitTimes != nil && len(cfg.SubmitTimes) != len(cfg.Jobs) {
+		return Result{}, errors.New("mrsim: SubmitTimes length mismatch")
+	}
+
+	s, err := newSim(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	for i := range s.jobs {
+		jr := s.jobs[i]
+		s.eng.At(jr.submit, func() { s.startJob(jr) })
+	}
+	n, err := s.eng.Run(maxEvents)
+	if err != nil {
+		return Result{}, err
+	}
+
+	res := Result{Events: n}
+	for _, jr := range s.jobs {
+		if !jr.finished {
+			return Result{}, fmt.Errorf("mrsim: job %d did not finish (deadlock?)", jr.job.ID)
+		}
+		sort.Slice(jr.record.Tasks, func(a, b int) bool {
+			ta, tb := jr.record.Tasks[a], jr.record.Tasks[b]
+			if ta.Start != tb.Start {
+				return ta.Start < tb.Start
+			}
+			return ta.TaskID < tb.TaskID
+		})
+		res.Jobs = append(res.Jobs, *jr.record)
+		if jr.record.End > res.Makespan {
+			res.Makespan = jr.record.End
+		}
+	}
+	return res, nil
+}
+
+// sim is the mutable simulation state.
+type sim struct {
+	cfg  Config
+	eng  *simevent.Engine
+	rm   *yarn.RM
+	cpu  []*simevent.PSResource // per node
+	disk []*simevent.PSResource // per node
+	net  *simevent.PSResource   // shared cluster fabric
+	rng  *rand.Rand
+	jobs []*jobRun
+}
+
+func newSim(cfg Config) (*sim, error) {
+	eng := simevent.NewEngine()
+	rm, err := yarn.NewRM(eng, cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	rm.Policy = cfg.Scheduler
+	s := &sim{
+		cfg: cfg,
+		eng: eng,
+		rm:  rm,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := 0; i < cfg.Spec.NumNodes; i++ {
+		s.cpu = append(s.cpu, simevent.NewPSResource(eng, fmt.Sprintf("cpu%d", i), float64(cfg.Spec.CPUPerNode)))
+		s.disk = append(s.disk, simevent.NewPSResource(eng, fmt.Sprintf("disk%d", i), float64(cfg.Spec.DiskPerNode)))
+	}
+	// Cluster fabric bisection: capacity grows with node count, at least one
+	// full link's worth.
+	fabric := float64(cfg.Spec.NumNodes) / 2
+	if fabric < 1 {
+		fabric = 1
+	}
+	s.net = simevent.NewPSResource(eng, "net", fabric)
+
+	for i, job := range cfg.Jobs {
+		submit := 0.0
+		if cfg.SubmitTimes != nil {
+			submit = cfg.SubmitTimes[i]
+		}
+		file, err := hdfs.Place(fmt.Sprintf("job%d-input", job.ID), job.InputMB, job.BlockSizeMB,
+			cfg.Spec.NumNodes, hdfs.DefaultReplication)
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = append(s.jobs, &jobRun{
+			sim:    s,
+			job:    job,
+			file:   file,
+			submit: submit,
+			record: &JobResult{JobID: job.ID, Submit: submit},
+		})
+	}
+	return s, nil
+}
+
+// jitter draws a multiplicative lognormal factor with mean 1 and the given
+// coefficient of variation.
+func (s *sim) jitter(cv float64) float64 {
+	if cv <= 0 {
+		return 1
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	sigma := math.Sqrt(sigma2)
+	return math.Exp(s.rng.NormFloat64()*sigma - sigma2/2)
+}
+
+// jobRun is the per-job ApplicationMaster state.
+type jobRun struct {
+	sim    *sim
+	job    workload.Job
+	file   *hdfs.File
+	submit float64
+	app    *yarn.App
+	record *JobResult
+
+	pendingMaps    []int // split indices not yet assigned
+	completedMaps  int
+	assignedMaps   int
+	mapDoneOnNode  map[int][]int // node -> completed map IDs (for locality of fetches)
+	reduceAsked    bool
+	reducers       []*reducerRun
+	activeReducers int
+	finished       bool
+}
+
+func (j *jobRun) numMaps() int { return j.file.NumSplits() }
+
+// startJob registers the AM after its startup negotiation and submits the
+// map-container requests (priority 20, node-local preferences from HDFS).
+func (j *jobRun) startJob() {
+	s := j.sim
+	s.eng.After(j.job.Profile.AMStartup, func() {
+		j.record.Start = s.eng.Now()
+		j.app = &yarn.App{ID: j.job.ID, OnAllocate: j.onAllocate}
+		if err := s.rm.Register(j.app); err != nil {
+			panic(err) // programming error: callback always set
+		}
+		j.pendingMaps = make([]int, j.numMaps())
+		for i := range j.pendingMaps {
+			j.pendingMaps[i] = i
+		}
+		j.mapDoneOnNode = map[int][]int{}
+		// Group map requests by primary-replica node (Table 1 shape).
+		perNode := map[int]int{}
+		for _, b := range j.file.Blocks {
+			perNode[b.Replicas[0]]++
+		}
+		nodes := make([]int, 0, len(perNode))
+		for n := range perNode {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			req := &yarn.Request{
+				Priority:  yarn.PriorityMap,
+				Count:     perNode[n],
+				Size:      s.cfg.Spec.MapContainer,
+				Type:      yarn.TypeMap,
+				Preferred: []int{n},
+			}
+			if err := s.rm.Submit(j.app, req); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// maybeRequestReduces implements slow start: once the completed-map fraction
+// crosses the threshold, all reduce containers are requested at priority 10
+// with the "*" wildcard (no locality).
+func (j *jobRun) maybeRequestReduces() {
+	if j.reduceAsked {
+		return
+	}
+	threshold := j.job.SlowStartThreshold()
+	need := int(math.Ceil(threshold * float64(j.numMaps())))
+	if need < 1 {
+		need = 1
+	}
+	if j.completedMaps < need {
+		return
+	}
+	j.reduceAsked = true
+	req := &yarn.Request{
+		Priority: yarn.PriorityReduce,
+		Count:    j.job.NumReduces,
+		Size:     j.sim.cfg.Spec.ReduceContainer,
+		Type:     yarn.TypeReduce,
+	}
+	if err := j.sim.rm.Submit(j.app, req); err != nil {
+		panic(err)
+	}
+}
+
+// onAllocate is the AM's second-level scheduler: match the granted container
+// to a pending task, preferring data-local maps (paper §3.4).
+func (j *jobRun) onAllocate(c *yarn.Container) {
+	switch c.Type {
+	case yarn.TypeMap:
+		j.runMap(c)
+	case yarn.TypeReduce:
+		j.runReduce(c)
+	}
+}
+
+// pickMapFor removes and returns the best pending split for a node:
+// node-local first, then any.
+func (j *jobRun) pickMapFor(node int) (int, bool) {
+	if len(j.pendingMaps) == 0 {
+		return 0, false
+	}
+	pick := -1
+	for idx, split := range j.pendingMaps {
+		if j.file.Blocks[split].HasReplicaOn(node) {
+			pick = idx
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0
+	}
+	split := j.pendingMaps[pick]
+	j.pendingMaps = append(j.pendingMaps[:pick], j.pendingMaps[pick+1:]...)
+	return split, true
+}
+
+// runMap executes one map task in the granted container: disk read+spill and
+// CPU work on the container's node, then completion bookkeeping.
+func (j *jobRun) runMap(c *yarn.Container) {
+	s := j.sim
+	split, ok := j.pickMapFor(c.Node)
+	if !ok {
+		// Over-allocation (can happen after request compaction races); return it.
+		s.rm.Release(c)
+		return
+	}
+	j.assignedMaps++
+	d := j.job.MapDemands(j.job.SplitMB(split), s.cfg.Spec.DiskMBps)
+	f := s.jitter(j.job.Profile.TaskJitterCV)
+	cpuWork := d.CPU * f
+	diskWork := d.Disk * f
+	local := j.file.Blocks[split].HasReplicaOn(c.Node)
+	start := s.eng.Now()
+	rec := TaskRecord{
+		JobID: j.job.ID, Class: ClassMap, TaskID: split, Node: c.Node,
+		Start: start, CPU: d.CPU, Disk: d.Disk, Local: local,
+	}
+	finish := func() {
+		rec.End = s.eng.Now()
+		j.record.Tasks = append(j.record.Tasks, rec)
+		j.completedMaps++
+		j.mapDoneOnNode[c.Node] = append(j.mapDoneOnNode[c.Node], split)
+		s.rm.Release(c)
+		j.maybeRequestReduces()
+		// Feed waiting reducers with the fresh map output.
+		for _, r := range j.reducers {
+			r.mapCompleted(split, c.Node)
+		}
+		j.maybeFinish()
+	}
+	if local {
+		s.disk[c.Node].Submit(diskWork, func() { s.cpu[c.Node].Submit(cpuWork, finish) })
+	} else {
+		// Remote read pulls the split across the network instead of local disk.
+		s.net.Submit(diskWork, func() { s.cpu[c.Node].Submit(cpuWork, finish) })
+	}
+}
+
+// runReduce starts a reducer in the granted container: shuffle-sort fetches
+// from completed maps, then the merge subtask.
+func (j *jobRun) runReduce(c *yarn.Container) {
+	if len(j.reducers) >= j.job.NumReduces {
+		j.sim.rm.Release(c)
+		return
+	}
+	r := &reducerRun{
+		job:  j,
+		id:   len(j.reducers),
+		node: c.Node,
+		cont: c,
+	}
+	j.reducers = append(j.reducers, r)
+	j.activeReducers++
+	r.start()
+}
+
+// maybeFinish unregisters the AM once every reducer has completed.
+func (j *jobRun) maybeFinish() {
+	if j.finished {
+		return
+	}
+	if j.completedMaps < j.numMaps() {
+		return
+	}
+	done := 0
+	for _, r := range j.reducers {
+		if r.mergeDone {
+			done++
+		}
+	}
+	if len(j.reducers) < j.job.NumReduces || done < j.job.NumReduces {
+		return
+	}
+	j.finished = true
+	j.record.End = j.sim.eng.Now()
+	j.record.Response = j.record.End - j.record.Submit
+	j.sim.rm.Unregister(j.app)
+}
+
+// reducerRun is one reduce task: a shuffle-sort subtask (per-map fetches over
+// the network + partial sort) followed by a merge subtask (final sort +
+// reduce function + write).
+type reducerRun struct {
+	job        *jobRun
+	id         int
+	node       int
+	cont       *yarn.Container
+	started    bool
+	shuffleRec TaskRecord
+	fetched    map[int]bool
+	inFlight   int
+	shuffleEnd bool
+	mergeDone  bool
+}
+
+func (r *reducerRun) start() {
+	s := r.job.sim
+	r.started = true
+	r.fetched = map[int]bool{}
+	r.shuffleRec = TaskRecord{
+		JobID: r.job.job.ID, Class: ClassShuffleSort, TaskID: r.id, Node: r.node,
+		Start: s.eng.Now(),
+	}
+	ss := r.job.job.ShuffleSortDemands(s.cfg.Spec.NetworkMBps, s.cfg.Spec.DiskMBps)
+	r.shuffleRec.CPU = ss.CPU
+	r.shuffleRec.Disk = ss.Disk
+	r.shuffleRec.Network = ss.Network
+	// Fetch everything already finished; future completions arrive via
+	// mapCompleted.
+	for node, splits := range r.job.mapDoneOnNode {
+		for _, split := range splits {
+			r.fetch(split, node)
+		}
+	}
+	r.maybeFinishShuffle()
+}
+
+// mapCompleted notifies the reducer that a map's output became available.
+func (r *reducerRun) mapCompleted(split, node int) {
+	if !r.started || r.mergeDone {
+		return
+	}
+	r.fetch(split, node)
+}
+
+// fetch copies one map's partition: network transfer (skipped for co-located
+// map output), then local disk write plus shuffle/sort CPU.
+func (r *reducerRun) fetch(split, node int) {
+	if r.fetched[split] {
+		return
+	}
+	r.fetched[split] = true
+	r.inFlight++
+	s := r.job.sim
+	job := r.job.job
+	partMB := job.SplitMB(split) * job.Profile.MapOutputRatio / float64(job.NumReduces)
+	f := s.jitter(job.Profile.TaskJitterCV)
+	netWork := partMB / s.cfg.Spec.NetworkMBps * f
+	diskWork := partMB / s.cfg.Spec.DiskMBps * f
+	cpuWork := partMB * (job.Profile.ShuffleCPUPerMB + job.Profile.SortCPUPerMB) * f
+
+	afterNet := func() {
+		s.disk[r.node].Submit(diskWork, func() {
+			s.cpu[r.node].Submit(cpuWork, func() {
+				r.inFlight--
+				r.maybeFinishShuffle()
+			})
+		})
+	}
+	if node == r.node {
+		afterNet() // map output is local; no network hop
+		return
+	}
+	s.net.Submit(netWork, afterNet)
+}
+
+// maybeFinishShuffle closes the shuffle-sort subtask once all map partitions
+// have been copied and sorted, then starts merge.
+func (r *reducerRun) maybeFinishShuffle() {
+	if r.shuffleEnd || r.inFlight > 0 {
+		return
+	}
+	if len(r.fetched) < r.job.numMaps() {
+		return
+	}
+	r.shuffleEnd = true
+	s := r.job.sim
+	r.shuffleRec.End = s.eng.Now()
+	r.job.record.Tasks = append(r.job.record.Tasks, r.shuffleRec)
+	r.runMerge()
+}
+
+func (r *reducerRun) runMerge() {
+	s := r.job.sim
+	job := r.job.job
+	d := job.MergeDemands(s.cfg.Spec.DiskMBps)
+	f := s.jitter(job.Profile.TaskJitterCV)
+	cpuWork := d.CPU * f
+	diskWork := d.Disk * f
+	rec := TaskRecord{
+		JobID: job.ID, Class: ClassMerge, TaskID: r.id, Node: r.node,
+		Start: s.eng.Now(), CPU: d.CPU, Disk: d.Disk,
+	}
+	s.cpu[r.node].Submit(cpuWork, func() {
+		s.disk[r.node].Submit(diskWork, func() {
+			rec.End = s.eng.Now()
+			r.job.record.Tasks = append(r.job.record.Tasks, rec)
+			r.mergeDone = true
+			s.rm.Release(r.cont)
+			r.job.maybeFinish()
+		})
+	})
+}
+
+// startJob is the sim-level entry point for one job.
+func (s *sim) startJob(j *jobRun) { j.startJob() }
+
+// RunMedianOfSeeds runs the simulation reps times with consecutive seeds and
+// returns the run whose mean response time is the median — mirroring the
+// paper's "repeat 5 times, take the median" methodology (§5.1).
+func RunMedianOfSeeds(cfg Config, reps int) (Result, error) {
+	if reps <= 0 {
+		return Result{}, errors.New("mrsim: reps must be positive")
+	}
+	type outcome struct {
+		res  Result
+		mean float64
+	}
+	outs := make([]outcome, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		res, err := Run(c)
+		if err != nil {
+			return Result{}, err
+		}
+		outs = append(outs, outcome{res: res, mean: res.MeanResponse()})
+	}
+	sort.Slice(outs, func(a, b int) bool { return outs[a].mean < outs[b].mean })
+	return outs[len(outs)/2].res, nil
+}

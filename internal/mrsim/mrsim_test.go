@@ -1,0 +1,316 @@
+package mrsim
+
+import (
+	"math"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+func smallJob(t *testing.T, inputMB float64, reduces int) workload.Job {
+	t.Helper()
+	j, err := workload.NewJob(0, inputMB, 128, reduces, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func run(t *testing.T, cfg Config) Result {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunValidation(t *testing.T) {
+	spec := cluster.Default(2)
+	if _, err := Run(Config{Spec: spec}); err == nil {
+		t.Error("no jobs accepted")
+	}
+	if _, err := Run(Config{Spec: cluster.Spec{}, Jobs: []workload.Job{smallJob(t, 256, 1)}}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := Run(Config{Spec: spec, Jobs: []workload.Job{{}}}); err == nil {
+		t.Error("invalid job accepted")
+	}
+	if _, err := Run(Config{
+		Spec: spec, Jobs: []workload.Job{smallJob(t, 256, 1)},
+		SubmitTimes: []float64{0, 1},
+	}); err == nil {
+		t.Error("mismatched SubmitTimes accepted")
+	}
+}
+
+func TestSingleJobCompletes(t *testing.T) {
+	res := run(t, Config{
+		Spec: cluster.Default(2),
+		Jobs: []workload.Job{smallJob(t, 512, 2)},
+		Seed: 1,
+	})
+	if len(res.Jobs) != 1 {
+		t.Fatalf("%d job results", len(res.Jobs))
+	}
+	j := res.Jobs[0]
+	if j.Response <= 0 || j.End <= j.Start {
+		t.Errorf("inconsistent times: %+v", j)
+	}
+	if res.Makespan != j.End {
+		t.Errorf("makespan = %v, want %v", res.Makespan, j.End)
+	}
+	// 4 maps + 2 shuffle-sorts + 2 merges.
+	if len(j.Tasks) != 8 {
+		t.Errorf("%d task records, want 8", len(j.Tasks))
+	}
+}
+
+func TestTaskRecordAccounting(t *testing.T) {
+	job := smallJob(t, 1024, 4) // 8 maps, 4 reduces
+	res := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{job}, Seed: 2})
+	counts := map[TaskClass]int{}
+	for _, task := range res.Jobs[0].Tasks {
+		counts[task.Class]++
+		if task.End < task.Start || task.Start < 0 {
+			t.Errorf("task %v has bad times", task)
+		}
+		if task.Node < 0 || task.Node >= 4 {
+			t.Errorf("task on invalid node %d", task.Node)
+		}
+	}
+	if counts[ClassMap] != 8 {
+		t.Errorf("map records = %d, want 8", counts[ClassMap])
+	}
+	if counts[ClassShuffleSort] != 4 || counts[ClassMerge] != 4 {
+		t.Errorf("reduce records = %d/%d, want 4/4", counts[ClassShuffleSort], counts[ClassMerge])
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	cfg := Config{Spec: cluster.Default(2), Jobs: []workload.Job{smallJob(t, 512, 2)}, Seed: 42}
+	a := run(t, cfg)
+	b := run(t, cfg)
+	if a.MeanResponse() != b.MeanResponse() {
+		t.Errorf("same seed, different results: %v vs %v", a.MeanResponse(), b.MeanResponse())
+	}
+	cfg.Seed = 43
+	c := run(t, cfg)
+	if a.MeanResponse() == c.MeanResponse() {
+		t.Error("different seeds produced identical results (jitter inactive?)")
+	}
+}
+
+func TestShuffleOverlapsMapPhase(t *testing.T) {
+	// Slow start + spare capacity: the first shuffle fetch should begin
+	// before the last map finishes (the pipeline the paper models).
+	job := smallJob(t, 5*1024, 4)
+	res := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{job}, Seed: 1})
+	var lastMapEnd, firstSSStart float64
+	firstSSStart = math.Inf(1)
+	for _, task := range res.Jobs[0].Tasks {
+		switch task.Class {
+		case ClassMap:
+			if task.End > lastMapEnd {
+				lastMapEnd = task.End
+			}
+		case ClassShuffleSort:
+			if task.Start < firstSSStart {
+				firstSSStart = task.Start
+			}
+		}
+	}
+	if firstSSStart >= lastMapEnd {
+		t.Errorf("no pipeline: shuffle starts %v after last map %v", firstSSStart, lastMapEnd)
+	}
+}
+
+func TestMergeAfterShuffle(t *testing.T) {
+	job := smallJob(t, 1024, 4)
+	res := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{job}, Seed: 1})
+	ssEnd := map[int]float64{}
+	for _, task := range res.Jobs[0].Tasks {
+		if task.Class == ClassShuffleSort {
+			ssEnd[task.TaskID] = task.End
+		}
+	}
+	for _, task := range res.Jobs[0].Tasks {
+		if task.Class == ClassMerge {
+			if task.Start < ssEnd[task.TaskID]-1e-9 {
+				t.Errorf("merge %d starts %v before its shuffle ends %v",
+					task.TaskID, task.Start, ssEnd[task.TaskID])
+			}
+		}
+	}
+}
+
+func TestMapsMostlyDataLocal(t *testing.T) {
+	job := smallJob(t, 1024, 4)
+	res := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{job}, Seed: 1})
+	local := 0
+	total := 0
+	for _, task := range res.Jobs[0].Tasks {
+		if task.Class == ClassMap {
+			total++
+			if task.Local {
+				local++
+			}
+		}
+	}
+	if local*2 < total {
+		t.Errorf("only %d/%d maps data-local", local, total)
+	}
+}
+
+func TestMultiJobFIFOFavorsFirstJob(t *testing.T) {
+	// 5 GB = 40 maps > 32 cluster map slots, so the cluster saturates and
+	// FIFO ordering across applications becomes visible.
+	j := smallJob(t, 5*1024, 4)
+	single := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{j}, Seed: 1})
+	jobs := []workload.Job{j, j, j}
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	res := run(t, Config{Spec: cluster.Default(4), Jobs: jobs, Seed: 1, Scheduler: yarn.PolicyFIFO})
+	if len(res.Jobs) != 3 {
+		t.Fatalf("%d jobs", len(res.Jobs))
+	}
+	// Under FIFO the first-registered job takes the cluster first: its
+	// response stays close to the single-job response, while the last job
+	// waits behind the queue.
+	if res.Jobs[0].Response > single.MeanResponse()*1.5 {
+		t.Errorf("first FIFO job response %v far above single-job %v",
+			res.Jobs[0].Response, single.MeanResponse())
+	}
+	if res.Jobs[2].Response <= res.Jobs[0].Response {
+		t.Errorf("last FIFO job (%v) not slower than first (%v)",
+			res.Jobs[2].Response, res.Jobs[0].Response)
+	}
+}
+
+func TestMultiJobFairSharesSlowdown(t *testing.T) {
+	j := smallJob(t, 1024, 4)
+	single := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{j}, Seed: 1})
+	jobs := []workload.Job{j, j, j, j}
+	for i := range jobs {
+		jobs[i].ID = i
+	}
+	multi := run(t, Config{Spec: cluster.Default(4), Jobs: jobs, Seed: 1, Scheduler: yarn.PolicyFair})
+	if multi.MeanResponse() <= single.MeanResponse() {
+		t.Errorf("4 concurrent jobs (%v) not slower than 1 (%v)",
+			multi.MeanResponse(), single.MeanResponse())
+	}
+	// Under fair sharing, the spread of completions stays well below the
+	// full serialization spread.
+	var minEnd, maxEnd float64 = math.Inf(1), 0
+	for _, jr := range multi.Jobs {
+		if jr.End < minEnd {
+			minEnd = jr.End
+		}
+		if jr.End > maxEnd {
+			maxEnd = jr.End
+		}
+	}
+	if maxEnd-minEnd > single.MeanResponse()*2 {
+		t.Errorf("fair sharing spread = %v, looks serialized", maxEnd-minEnd)
+	}
+}
+
+func TestStaggeredSubmission(t *testing.T) {
+	j := smallJob(t, 512, 2)
+	jobs := []workload.Job{j, j}
+	jobs[1].ID = 1
+	res := run(t, Config{
+		Spec: cluster.Default(2), Jobs: jobs, Seed: 1,
+		SubmitTimes: []float64{0, 100},
+	})
+	if res.Jobs[1].Submit != 100 {
+		t.Errorf("submit time = %v", res.Jobs[1].Submit)
+	}
+	if res.Jobs[1].Start < 100 {
+		t.Errorf("job 1 started at %v before submission", res.Jobs[1].Start)
+	}
+}
+
+func TestMoreNodesNotSlower(t *testing.T) {
+	j := smallJob(t, 5*1024, 4)
+	slow := run(t, Config{Spec: cluster.Default(2), Jobs: []workload.Job{j}, Seed: 1})
+	fast := run(t, Config{Spec: cluster.Default(8), Jobs: []workload.Job{j}, Seed: 1})
+	if fast.MeanResponse() >= slow.MeanResponse() {
+		t.Errorf("8 nodes (%v) not faster than 2 (%v)", fast.MeanResponse(), slow.MeanResponse())
+	}
+}
+
+func TestRunMedianOfSeeds(t *testing.T) {
+	cfg := Config{Spec: cluster.Default(2), Jobs: []workload.Job{smallJob(t, 512, 2)}, Seed: 1}
+	med, err := RunMedianOfSeeds(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The median run's mean response must be one of the five seeds' values,
+	// and lie between the min and max.
+	var values []float64
+	for i := 0; i < 5; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		r := run(t, c)
+		values = append(values, r.MeanResponse())
+	}
+	lo, hi := values[0], values[0]
+	found := false
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		if v == med.MeanResponse() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("median %v not among seed results %v", med.MeanResponse(), values)
+	}
+	if med.MeanResponse() < lo || med.MeanResponse() > hi {
+		t.Errorf("median %v outside [%v,%v]", med.MeanResponse(), lo, hi)
+	}
+	if _, err := RunMedianOfSeeds(cfg, 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestBiggerInputSlower(t *testing.T) {
+	small := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{smallJob(t, 1024, 4)}, Seed: 1})
+	big := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{smallJob(t, 5*1024, 4)}, Seed: 1})
+	if big.MeanResponse() <= small.MeanResponse() {
+		t.Errorf("5GB (%v) not slower than 1GB (%v)", big.MeanResponse(), small.MeanResponse())
+	}
+}
+
+func TestNoSlowStartDelaysShuffle(t *testing.T) {
+	j := smallJob(t, 5*1024, 4)
+	j.SlowStart = false
+	res := run(t, Config{Spec: cluster.Default(4), Jobs: []workload.Job{j}, Seed: 1})
+	var lastMapEnd, firstSS float64
+	firstSS = math.Inf(1)
+	for _, task := range res.Jobs[0].Tasks {
+		switch task.Class {
+		case ClassMap:
+			if task.End > lastMapEnd {
+				lastMapEnd = task.End
+			}
+		case ClassShuffleSort:
+			if task.Start < firstSS {
+				firstSS = task.Start
+			}
+		}
+	}
+	// Reduce containers are requested only after all maps completed, so the
+	// shuffle window cannot open much before the map phase ends.
+	if firstSS < lastMapEnd*0.5 {
+		t.Errorf("shuffle started at %v despite disabled slow start (last map %v)", firstSS, lastMapEnd)
+	}
+}

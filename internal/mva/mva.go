@@ -1,0 +1,323 @@
+// Package mva provides Mean Value Analysis solvers for closed queueing
+// networks:
+//
+//   - Exact single-class MVA (Reiser & Lavenberg [7]) — the classical
+//     recursion, used as a verified substrate and in tests;
+//   - Schweitzer–Bard approximate multiclass MVA — the O(C²N²K)-style
+//     fixed-point iteration the paper's complexity analysis refers to;
+//   - the overlap-weighted residence-time step (Mak & Lundstrom [5], Liang &
+//     Tripathi [4]) used by the paper's model: the queueing delay of a task
+//     at a center is proportional to the overlap between tasks
+//     (α for tasks of the same job, β across jobs).
+package mva
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Center is a service center of a closed network.
+type Center struct {
+	Name string
+	// Demand is the per-visit service demand of one customer (seconds).
+	Demand float64
+	// Delay marks a pure delay (infinite-server) center with no queueing.
+	Delay bool
+}
+
+// ExactResult holds the output of the exact single-class solver.
+type ExactResult struct {
+	// ResponseTime is the end-to-end response time with N customers.
+	ResponseTime float64
+	// Throughput is the system throughput X(N).
+	Throughput float64
+	// QueueLen[k] is the mean number of customers at center k.
+	QueueLen []float64
+	// Residence[k] is the response time at center k.
+	Residence []float64
+}
+
+// ExactSingleClass runs the exact MVA recursion for n customers over the
+// centers. It returns an error for invalid inputs.
+func ExactSingleClass(centers []Center, n int) (ExactResult, error) {
+	if n <= 0 {
+		return ExactResult{}, errors.New("mva: customer count must be positive")
+	}
+	if len(centers) == 0 {
+		return ExactResult{}, errors.New("mva: need at least one center")
+	}
+	for _, c := range centers {
+		if c.Demand < 0 {
+			return ExactResult{}, fmt.Errorf("mva: center %q has negative demand", c.Name)
+		}
+	}
+	k := len(centers)
+	q := make([]float64, k)
+	res := ExactResult{}
+	for pop := 1; pop <= n; pop++ {
+		resid := make([]float64, k)
+		var total float64
+		for i, c := range centers {
+			if c.Delay {
+				resid[i] = c.Demand
+			} else {
+				resid[i] = c.Demand * (1 + q[i])
+			}
+			total += resid[i]
+		}
+		x := float64(pop) / total
+		for i := range centers {
+			q[i] = x * resid[i]
+		}
+		res = ExactResult{ResponseTime: total, Throughput: x, QueueLen: q, Residence: resid}
+	}
+	// Copy queue lengths so callers can't alias internal state.
+	qc := make([]float64, k)
+	copy(qc, res.QueueLen)
+	res.QueueLen = qc
+	return res, nil
+}
+
+// ClassSpec describes one customer class of the approximate multiclass
+// solver.
+type ClassSpec struct {
+	Name string
+	// Population is the number of class customers.
+	Population int
+	// Demands[k] is the class's service demand at center k.
+	Demands []float64
+}
+
+// ApproxResult holds the Schweitzer–Bard output.
+type ApproxResult struct {
+	// ResponseTime[c] is the per-class response time.
+	ResponseTime []float64
+	// Throughput[c] is the per-class throughput.
+	Throughput []float64
+	// QueueLen[c][k] is the mean class-c population at center k.
+	QueueLen [][]float64
+	// Iterations is the number of fixed-point sweeps used.
+	Iterations int
+}
+
+// SchweitzerBard runs the approximate multiclass MVA fixed point: the
+// arrival-instant queue length of class c at center k is approximated by
+// sum_j q_jk - q_ck/N_c. Iterates until queue lengths move less than tol.
+func SchweitzerBard(classes []ClassSpec, centers int, tol float64, maxIter int) (ApproxResult, error) {
+	if len(classes) == 0 {
+		return ApproxResult{}, errors.New("mva: need at least one class")
+	}
+	if centers <= 0 {
+		return ApproxResult{}, errors.New("mva: need at least one center")
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if maxIter <= 0 {
+		maxIter = 10_000
+	}
+	for _, c := range classes {
+		if c.Population <= 0 {
+			return ApproxResult{}, fmt.Errorf("mva: class %q has non-positive population", c.Name)
+		}
+		if len(c.Demands) != centers {
+			return ApproxResult{}, fmt.Errorf("mva: class %q has %d demands, want %d", c.Name, len(c.Demands), centers)
+		}
+	}
+	nc := len(classes)
+	q := make([][]float64, nc)
+	for c := range q {
+		q[c] = make([]float64, centers)
+		// Spread the class population evenly as the starting point.
+		for k := 0; k < centers; k++ {
+			q[c][k] = float64(classes[c].Population) / float64(centers)
+		}
+	}
+	resp := make([]float64, nc)
+	thr := make([]float64, nc)
+	var it int
+	for it = 0; it < maxIter; it++ {
+		maxDelta := 0.0
+		newQ := make([][]float64, nc)
+		for c := range classes {
+			newQ[c] = make([]float64, centers)
+			var total float64
+			resid := make([]float64, centers)
+			for k := 0; k < centers; k++ {
+				// Arrival theorem approximation.
+				arr := 0.0
+				for j := range classes {
+					arr += q[j][k]
+				}
+				arr -= q[c][k] / float64(classes[c].Population)
+				resid[k] = classes[c].Demands[k] * (1 + arr)
+				total += resid[k]
+			}
+			x := float64(classes[c].Population) / total
+			resp[c] = total
+			thr[c] = x
+			for k := 0; k < centers; k++ {
+				newQ[c][k] = x * resid[k]
+				if d := math.Abs(newQ[c][k] - q[c][k]); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		q = newQ
+		if maxDelta < tol {
+			break
+		}
+	}
+	return ApproxResult{ResponseTime: resp, Throughput: thr, QueueLen: q, Iterations: it + 1}, nil
+}
+
+// TaskDemand describes one task (a leaf of the precedence tree) to the
+// overlap-weighted solver: its service demand at each center.
+type TaskDemand struct {
+	Demands []float64
+}
+
+// OverlapInput drives one overlap-weighted residence-time step.
+type OverlapInput struct {
+	Tasks []TaskDemand
+	// Alpha[k][i][j] is the intra-job overlap factor between tasks i and j as
+	// seen by center k (per-node centers zero out pairs on different nodes).
+	Alpha [][][]float64
+	// Beta[k][i][j] is the inter-job overlap contribution of task j of *one*
+	// other (statistically identical) job on task i at center k.
+	Beta [][][]float64
+	// Servers[k] is the service multiplicity of center k (cores per node,
+	// disks per node, network fabric width). Zero or negative defaults to 1.
+	Servers []float64
+	// OtherJobs is N-1: how many identical competing jobs to account for.
+	OtherJobs int
+	// Tol and MaxIter bound the inner fixed point.
+	Tol     float64
+	MaxIter int
+}
+
+// OverlapResult holds per-task response and residence times.
+type OverlapResult struct {
+	// Residence[i][k] is task i's residence time at center k.
+	Residence [][]float64
+	// Response[i] = sum_k Residence[i][k].
+	Response []float64
+	// Iterations is the number of sweeps used.
+	Iterations int
+}
+
+// OverlapStep solves the overlap-weighted residence-time fixed point
+// (Mak–Lundstrom arrival queue lengths over processor-sharing multi-server
+// centers):
+//
+//	arr_ik = sum_{j≠i} α^k_ij ρ_jk + (N-1) sum_j β^k_ij ρ_jk
+//	R_ik   = D_ik * max(1, (1 + arr_ik) / c_k)
+//
+// with ρ_jk = R_jk / R_j the probability that an active task j resides at
+// center k, and c_k the center's service multiplicity. For c_k = 1 this is
+// the classical single-server inflation D_ik*(1+arr); for c_k > 1 it is the
+// fluid processor-sharing law: no slowdown until the expected concurrency
+// exceeds the server count. Iterates until response times are stable.
+func OverlapStep(in OverlapInput) (OverlapResult, error) {
+	n := len(in.Tasks)
+	if n == 0 {
+		return OverlapResult{}, errors.New("mva: no tasks")
+	}
+	if len(in.Tasks[0].Demands) == 0 {
+		return OverlapResult{}, errors.New("mva: tasks need at least one center demand")
+	}
+	k := len(in.Tasks[0].Demands)
+	for i, t := range in.Tasks {
+		if len(t.Demands) != k {
+			return OverlapResult{}, fmt.Errorf("mva: task %d has %d demands, want %d", i, len(t.Demands), k)
+		}
+		for _, d := range t.Demands {
+			if d < 0 {
+				return OverlapResult{}, fmt.Errorf("mva: task %d has negative demand", i)
+			}
+		}
+	}
+	if len(in.Alpha) != k || len(in.Beta) != k {
+		return OverlapResult{}, errors.New("mva: overlap matrices must have one layer per center")
+	}
+	for c := 0; c < k; c++ {
+		if len(in.Alpha[c]) != n || len(in.Beta[c]) != n {
+			return OverlapResult{}, errors.New("mva: overlap matrix size mismatch")
+		}
+	}
+	if in.Servers != nil && len(in.Servers) != k {
+		return OverlapResult{}, errors.New("mva: Servers must have one entry per center")
+	}
+	servers := make([]float64, k)
+	for c := 0; c < k; c++ {
+		servers[c] = 1
+		if in.Servers != nil && in.Servers[c] > 0 {
+			servers[c] = in.Servers[c]
+		}
+	}
+	tol := in.Tol
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	maxIter := in.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500
+	}
+
+	// Initialize residence = demand.
+	res := make([][]float64, n)
+	resp := make([]float64, n)
+	for i := range res {
+		res[i] = append([]float64(nil), in.Tasks[i].Demands...)
+		for _, d := range res[i] {
+			resp[i] += d
+		}
+		if resp[i] <= 0 {
+			return OverlapResult{}, fmt.Errorf("mva: task %d has zero total demand", i)
+		}
+	}
+
+	var it int
+	for it = 0; it < maxIter; it++ {
+		maxDelta := 0.0
+		newRes := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			newRes[i] = make([]float64, k)
+			for c := 0; c < k; c++ {
+				d := in.Tasks[i].Demands[c]
+				if d == 0 {
+					continue
+				}
+				arr := 0.0
+				for j := 0; j < n; j++ {
+					rho := res[j][c] / resp[j]
+					if j != i {
+						arr += in.Alpha[c][i][j] * rho
+					}
+					arr += float64(in.OtherJobs) * in.Beta[c][i][j] * rho
+				}
+				slowdown := (1 + arr) / servers[c]
+				if slowdown < 1 {
+					slowdown = 1
+				}
+				newRes[i][c] = d * slowdown
+			}
+		}
+		for i := 0; i < n; i++ {
+			var tot float64
+			for c := 0; c < k; c++ {
+				tot += newRes[i][c]
+			}
+			if delta := math.Abs(tot - resp[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			resp[i] = tot
+			res[i] = newRes[i]
+		}
+		if maxDelta < tol {
+			break
+		}
+	}
+	return OverlapResult{Residence: res, Response: resp, Iterations: it + 1}, nil
+}

@@ -1,0 +1,319 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExactSingleCustomer(t *testing.T) {
+	// One customer never queues: response = sum of demands.
+	centers := []Center{{Name: "cpu", Demand: 2}, {Name: "disk", Demand: 3}}
+	res, err := ExactSingleClass(centers, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.ResponseTime, 5, 1e-12) {
+		t.Errorf("R(1) = %v, want 5", res.ResponseTime)
+	}
+	if !almostEq(res.Throughput, 0.2, 1e-12) {
+		t.Errorf("X(1) = %v, want 0.2", res.Throughput)
+	}
+}
+
+func TestExactTwoCustomersBalanced(t *testing.T) {
+	// Classic textbook case: two balanced queues, N=2.
+	// N=1: R=2, X=0.5, q=[0.5,0.5].
+	// N=2: R_k = 1*(1+0.5) = 1.5 each, R=3, X=2/3, q=[1,1].
+	centers := []Center{{Name: "a", Demand: 1}, {Name: "b", Demand: 1}}
+	res, err := ExactSingleClass(centers, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.ResponseTime, 3, 1e-12) {
+		t.Errorf("R(2) = %v, want 3", res.ResponseTime)
+	}
+	if !almostEq(res.Throughput, 2.0/3, 1e-12) {
+		t.Errorf("X(2) = %v, want 2/3", res.Throughput)
+	}
+	for k, q := range res.QueueLen {
+		if !almostEq(q, 1, 1e-12) {
+			t.Errorf("q[%d] = %v, want 1", k, q)
+		}
+	}
+}
+
+func TestExactDelayCenterNeverQueues(t *testing.T) {
+	centers := []Center{
+		{Name: "think", Demand: 10, Delay: true},
+		{Name: "cpu", Demand: 1},
+	}
+	res, err := ExactSingleClass(centers, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residence at the delay center stays exactly its demand.
+	if !almostEq(res.Residence[0], 10, 1e-12) {
+		t.Errorf("delay residence = %v", res.Residence[0])
+	}
+	if res.Residence[1] <= 1 {
+		t.Errorf("queueing center should inflate: %v", res.Residence[1])
+	}
+}
+
+func TestExactThroughputSaturation(t *testing.T) {
+	// Throughput is bounded by 1/maxDemand; response grows ~linearly at
+	// saturation (asymptotic bound analysis).
+	centers := []Center{{Name: "bottleneck", Demand: 2}, {Name: "other", Demand: 1}}
+	prevR := 0.0
+	for n := 1; n <= 50; n++ {
+		res, err := ExactSingleClass(centers, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Throughput > 0.5+1e-9 {
+			t.Fatalf("X(%d) = %v exceeds bottleneck bound 0.5", n, res.Throughput)
+		}
+		if res.ResponseTime < prevR-1e-9 {
+			t.Fatalf("R not monotone at N=%d", n)
+		}
+		prevR = res.ResponseTime
+	}
+	res, _ := ExactSingleClass(centers, 50)
+	if !almostEq(res.Throughput, 0.5, 0.01) {
+		t.Errorf("X(50) = %v, want ~0.5", res.Throughput)
+	}
+}
+
+func TestExactValidation(t *testing.T) {
+	if _, err := ExactSingleClass(nil, 1); err == nil {
+		t.Error("no centers accepted")
+	}
+	if _, err := ExactSingleClass([]Center{{Demand: 1}}, 0); err == nil {
+		t.Error("zero customers accepted")
+	}
+	if _, err := ExactSingleClass([]Center{{Demand: -1}}, 1); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestSchweitzerBardMatchesExactSingleClass(t *testing.T) {
+	// For one class, Schweitzer-Bard should be close to exact MVA.
+	centers := []Center{{Demand: 1}, {Demand: 2}, {Demand: 0.5}}
+	for _, n := range []int{1, 2, 5, 10} {
+		exact, err := ExactSingleClass(centers, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := SchweitzerBard([]ClassSpec{{
+			Name: "c", Population: n, Demands: []float64{1, 2, 0.5},
+		}}, 3, 1e-10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(approx.ResponseTime[0]-exact.ResponseTime) / exact.ResponseTime
+		if rel > 0.12 {
+			t.Errorf("N=%d: approx %v vs exact %v (%.1f%% off)",
+				n, approx.ResponseTime[0], exact.ResponseTime, 100*rel)
+		}
+	}
+}
+
+func TestSchweitzerBardMulticlass(t *testing.T) {
+	classes := []ClassSpec{
+		{Name: "a", Population: 2, Demands: []float64{1, 0.5}},
+		{Name: "b", Population: 3, Demands: []float64{0.5, 1}},
+	}
+	res, err := SchweitzerBard(classes, 2, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range classes {
+		min := classes[c].Demands[0] + classes[c].Demands[1]
+		if res.ResponseTime[c] <= min {
+			t.Errorf("class %d response %v not above demand %v", c, res.ResponseTime[c], min)
+		}
+	}
+	// Populations are conserved: sum_k q_ck == N_c (Little's law fixpoint).
+	for c, spec := range classes {
+		var tot float64
+		for k := 0; k < 2; k++ {
+			tot += res.QueueLen[c][k]
+		}
+		if !almostEq(tot, float64(spec.Population), 0.01) {
+			t.Errorf("class %d population = %v, want %d", c, tot, spec.Population)
+		}
+	}
+}
+
+func TestSchweitzerBardValidation(t *testing.T) {
+	if _, err := SchweitzerBard(nil, 1, 0, 0); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := SchweitzerBard([]ClassSpec{{Population: 0, Demands: []float64{1}}}, 1, 0, 0); err == nil {
+		t.Error("zero population accepted")
+	}
+	if _, err := SchweitzerBard([]ClassSpec{{Population: 1, Demands: []float64{1, 2}}}, 1, 0, 0); err == nil {
+		t.Error("demand/center mismatch accepted")
+	}
+	if _, err := SchweitzerBard([]ClassSpec{{Population: 1, Demands: []float64{1}}}, 0, 0, 0); err == nil {
+		t.Error("zero centers accepted")
+	}
+}
+
+func overlapInput(n int, d float64, alphaVal float64, servers []float64) OverlapInput {
+	tasks := make([]TaskDemand, n)
+	for i := range tasks {
+		tasks[i] = TaskDemand{Demands: []float64{d}}
+	}
+	alpha := [][][]float64{make([][]float64, n)}
+	beta := [][][]float64{make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		alpha[0][i] = make([]float64, n)
+		beta[0][i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i != j {
+				alpha[0][i][j] = alphaVal
+			}
+		}
+	}
+	return OverlapInput{Tasks: tasks, Alpha: alpha, Beta: beta, Servers: servers}
+}
+
+func TestOverlapStepNoOverlapNoInflation(t *testing.T) {
+	res, err := OverlapStep(overlapInput(4, 10, 0, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Response {
+		if !almostEq(r, 10, 1e-9) {
+			t.Errorf("task %d response = %v, want 10", i, r)
+		}
+	}
+}
+
+func TestOverlapStepFullOverlapSingleServer(t *testing.T) {
+	// n tasks fully overlapping on one server: each sees n-1 competitors all
+	// resident at the only center (rho=1): slowdown = n.
+	n := 4
+	res, err := OverlapStep(overlapInput(n, 10, 1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Response {
+		if !almostEq(r, 40, 1e-6) {
+			t.Errorf("task %d response = %v, want 40", i, r)
+		}
+	}
+}
+
+func TestOverlapStepMultiServerAbsorbs(t *testing.T) {
+	// 4 fully-overlapping tasks on a 4-server center: no slowdown.
+	res, err := OverlapStep(overlapInput(4, 10, 1, []float64{4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Response {
+		if !almostEq(r, 10, 1e-9) {
+			t.Errorf("task %d response = %v, want 10", i, r)
+		}
+	}
+	// ...but 8 tasks on 4 servers slow down 2x.
+	res8, err := OverlapStep(overlapInput(8, 10, 1, []float64{4}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res8.Response[0], 20, 1e-6) {
+		t.Errorf("8 tasks on 4 servers: %v, want 20", res8.Response[0])
+	}
+}
+
+func TestOverlapStepInterJob(t *testing.T) {
+	// One task per job, OtherJobs identical twins fully aligned: slowdown =
+	// 1 + OtherJobs.
+	in := overlapInput(1, 10, 0, nil)
+	in.Beta[0][0][0] = 1
+	in.OtherJobs = 3
+	res, err := OverlapStep(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(res.Response[0], 40, 1e-6) {
+		t.Errorf("response = %v, want 40", res.Response[0])
+	}
+}
+
+func TestOverlapStepValidation(t *testing.T) {
+	if _, err := OverlapStep(OverlapInput{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	in := overlapInput(2, 10, 0.5, nil)
+	in.Alpha = in.Alpha[:0]
+	if _, err := OverlapStep(in); err == nil {
+		t.Error("missing alpha layer accepted")
+	}
+	in2 := overlapInput(2, 10, 0.5, []float64{1, 2})
+	if _, err := OverlapStep(in2); err == nil {
+		t.Error("servers length mismatch accepted")
+	}
+	in3 := overlapInput(2, 0, 0.5, nil)
+	if _, err := OverlapStep(in3); err == nil {
+		t.Error("zero-demand task accepted")
+	}
+	in4 := overlapInput(2, 10, 0.5, nil)
+	in4.Tasks[0].Demands = []float64{-1}
+	if _, err := OverlapStep(in4); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+// Property: response is always >= demand, monotone in the overlap level, and
+// monotone in the number of competing jobs.
+func TestOverlapStepMonotonicityProperty(t *testing.T) {
+	f := func(nQ uint8, aQ, dQ uint8, jobsQ uint8) bool {
+		n := int(nQ)%6 + 2
+		alphaLo := float64(aQ%50) / 100
+		alphaHi := alphaLo + 0.3
+		d := float64(dQ%20) + 1
+		jobs := int(jobsQ) % 4
+
+		lo, err := OverlapStep(overlapInput(n, d, alphaLo, nil))
+		if err != nil {
+			return false
+		}
+		hi, err := OverlapStep(overlapInput(n, d, alphaHi, nil))
+		if err != nil {
+			return false
+		}
+		for i := range lo.Response {
+			if lo.Response[i] < d-1e-9 {
+				return false
+			}
+			if hi.Response[i] < lo.Response[i]-1e-9 {
+				return false
+			}
+		}
+		inJobs := overlapInput(n, d, alphaLo, nil)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				inJobs.Beta[0][i][j] = 0.5
+			}
+		}
+		inJobs.OtherJobs = jobs
+		withJobs, err := OverlapStep(inJobs)
+		if err != nil {
+			return false
+		}
+		for i := range withJobs.Response {
+			if withJobs.Response[i] < lo.Response[i]-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,223 @@
+// Package ptree builds the precedence tree of the paper (§4.2.2): a binary
+// tree whose leaves are the placed tasks of a timeline and whose internal
+// nodes are the serial (S) and parallel-and (P) operators.
+//
+// Tasks that overlap in time belong to the same parallel group (P); groups
+// that are disjoint in time execute serially (S). Parallel groups are formed
+// as connected components of the interval-overlap graph, which the paper's
+// phase rule induces, and every P-subtree is balanced to bound the tree depth
+// (the paper balances P-subtrees to reduce estimation error).
+package ptree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hadoop2perf/internal/timeline"
+)
+
+// Op is a tree-node operator.
+type Op int
+
+// Operators: Leaf carries a task; S composes children serially; P in
+// parallel.
+const (
+	Leaf Op = iota
+	S
+	P
+)
+
+func (o Op) String() string {
+	switch o {
+	case Leaf:
+		return "leaf"
+	case S:
+		return "S"
+	default:
+		return "P"
+	}
+}
+
+// Node is a precedence-tree node. Internal nodes are binary (the paper's
+// trees are binary); Leaf nodes reference a placed task.
+type Node struct {
+	Op          Op
+	Left, Right *Node
+	Task        *timeline.Placed // leaves only
+}
+
+// NumLeaves counts leaf nodes.
+func (n *Node) NumLeaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.Op == Leaf {
+		return 1
+	}
+	return n.Left.NumLeaves() + n.Right.NumLeaves()
+}
+
+// Depth returns the number of edges on the longest root-leaf path.
+func (n *Node) Depth() int {
+	if n == nil || n.Op == Leaf {
+		return 0
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// MaxPDepth returns the deepest chain of nested P operators, the quantity
+// the paper links to estimation error.
+func (n *Node) MaxPDepth() int {
+	if n == nil || n.Op == Leaf {
+		return 0
+	}
+	l, r := n.Left.MaxPDepth(), n.Right.MaxPDepth()
+	d := l
+	if r > d {
+		d = r
+	}
+	if n.Op == P {
+		d++
+	}
+	return d
+}
+
+// Walk visits nodes pre-order.
+func (n *Node) Walk(fn func(*Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	n.Left.Walk(fn)
+	n.Right.Walk(fn)
+}
+
+// Validate checks structural invariants: leaves have tasks and no children;
+// internal nodes have exactly two children and no task.
+func (n *Node) Validate() error {
+	if n == nil {
+		return errors.New("ptree: nil node")
+	}
+	if n.Op == Leaf {
+		if n.Task == nil {
+			return errors.New("ptree: leaf without task")
+		}
+		if n.Left != nil || n.Right != nil {
+			return errors.New("ptree: leaf with children")
+		}
+		return nil
+	}
+	if n.Task != nil {
+		return fmt.Errorf("ptree: %s node with task", n.Op)
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("ptree: %s node missing a child", n.Op)
+	}
+	if err := n.Left.Validate(); err != nil {
+		return err
+	}
+	return n.Right.Validate()
+}
+
+// String renders the tree as a nested expression, e.g. S(P(m0,m1),r0).
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	if n == nil {
+		b.WriteString("?")
+		return
+	}
+	if n.Op == Leaf {
+		fmt.Fprintf(b, "%s%d", shortClass(n.Task.Class), n.Task.ID)
+		return
+	}
+	b.WriteString(n.Op.String())
+	b.WriteByte('(')
+	n.Left.render(b)
+	b.WriteByte(',')
+	n.Right.render(b)
+	b.WriteByte(')')
+}
+
+func shortClass(c timeline.Class) string {
+	switch c {
+	case timeline.ClassMap:
+		return "m"
+	case timeline.ClassShuffleSort:
+		return "s"
+	default:
+		return "g"
+	}
+}
+
+// Build constructs the precedence tree from a timeline. Parallel groups are
+// the connected components of the strict-overlap interval graph, taken in
+// time order; each group becomes a balanced binary P-subtree and groups are
+// chained with S operators.
+func Build(tl *timeline.Timeline) (*Node, error) {
+	if tl == nil || len(tl.Tasks) == 0 {
+		return nil, errors.New("ptree: empty timeline")
+	}
+	tasks := make([]timeline.Placed, len(tl.Tasks))
+	copy(tasks, tl.Tasks)
+	sort.Slice(tasks, func(i, j int) bool {
+		if tasks[i].Start != tasks[j].Start {
+			return tasks[i].Start < tasks[j].Start
+		}
+		return tasks[i].End < tasks[j].End
+	})
+
+	const eps = 1e-9
+	var groups [][]timeline.Placed
+	var cur []timeline.Placed
+	curMaxEnd := 0.0
+	for _, t := range tasks {
+		if len(cur) > 0 && t.Start >= curMaxEnd-eps {
+			groups = append(groups, cur)
+			cur = nil
+		}
+		cur = append(cur, t)
+		if t.End > curMaxEnd {
+			curMaxEnd = t.End
+		}
+	}
+	if len(cur) > 0 {
+		groups = append(groups, cur)
+	}
+
+	var root *Node
+	for _, g := range groups {
+		sub := balancedP(g)
+		if root == nil {
+			root = sub
+		} else {
+			root = &Node{Op: S, Left: root, Right: sub}
+		}
+	}
+	return root, nil
+}
+
+// balancedP builds a balanced binary P-subtree over a group of tasks (the
+// paper's balancing procedure).
+func balancedP(group []timeline.Placed) *Node {
+	if len(group) == 1 {
+		t := group[0]
+		return &Node{Op: Leaf, Task: &t}
+	}
+	mid := len(group) / 2
+	return &Node{
+		Op:    P,
+		Left:  balancedP(group[:mid]),
+		Right: balancedP(group[mid:]),
+	}
+}

@@ -1,0 +1,248 @@
+package ptree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hadoop2perf/internal/timeline"
+)
+
+func buildTL(t *testing.T, in timeline.Input) *timeline.Timeline {
+	t.Helper()
+	tl, err := timeline.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tl
+}
+
+func runningExample(t *testing.T) *timeline.Timeline {
+	in := timeline.Input{
+		NumNodes: 3, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, SlowStart: true,
+		Reduces: []timeline.ReduceTask{{ID: 0, ShuffleSortBase: 6, MergeDuration: 5}},
+	}
+	for i := 0; i < 4; i++ {
+		in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: 10, ShuffleDuration: 2})
+	}
+	return buildTL(t, in)
+}
+
+func TestBuildRunningExample(t *testing.T) {
+	tree, err := Build(runningExample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Paper Figure 7 structure: first wave of maps parallel, then the fourth
+	// map parallel with the shuffle, then the merge — three serial groups.
+	want := "S(S(P(m0,P(m1,m2)),P(m3,s0)),g0)"
+	if got := tree.String(); got != want {
+		t.Errorf("tree = %s, want %s", got, want)
+	}
+	if tree.NumLeaves() != 6 {
+		t.Errorf("leaves = %d, want 6", tree.NumLeaves())
+	}
+}
+
+func TestBuildEmptyTimeline(t *testing.T) {
+	if _, err := Build(&timeline.Timeline{}); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	if _, err := Build(nil); err == nil {
+		t.Error("nil timeline accepted")
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	in := timeline.Input{
+		NumNodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, SlowStart: true,
+		Maps: []timeline.MapTask{{ID: 0, Duration: 10}},
+	}
+	tree, err := Build(buildTL(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Op != Leaf || tree.Task == nil {
+		t.Errorf("single-task tree = %s", tree)
+	}
+	if tree.Depth() != 0 || tree.NumLeaves() != 1 || tree.MaxPDepth() != 0 {
+		t.Error("single-leaf metrics wrong")
+	}
+}
+
+func TestSequentialTasksUseS(t *testing.T) {
+	// One slot: two maps serialize -> S(m0,m1).
+	in := timeline.Input{
+		NumNodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, SlowStart: true,
+		Maps: []timeline.MapTask{{ID: 0, Duration: 10}, {ID: 1, Duration: 10}},
+	}
+	tree, err := Build(buildTL(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.String(); got != "S(m0,m1)" {
+		t.Errorf("tree = %s", got)
+	}
+	if tree.MaxPDepth() != 0 {
+		t.Errorf("pure-S tree has P depth %d", tree.MaxPDepth())
+	}
+}
+
+func TestParallelTasksUseP(t *testing.T) {
+	in := timeline.Input{
+		NumNodes: 4, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, SlowStart: true,
+		Maps: []timeline.MapTask{
+			{ID: 0, Duration: 10}, {ID: 1, Duration: 10},
+			{ID: 2, Duration: 10}, {ID: 3, Duration: 10},
+		},
+	}
+	tree, err := Build(buildTL(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Balanced binary P over 4 leaves: depth 2.
+	if tree.Depth() != 2 {
+		t.Errorf("depth = %d, want 2 (balanced)", tree.Depth())
+	}
+	nP := 0
+	tree.Walk(func(n *Node) {
+		if n.Op == P {
+			nP++
+		}
+		if n.Op == S {
+			t.Error("unexpected S in fully parallel tree")
+		}
+	})
+	if nP != 3 {
+		t.Errorf("%d P nodes, want 3", nP)
+	}
+}
+
+func TestBalancedDepthBound(t *testing.T) {
+	// 16 parallel tasks: balanced depth must be exactly 4.
+	in := timeline.Input{
+		NumNodes: 16, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, SlowStart: true,
+	}
+	for i := 0; i < 16; i++ {
+		in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: 10})
+	}
+	tree, err := Build(buildTL(t, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", tree.Depth())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	task := timeline.Placed{Class: timeline.ClassMap, ID: 0, Start: 0, End: 1}
+	good := &Node{Op: Leaf, Task: &task}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Node{
+		{Op: Leaf},          // leaf without task
+		{Op: S, Left: good}, // missing right child
+		{Op: P, Left: good, Right: good, Task: &task}, // internal with task
+		{Op: Leaf, Task: &task, Left: good},           // leaf with child
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad tree %d validated", i)
+		}
+	}
+	var nilNode *Node
+	if err := nilNode.Validate(); err == nil {
+		t.Error("nil tree validated")
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Leaf.String() != "leaf" || S.String() != "S" || P.String() != "P" {
+		t.Error("op strings wrong")
+	}
+}
+
+// Property: for any generated timeline, the tree has one leaf per placed
+// task, validates, and its depth is bounded by groups + log2 of the largest
+// group.
+func TestTreeInvariantsProperty(t *testing.T) {
+	f := func(nMapsQ, nRedQ, nodesQ uint8, slow bool) bool {
+		nMaps := int(nMapsQ)%20 + 1
+		nRed := int(nRedQ) % 4
+		nodes := int(nodesQ)%5 + 1
+		in := timeline.Input{
+			NumNodes: nodes, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, SlowStart: slow,
+		}
+		for i := 0; i < nMaps; i++ {
+			in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: 4 + float64(i%5), ShuffleDuration: 1})
+		}
+		for i := 0; i < nRed; i++ {
+			in.Reduces = append(in.Reduces, timeline.ReduceTask{ID: i, ShuffleSortBase: 2, MergeDuration: 3})
+		}
+		tl, err := timeline.Build(in)
+		if err != nil {
+			return false
+		}
+		tree, err := Build(tl)
+		if err != nil {
+			return false
+		}
+		if tree.Validate() != nil {
+			return false
+		}
+		if tree.NumLeaves() != len(tl.Tasks) {
+			return false
+		}
+		// Depth bound: S-chain length + ceil(log2(largest P group)).
+		n := len(tl.Tasks)
+		bound := n + int(math.Ceil(math.Log2(float64(n+1)))) + 1
+		return tree.Depth() <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every leaf's task appears exactly once.
+func TestLeafUniquenessProperty(t *testing.T) {
+	f := func(nMapsQ uint8) bool {
+		nMaps := int(nMapsQ)%16 + 1
+		in := timeline.Input{
+			NumNodes: 2, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, SlowStart: true,
+		}
+		for i := 0; i < nMaps; i++ {
+			in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: 3 + float64(i%2)})
+		}
+		tl, err := timeline.Build(in)
+		if err != nil {
+			return false
+		}
+		tree, err := Build(tl)
+		if err != nil {
+			return false
+		}
+		seen := map[int]int{}
+		tree.Walk(func(n *Node) {
+			if n.Op == Leaf {
+				seen[n.Task.ID]++
+			}
+		})
+		if len(seen) != nMaps {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

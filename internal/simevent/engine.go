@@ -1,0 +1,102 @@
+// Package simevent is a small discrete-event simulation engine with
+// contention-aware resources. It provides the substrate on which the YARN
+// cluster simulator (internal/mrsim) executes: an event calendar plus
+// processor-sharing and FCFS resources that convert "seconds of work" into
+// elapsed time under concurrency.
+package simevent
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64 // FIFO tie-break for simultaneous events
+	fn   func()
+	dead bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator clock and calendar.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now   float64
+	queue eventQueue
+	seq   uint64
+}
+
+// NewEngine returns an engine with the clock at 0.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.queue)
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct{ ev *event }
+
+// Cancel prevents the event from firing; safe to call after it fired.
+func (t Timer) Cancel() {
+	if t.ev != nil {
+		t.ev.dead = true
+	}
+}
+
+// At schedules fn at absolute time t (>= Now). Scheduling in the past panics:
+// that is always a simulator bug.
+func (e *Engine) At(t float64, fn func()) Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("simevent: scheduling at %v before now %v", t, e.now))
+	}
+	ev := &event{time: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Timer{ev: ev}
+}
+
+// After schedules fn after delay d (>= 0).
+func (e *Engine) After(d float64, fn func()) Timer { return e.At(e.now+d, fn) }
+
+// Run processes events until the calendar is empty or maxEvents events have
+// fired. It returns the number of events processed and an error if the event
+// budget was exhausted (guarding against runaway simulations).
+func (e *Engine) Run(maxEvents int) (int, error) {
+	n := 0
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.time
+		n++
+		if n > maxEvents {
+			return n, fmt.Errorf("simevent: exceeded event budget of %d", maxEvents)
+		}
+		ev.fn()
+	}
+	return n, nil
+}

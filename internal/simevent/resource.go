@@ -1,0 +1,188 @@
+package simevent
+
+import "fmt"
+
+// PSResource is a processor-sharing resource with a fixed capacity measured
+// in "work units per second" (e.g. a node CPU with capacity c executes up to
+// c seconds of task work per second, evenly shared when more than c tasks are
+// active; a single disk has capacity 1).
+//
+// It models the shared service centers of the paper's queueing network: the
+// response time of a task's work inflates when concurrent tasks contend.
+type PSResource struct {
+	eng      *Engine
+	name     string
+	capacity float64
+	active   map[int]*psTask
+	nextID   int
+	lastUpd  float64
+	pending  Timer
+	// busyIntegral accumulates utilization*time for reporting.
+	busyIntegral float64
+}
+
+type psTask struct {
+	remaining float64
+	done      func()
+}
+
+// NewPSResource creates a processor-sharing resource with the given capacity
+// (> 0) attached to the engine.
+func NewPSResource(eng *Engine, name string, capacity float64) *PSResource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("simevent: PS resource %q needs positive capacity", name))
+	}
+	return &PSResource{eng: eng, name: name, capacity: capacity, active: map[int]*psTask{}}
+}
+
+// Submit enqueues work seconds of demand; done fires when the work
+// completes under sharing. Zero or negative work completes immediately at the
+// current time (via an immediate event, preserving event ordering).
+func (r *PSResource) Submit(work float64, done func()) {
+	if work <= 0 {
+		r.eng.After(0, done)
+		return
+	}
+	r.advance()
+	id := r.nextID
+	r.nextID++
+	r.active[id] = &psTask{remaining: work, done: done}
+	r.reschedule()
+}
+
+// InService returns the number of tasks currently sharing the resource.
+func (r *PSResource) InService() int { return len(r.active) }
+
+// BusyTime returns the accumulated utilization integral (work-seconds
+// completed); BusyTime/elapsed gives average utilization in work units.
+func (r *PSResource) BusyTime() float64 {
+	r.advance()
+	r.reschedule()
+	return r.busyIntegral
+}
+
+// rate returns the per-task service rate under processor sharing.
+func (r *PSResource) rate() float64 {
+	n := len(r.active)
+	if n == 0 {
+		return 0
+	}
+	rate := r.capacity / float64(n)
+	if rate > 1 {
+		rate = 1 // a single task cannot run faster than real time
+	}
+	return rate
+}
+
+// advance applies elapsed service since lastUpd to all active tasks.
+func (r *PSResource) advance() {
+	now := r.eng.Now()
+	dt := now - r.lastUpd
+	r.lastUpd = now
+	if dt <= 0 || len(r.active) == 0 {
+		return
+	}
+	rt := r.rate()
+	served := rt * dt
+	r.busyIntegral += served * float64(len(r.active))
+	for _, t := range r.active {
+		t.remaining -= served
+		if t.remaining < 0 {
+			t.remaining = 0
+		}
+	}
+}
+
+// reschedule cancels the pending completion event and schedules the next one.
+func (r *PSResource) reschedule() {
+	r.pending.Cancel()
+	if len(r.active) == 0 {
+		return
+	}
+	rt := r.rate()
+	minRem := -1.0
+	for _, t := range r.active {
+		if minRem < 0 || t.remaining < minRem {
+			minRem = t.remaining
+		}
+	}
+	eta := minRem / rt
+	r.pending = r.eng.After(eta, r.complete)
+}
+
+// complete fires the callbacks of every task that has (numerically) finished.
+func (r *PSResource) complete() {
+	r.advance()
+	const eps = 1e-9
+	var fired []func()
+	for id, t := range r.active {
+		if t.remaining <= eps {
+			fired = append(fired, t.done)
+			delete(r.active, id)
+		}
+	}
+	r.reschedule()
+	for _, fn := range fired {
+		fn()
+	}
+}
+
+// FCFSResource is a single-server first-come-first-served queue (e.g. a
+// network link serialized at a fixed bandwidth).
+type FCFSResource struct {
+	eng   *Engine
+	name  string
+	queue []fcfsItem
+	busy  bool
+	// busyIntegral accumulates service time for utilization reporting.
+	busyIntegral float64
+}
+
+type fcfsItem struct {
+	work float64
+	done func()
+}
+
+// NewFCFSResource creates an empty FCFS queue attached to the engine.
+func NewFCFSResource(eng *Engine, name string) *FCFSResource {
+	return &FCFSResource{eng: eng, name: name}
+}
+
+// Submit enqueues work seconds of service; done fires when service completes.
+func (r *FCFSResource) Submit(work float64, done func()) {
+	if work <= 0 {
+		r.eng.After(0, done)
+		return
+	}
+	r.queue = append(r.queue, fcfsItem{work: work, done: done})
+	if !r.busy {
+		r.serveNext()
+	}
+}
+
+// QueueLen returns the number of waiting plus in-service items.
+func (r *FCFSResource) QueueLen() int {
+	n := len(r.queue)
+	if r.busy {
+		n++
+	}
+	return n
+}
+
+// BusyTime returns total service time delivered so far.
+func (r *FCFSResource) BusyTime() float64 { return r.busyIntegral }
+
+func (r *FCFSResource) serveNext() {
+	if len(r.queue) == 0 {
+		r.busy = false
+		return
+	}
+	item := r.queue[0]
+	r.queue = r.queue[1:]
+	r.busy = true
+	r.busyIntegral += item.work
+	r.eng.After(item.work, func() {
+		item.done()
+		r.serveNext()
+	})
+}

@@ -1,0 +1,322 @@
+// Package timeline implements the paper's timeline-construction procedure
+// (Algorithm 1, §4.2.2): given per-task durations and the container capacity
+// of the cluster, it places map tasks and the two reduce subtasks
+// (shuffle-sort, merge) onto node/slot lanes, honoring
+//
+//   - map-before-reduce container priority,
+//   - lowest-occupancy node selection,
+//   - slow start (the shuffle of a reduce task may begin at the end of the
+//     first map task) vs. late start (after the last map),
+//   - remote-shuffle inflation: a reduce task's shuffle grows by sd/|R| for
+//     every map on a different node, and
+//   - the physical constraint that a shuffle cannot end before the last map
+//     output exists.
+//
+// The resulting Timeline is the input for precedence-tree construction and
+// for the overlap factors of the MVA step.
+package timeline
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Class is a model task class (C = 3 in the paper, §4.1).
+type Class int
+
+// The three task classes.
+const (
+	ClassMap Class = iota
+	ClassShuffleSort
+	ClassMerge
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassMap:
+		return "map"
+	case ClassShuffleSort:
+		return "shuffle-sort"
+	default:
+		return "merge"
+	}
+}
+
+// MapTask is a map task to place.
+type MapTask struct {
+	ID int
+	// Duration is the task's current response-time estimate.
+	Duration float64
+	// ShuffleDuration (sd in Algorithm 1) is the time to move this map's
+	// output to the reducers; it inflates remote reducers' shuffles.
+	ShuffleDuration float64
+}
+
+// ReduceTask is a reduce task to place; the timeline splits it into a
+// shuffle-sort and a merge subtask.
+type ReduceTask struct {
+	ID int
+	// ShuffleSortBase is the node-local part of the shuffle-sort subtask
+	// (CPU + disk + already-local copies); remote map shares are added by
+	// Algorithm 1.
+	ShuffleSortBase float64
+	// MergeDuration is the final-sort + reduce + write subtask.
+	MergeDuration float64
+}
+
+// Input configures one timeline construction.
+type Input struct {
+	NumNodes           int
+	MapSlotsPerNode    int // pMaxMapsPerNode
+	ReduceSlotsPerNode int // pMaxReducePerNode
+	Maps               []MapTask
+	Reduces            []ReduceTask
+	// SlowStart selects the border rule: true = shuffles may start at the end
+	// of the first map; false = after the last map.
+	SlowStart bool
+}
+
+// Validate reports configuration errors.
+func (in Input) Validate() error {
+	switch {
+	case in.NumNodes <= 0:
+		return errors.New("timeline: NumNodes must be positive")
+	case in.MapSlotsPerNode <= 0:
+		return errors.New("timeline: MapSlotsPerNode must be positive")
+	case in.ReduceSlotsPerNode <= 0:
+		return errors.New("timeline: ReduceSlotsPerNode must be positive")
+	case len(in.Maps) == 0:
+		return errors.New("timeline: need at least one map task")
+	}
+	for _, m := range in.Maps {
+		if m.Duration <= 0 {
+			return fmt.Errorf("timeline: map %d has non-positive duration", m.ID)
+		}
+		if m.ShuffleDuration < 0 {
+			return fmt.Errorf("timeline: map %d has negative shuffle duration", m.ID)
+		}
+	}
+	for _, r := range in.Reduces {
+		if r.ShuffleSortBase < 0 || r.MergeDuration < 0 {
+			return fmt.Errorf("timeline: reduce %d has negative durations", r.ID)
+		}
+		if r.ShuffleSortBase+r.MergeDuration <= 0 {
+			return fmt.Errorf("timeline: reduce %d has zero total duration", r.ID)
+		}
+	}
+	return nil
+}
+
+// Placed is one task laid onto the timeline.
+type Placed struct {
+	Class Class
+	ID    int
+	Node  int
+	Slot  int // lane within the node's map or reduce container pool
+	Start float64
+	End   float64
+}
+
+// Duration returns End-Start.
+func (p Placed) Duration() float64 { return p.End - p.Start }
+
+// Overlap returns the length of the intersection of two placed tasks'
+// execution intervals.
+func Overlap(a, b Placed) float64 {
+	lo := math.Max(a.Start, b.Start)
+	hi := math.Min(a.End, b.End)
+	if hi <= lo {
+		return 0
+	}
+	return hi - lo
+}
+
+// Timeline is the constructed placement.
+type Timeline struct {
+	Tasks    []Placed
+	Makespan float64
+	// Border is the reduce-schedulability border chosen by the slow-start rule.
+	Border float64
+	// LastMapEnd is the completion time of the final map task.
+	LastMapEnd float64
+}
+
+// ByClass returns the placed tasks of one class, in placement order.
+func (tl *Timeline) ByClass(c Class) []Placed {
+	var out []Placed
+	for _, t := range tl.Tasks {
+		if t.Class == c {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// slot is one container lane on a node.
+type slot struct {
+	node, lane int
+	free       float64
+}
+
+// slotPool tracks lanes plus per-node occupancy for the paper's
+// lowest-occupancy-rate placement rule.
+type slotPool struct {
+	slots    []*slot
+	assigned []int // per node
+}
+
+// Build runs Algorithm 1 and splits each reduce into its shuffle-sort and
+// merge subtasks.
+func Build(in Input) (*Timeline, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	tl := &Timeline{}
+
+	// Map container lanes (priority 20: placed first).
+	mapSlots := makeSlots(in.NumNodes, in.MapSlotsPerNode)
+	nodeOfMap := make(map[int]int, len(in.Maps))
+	firstMapEnd := math.Inf(1)
+	for _, m := range in.Maps {
+		s := mapSlots.earliest()
+		start := s.free
+		end := start + m.Duration
+		s.free = end
+		nodeOfMap[m.ID] = s.node
+		tl.Tasks = append(tl.Tasks, Placed{
+			Class: ClassMap, ID: m.ID, Node: s.node, Slot: s.lane, Start: start, End: end,
+		})
+		if end < firstMapEnd {
+			firstMapEnd = end
+		}
+		if end > tl.LastMapEnd {
+			tl.LastMapEnd = end
+		}
+	}
+
+	// Border (lines 7-11): slow start = end of the first map; otherwise the
+	// end of the last map.
+	if in.SlowStart {
+		tl.Border = firstMapEnd
+	} else {
+		tl.Border = tl.LastMapEnd
+	}
+
+	// Reduce container lanes (priority 10: placed after all maps).
+	redSlots := makeSlots(in.NumNodes, in.ReduceSlotsPerNode)
+	nR := len(in.Reduces)
+	for _, r := range in.Reduces {
+		s := redSlots.earliest()
+		start := math.Max(s.free, tl.Border)
+		// Remote-shuffle inflation (lines 14-18): every map on a different
+		// node contributes sd/|R|.
+		ssDur := r.ShuffleSortBase
+		for _, m := range in.Maps {
+			if nodeOfMap[m.ID] != s.node {
+				ssDur += m.ShuffleDuration / float64(nR)
+			}
+		}
+		ssEnd := start + ssDur
+		// A shuffle cannot complete before the last map output exists.
+		if ssEnd < tl.LastMapEnd {
+			ssEnd = tl.LastMapEnd
+		}
+		mergeEnd := ssEnd + r.MergeDuration
+		s.free = mergeEnd
+		tl.Tasks = append(tl.Tasks, Placed{
+			Class: ClassShuffleSort, ID: r.ID, Node: s.node, Slot: s.lane, Start: start, End: ssEnd,
+		})
+		tl.Tasks = append(tl.Tasks, Placed{
+			Class: ClassMerge, ID: r.ID, Node: s.node, Slot: s.lane, Start: ssEnd, End: mergeEnd,
+		})
+	}
+
+	for _, t := range tl.Tasks {
+		if t.End > tl.Makespan {
+			tl.Makespan = t.End
+		}
+	}
+	sort.Slice(tl.Tasks, func(i, j int) bool {
+		a, b := tl.Tasks[i], tl.Tasks[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.ID < b.ID
+	})
+	return tl, nil
+}
+
+func makeSlots(nodes, perNode int) *slotPool {
+	p := &slotPool{assigned: make([]int, nodes)}
+	for lane := 0; lane < perNode; lane++ {
+		for n := 0; n < nodes; n++ {
+			p.slots = append(p.slots, &slot{node: n, lane: lane})
+		}
+	}
+	return p
+}
+
+// earliest picks the slot that frees first; ties go to the node with the
+// lowest occupancy (the paper's "assign containers to the nodes with the
+// lowest occupancy rate"), then the lower node ID.
+func (p *slotPool) earliest() *slot {
+	const eps = 1e-12
+	best := p.slots[0]
+	for _, s := range p.slots[1:] {
+		switch {
+		case s.free < best.free-eps:
+			best = s
+		case math.Abs(s.free-best.free) <= eps:
+			if p.assigned[s.node] < p.assigned[best.node] ||
+				(p.assigned[s.node] == p.assigned[best.node] && s.node < best.node) {
+				best = s
+			}
+		}
+	}
+	p.assigned[best.node]++
+	return best
+}
+
+// Phase is a maximal interval during which the set of running tasks is
+// constant (§4.2.2: "each start or end of a task indicates the start of a new
+// phase").
+type Phase struct {
+	Start, End float64
+	// Active holds indices into Timeline.Tasks.
+	Active []int
+}
+
+// Phases splits the timeline at every task start/end.
+func (tl *Timeline) Phases() []Phase {
+	type edge struct{ t float64 }
+	var cuts []float64
+	for _, t := range tl.Tasks {
+		cuts = append(cuts, t.Start, t.End)
+	}
+	sort.Float64s(cuts)
+	uniq := cuts[:0]
+	for _, c := range cuts {
+		if len(uniq) == 0 || c > uniq[len(uniq)-1]+1e-12 {
+			uniq = append(uniq, c)
+		}
+	}
+	var phases []Phase
+	for i := 0; i+1 < len(uniq); i++ {
+		p := Phase{Start: uniq[i], End: uniq[i+1]}
+		mid := (p.Start + p.End) / 2
+		for idx, t := range tl.Tasks {
+			if t.Start <= mid && mid < t.End {
+				p.Active = append(p.Active, idx)
+			}
+		}
+		if len(p.Active) > 0 {
+			phases = append(phases, p)
+		}
+	}
+	return phases
+}

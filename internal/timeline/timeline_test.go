@@ -1,0 +1,313 @@
+package timeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// runningExample is the paper's n=3, m=4, r=1 scenario.
+func runningExample(slowStart bool) Input {
+	in := Input{
+		NumNodes:           3,
+		MapSlotsPerNode:    1,
+		ReduceSlotsPerNode: 1,
+		SlowStart:          slowStart,
+	}
+	for i := 0; i < 4; i++ {
+		in.Maps = append(in.Maps, MapTask{ID: i, Duration: 10, ShuffleDuration: 3})
+	}
+	in.Reduces = append(in.Reduces, ReduceTask{ID: 0, ShuffleSortBase: 4, MergeDuration: 5})
+	return in
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := runningExample(true)
+	tests := []struct {
+		name   string
+		mutate func(*Input)
+	}{
+		{"zero nodes", func(in *Input) { in.NumNodes = 0 }},
+		{"zero map slots", func(in *Input) { in.MapSlotsPerNode = 0 }},
+		{"zero reduce slots", func(in *Input) { in.ReduceSlotsPerNode = 0 }},
+		{"no maps", func(in *Input) { in.Maps = nil }},
+		{"bad map duration", func(in *Input) { in.Maps[0].Duration = 0 }},
+		{"negative shuffle", func(in *Input) { in.Maps[0].ShuffleDuration = -1 }},
+		{"negative reduce", func(in *Input) { in.Reduces[0].MergeDuration = -1 }},
+		{"zero reduce total", func(in *Input) {
+			in.Reduces[0].ShuffleSortBase = 0
+			in.Reduces[0].MergeDuration = 0
+		}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := runningExample(true)
+			tt.mutate(&in)
+			if _, err := Build(in); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+	if _, err := Build(base); err != nil {
+		t.Fatalf("valid input rejected: %v", err)
+	}
+}
+
+func TestRunningExamplePlacement(t *testing.T) {
+	tl, err := Build(runningExample(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 maps + 1 shuffle-sort + 1 merge = 6 placed tasks.
+	if len(tl.Tasks) != 6 {
+		t.Fatalf("placed %d tasks, want 6", len(tl.Tasks))
+	}
+	maps := tl.ByClass(ClassMap)
+	if len(maps) != 4 {
+		t.Fatalf("%d maps", len(maps))
+	}
+	// First wave: m0,m1,m2 on the three nodes at t=0; m4 queued on node 0.
+	for i := 0; i < 3; i++ {
+		if maps[i].Start != 0 || maps[i].End != 10 {
+			t.Errorf("map %d = [%v,%v], want [0,10]", i, maps[i].Start, maps[i].End)
+		}
+	}
+	if maps[3].Start != 10 || maps[3].End != 20 {
+		t.Errorf("map 3 = [%v,%v], want [10,20]", maps[3].Start, maps[3].End)
+	}
+	// Slow start: border at the end of the first map.
+	if tl.Border != 10 {
+		t.Errorf("border = %v, want 10", tl.Border)
+	}
+	if tl.LastMapEnd != 20 {
+		t.Errorf("lastMapEnd = %v", tl.LastMapEnd)
+	}
+	// The reduce's shuffle starts at the border.
+	ss := tl.ByClass(ClassShuffleSort)[0]
+	if ss.Start != 10 {
+		t.Errorf("shuffle start = %v, want 10 (border)", ss.Start)
+	}
+	// Shuffle cannot end before the last map.
+	if ss.End < 20 {
+		t.Errorf("shuffle end = %v before last map end", ss.End)
+	}
+	mg := tl.ByClass(ClassMerge)[0]
+	if mg.Start != ss.End {
+		t.Errorf("merge start %v != shuffle end %v", mg.Start, ss.End)
+	}
+	if !almostEq(mg.End-mg.Start, 5, 1e-9) {
+		t.Errorf("merge duration = %v", mg.End-mg.Start)
+	}
+	if tl.Makespan != mg.End {
+		t.Errorf("makespan = %v, want %v", tl.Makespan, mg.End)
+	}
+}
+
+func TestNoSlowStartBorder(t *testing.T) {
+	tl, err := Build(runningExample(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tl.Border != tl.LastMapEnd {
+		t.Errorf("border = %v, want lastMapEnd %v", tl.Border, tl.LastMapEnd)
+	}
+	ss := tl.ByClass(ClassShuffleSort)[0]
+	if ss.Start != 20 {
+		t.Errorf("shuffle start = %v, want 20", ss.Start)
+	}
+}
+
+func TestRemoteShuffleInflation(t *testing.T) {
+	// The reduce lands on the least-occupied node; maps on other nodes add
+	// sd/|R| each to the shuffle duration (Algorithm 1 lines 14-18).
+	in := runningExample(false)
+	tl, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := tl.ByClass(ClassShuffleSort)[0]
+	// The reduce is on node 1 or 2 (node 0 has 2 maps). 3 maps are remote
+	// (the 4th shares the reducer's node): duration = 4 + 3*3/1 = 13.
+	remote := 0
+	for _, m := range tl.ByClass(ClassMap) {
+		if m.Node != ss.Node {
+			remote++
+		}
+	}
+	want := 4.0 + float64(remote)*3.0
+	if !almostEq(ss.Duration(), want, 1e-9) {
+		t.Errorf("shuffle duration = %v, want %v (%d remote maps)", ss.Duration(), want, remote)
+	}
+}
+
+func TestSlotSerialization(t *testing.T) {
+	// One node, one slot: everything serializes.
+	in := Input{
+		NumNodes: 1, MapSlotsPerNode: 1, ReduceSlotsPerNode: 1, SlowStart: true,
+		Maps:    []MapTask{{ID: 0, Duration: 5}, {ID: 1, Duration: 5}},
+		Reduces: []ReduceTask{{ID: 0, ShuffleSortBase: 2, MergeDuration: 3}},
+	}
+	tl, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := tl.ByClass(ClassMap)
+	if maps[0].End != 5 || maps[1].Start != 5 || maps[1].End != 10 {
+		t.Errorf("maps = %+v", maps)
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	a := Placed{Start: 0, End: 10}
+	tests := []struct {
+		name string
+		b    Placed
+		want float64
+	}{
+		{"contained", Placed{Start: 2, End: 8}, 6},
+		{"partial", Placed{Start: 5, End: 15}, 5},
+		{"touching", Placed{Start: 10, End: 20}, 0},
+		{"disjoint", Placed{Start: 11, End: 20}, 0},
+		{"identical", Placed{Start: 0, End: 10}, 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Overlap(a, tt.b); got != tt.want {
+				t.Errorf("Overlap = %v, want %v", got, tt.want)
+			}
+			if got := Overlap(tt.b, a); got != tt.want {
+				t.Errorf("Overlap not symmetric: %v", got)
+			}
+		})
+	}
+}
+
+func TestPhasesPartitionTimeline(t *testing.T) {
+	tl, err := Build(runningExample(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases := tl.Phases()
+	if len(phases) == 0 {
+		t.Fatal("no phases")
+	}
+	// Phases are contiguous and cover [0, makespan].
+	if phases[0].Start != 0 {
+		t.Errorf("first phase starts at %v", phases[0].Start)
+	}
+	for i := 1; i < len(phases); i++ {
+		if !almostEq(phases[i].Start, phases[i-1].End, 1e-9) {
+			t.Errorf("gap between phases %d and %d", i-1, i)
+		}
+	}
+	if !almostEq(phases[len(phases)-1].End, tl.Makespan, 1e-9) {
+		t.Errorf("last phase ends at %v, makespan %v", phases[len(phases)-1].End, tl.Makespan)
+	}
+	// Every active set is constant within a phase: each listed task spans it.
+	for _, p := range phases {
+		for _, idx := range p.Active {
+			task := tl.Tasks[idx]
+			if task.Start > p.Start+1e-9 || task.End < p.End-1e-9 {
+				t.Errorf("task %d does not span phase [%v,%v]", idx, p.Start, p.End)
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassMap.String() != "map" || ClassShuffleSort.String() != "shuffle-sort" || ClassMerge.String() != "merge" {
+		t.Error("class strings wrong")
+	}
+}
+
+// Property: no two tasks placed on the same (node, lane, class-pool) overlap,
+// and every map is placed exactly once.
+func TestNoLaneOverlapProperty(t *testing.T) {
+	f := func(nMapsQ, nRedQ, nodesQ, slotsQ uint8, slow bool) bool {
+		nMaps := int(nMapsQ)%24 + 1
+		nRed := int(nRedQ) % 6
+		nodes := int(nodesQ)%6 + 1
+		slots := int(slotsQ)%3 + 1
+		in := Input{
+			NumNodes: nodes, MapSlotsPerNode: slots, ReduceSlotsPerNode: slots,
+			SlowStart: slow,
+		}
+		for i := 0; i < nMaps; i++ {
+			in.Maps = append(in.Maps, MapTask{ID: i, Duration: 5 + float64(i%3), ShuffleDuration: 1})
+		}
+		for i := 0; i < nRed; i++ {
+			in.Reduces = append(in.Reduces, ReduceTask{ID: i, ShuffleSortBase: 3, MergeDuration: 2})
+		}
+		tl, err := Build(in)
+		if err != nil {
+			return false
+		}
+		if len(tl.ByClass(ClassMap)) != nMaps {
+			return false
+		}
+		if len(tl.ByClass(ClassShuffleSort)) != nRed || len(tl.ByClass(ClassMerge)) != nRed {
+			return false
+		}
+		// Map lanes must not overlap; reduce subtasks share the reduce lane.
+		type lane struct{ node, slot int }
+		mapLanes := map[lane][]Placed{}
+		redLanes := map[lane][]Placed{}
+		for _, task := range tl.Tasks {
+			l := lane{task.Node, task.Slot}
+			if task.Class == ClassMap {
+				mapLanes[l] = append(mapLanes[l], task)
+			} else {
+				redLanes[l] = append(redLanes[l], task)
+			}
+		}
+		for _, group := range []map[lane][]Placed{mapLanes, redLanes} {
+			for _, tasks := range group {
+				for i := 0; i < len(tasks); i++ {
+					for j := i + 1; j < len(tasks); j++ {
+						if Overlap(tasks[i], tasks[j]) > 1e-9 {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the makespan equals the max task end and all tasks start >= 0.
+func TestMakespanProperty(t *testing.T) {
+	f := func(nMapsQ, nodesQ uint8) bool {
+		nMaps := int(nMapsQ)%30 + 1
+		nodes := int(nodesQ)%8 + 1
+		in := Input{
+			NumNodes: nodes, MapSlotsPerNode: 2, ReduceSlotsPerNode: 1, SlowStart: true,
+			Reduces: []ReduceTask{{ID: 0, ShuffleSortBase: 2, MergeDuration: 4}},
+		}
+		for i := 0; i < nMaps; i++ {
+			in.Maps = append(in.Maps, MapTask{ID: i, Duration: 7, ShuffleDuration: 0.5})
+		}
+		tl, err := Build(in)
+		if err != nil {
+			return false
+		}
+		maxEnd := 0.0
+		for _, task := range tl.Tasks {
+			if task.Start < 0 || task.End < task.Start {
+				return false
+			}
+			if task.End > maxEnd {
+				maxEnd = task.End
+			}
+		}
+		return almostEq(tl.Makespan, maxEnd, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace defines the job-history trace format produced by the
+// simulator and consumed by the performance model. Traces play the role of
+// the "history of corresponding real Hadoop job executions" the paper uses to
+// initialize residence times (§4.2.1) — in a real deployment these would be
+// parsed from the MapReduce JobHistory server; here they are JSON documents
+// written by internal/mrsim.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/stats"
+)
+
+// FormatVersion guards against incompatible trace files.
+const FormatVersion = 1
+
+// Document is the on-disk trace layout.
+type Document struct {
+	Version int          `json:"version"`
+	Result  mrsim.Result `json:"result"`
+}
+
+// Write serializes a simulation result as an indented JSON trace.
+func Write(w io.Writer, res mrsim.Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Document{Version: FormatVersion, Result: res})
+}
+
+// Read parses a trace document and validates its version and basic sanity
+// (non-negative times, End >= Start for every task).
+func Read(r io.Reader) (mrsim.Result, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return mrsim.Result{}, fmt.Errorf("trace: decode: %w", err)
+	}
+	if doc.Version != FormatVersion {
+		return mrsim.Result{}, fmt.Errorf("trace: unsupported version %d (want %d)", doc.Version, FormatVersion)
+	}
+	for _, j := range doc.Result.Jobs {
+		if j.End < j.Start || j.Start < j.Submit {
+			return mrsim.Result{}, fmt.Errorf("trace: job %d has inconsistent times", j.JobID)
+		}
+		for _, t := range j.Tasks {
+			if t.End < t.Start || t.Start < 0 {
+				return mrsim.Result{}, fmt.Errorf("trace: job %d %s task %d has inconsistent times",
+					j.JobID, t.Class, t.TaskID)
+			}
+		}
+	}
+	return doc.Result, nil
+}
+
+// ClassProfile aggregates observed statistics for one task class.
+type ClassProfile struct {
+	Count int
+	// MeanResponse and CVResponse describe observed wall-clock durations.
+	MeanResponse float64
+	CVResponse   float64
+	// MeanCPU, MeanDisk and MeanNetwork are observed mean service demands at
+	// the model's centers (the residence-time initialization of §4.2.1).
+	MeanCPU     float64
+	MeanDisk    float64
+	MeanNetwork float64
+}
+
+// Profile is the per-class job profile extracted from a trace.
+type Profile struct {
+	Classes map[mrsim.TaskClass]ClassProfile
+}
+
+// Extract computes a Profile across all jobs of a trace.
+func Extract(res mrsim.Result) (Profile, error) {
+	if len(res.Jobs) == 0 {
+		return Profile{}, errors.New("trace: empty result")
+	}
+	durations := map[mrsim.TaskClass][]float64{}
+	cpud := map[mrsim.TaskClass][]float64{}
+	diskd := map[mrsim.TaskClass][]float64{}
+	netd := map[mrsim.TaskClass][]float64{}
+	for _, j := range res.Jobs {
+		for _, t := range j.Tasks {
+			durations[t.Class] = append(durations[t.Class], t.Duration())
+			cpud[t.Class] = append(cpud[t.Class], t.CPU)
+			diskd[t.Class] = append(diskd[t.Class], t.Disk)
+			netd[t.Class] = append(netd[t.Class], t.Network)
+		}
+	}
+	p := Profile{Classes: map[mrsim.TaskClass]ClassProfile{}}
+	for class, ds := range durations {
+		p.Classes[class] = ClassProfile{
+			Count:        len(ds),
+			MeanResponse: stats.Mean(ds),
+			CVResponse:   stats.CV(ds),
+			MeanCPU:      stats.Mean(cpud[class]),
+			MeanDisk:     stats.Mean(diskd[class]),
+			MeanNetwork:  stats.Mean(netd[class]),
+		}
+	}
+	return p, nil
+}

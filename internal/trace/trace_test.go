@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/workload"
+)
+
+func simResult(t *testing.T) mrsim.Result {
+	t.Helper()
+	job, err := workload.NewJob(0, 512, 128, 2, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mrsim.Run(mrsim.Config{Spec: cluster.Default(2), Jobs: []workload.Job{job}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRoundTrip(t *testing.T) {
+	res := simResult(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Jobs) != len(res.Jobs) {
+		t.Fatalf("job count mismatch")
+	}
+	if back.Jobs[0].Response != res.Jobs[0].Response {
+		t.Errorf("response mismatch: %v vs %v", back.Jobs[0].Response, res.Jobs[0].Response)
+	}
+	if len(back.Jobs[0].Tasks) != len(res.Jobs[0].Tasks) {
+		t.Errorf("task count mismatch")
+	}
+}
+
+func TestReadRejectsBadVersion(t *testing.T) {
+	if _, err := Read(strings.NewReader(`{"version": 99, "result": {}}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadRejectsInconsistentTimes(t *testing.T) {
+	doc := `{"version":1,"result":{"jobs":[{"job":0,"submit":0,"start":5,"end":3,"response":3,"tasks":[]}]}}`
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("end<start accepted")
+	}
+	doc2 := `{"version":1,"result":{"jobs":[{"job":0,"submit":0,"start":1,"end":9,"response":9,
+		"tasks":[{"job":0,"class":"map","task":0,"node":0,"start":5,"end":2}]}]}}`
+	if _, err := Read(strings.NewReader(doc2)); err == nil {
+		t.Error("task end<start accepted")
+	}
+}
+
+func TestExtractProfile(t *testing.T) {
+	res := simResult(t)
+	p, err := Extract(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cls := range []mrsim.TaskClass{mrsim.ClassMap, mrsim.ClassShuffleSort, mrsim.ClassMerge} {
+		cp, ok := p.Classes[cls]
+		if !ok {
+			t.Fatalf("missing class %s", cls)
+		}
+		if cp.Count <= 0 || cp.MeanResponse <= 0 {
+			t.Errorf("%s: %+v", cls, cp)
+		}
+		if cp.CVResponse < 0 || cp.CVResponse > 1 {
+			t.Errorf("%s: implausible CV %v", cls, cp.CVResponse)
+		}
+		if cp.MeanCPU <= 0 {
+			t.Errorf("%s: no CPU demand recorded", cls)
+		}
+	}
+	// Shuffle-sort is the only class with network demand.
+	if p.Classes[mrsim.ClassShuffleSort].MeanNetwork <= 0 {
+		t.Error("shuffle-sort should have network demand")
+	}
+	if p.Classes[mrsim.ClassMap].MeanNetwork != 0 {
+		t.Error("maps should have no network demand")
+	}
+}
+
+func TestExtractEmpty(t *testing.T) {
+	if _, err := Extract(mrsim.Result{}); err == nil {
+		t.Error("empty result accepted")
+	}
+}

@@ -1,0 +1,75 @@
+package yarn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/hdfs"
+)
+
+// RequestRow is one line of a ResourceRequest table (paper Table 1): a group
+// of identical container requests.
+type RequestRow struct {
+	NumContainers int
+	Priority      int
+	Size          cluster.Resource
+	// Locality is the host constraint: "n<i>" for a node, "*" for any.
+	Locality string
+	Type     TaskType
+}
+
+func (r RequestRow) String() string {
+	return fmt.Sprintf("%d\t%d\t%s\t%s\t%s",
+		r.NumContainers, r.Priority, r.Size, r.Locality, r.Type)
+}
+
+// BuildRequestTable reproduces the ResourceRequest object the MapReduce AM
+// would send for a job with the given placed input file and reducer count:
+// map containers grouped by the primary replica's node at priority 20,
+// reduce containers with the "*" wildcard at priority 10 (paper Table 1).
+func BuildRequestTable(file *hdfs.File, numReduces int, spec cluster.Spec) []RequestRow {
+	perNode := map[int]int{}
+	for _, b := range file.Blocks {
+		if len(b.Replicas) > 0 {
+			perNode[b.Replicas[0]]++
+		}
+	}
+	nodes := make([]int, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	rows := make([]RequestRow, 0, len(nodes)+1)
+	for _, n := range nodes {
+		rows = append(rows, RequestRow{
+			NumContainers: perNode[n],
+			Priority:      PriorityMap,
+			Size:          spec.MapContainer,
+			Locality:      fmt.Sprintf("n%d", n+1),
+			Type:          TypeMap,
+		})
+	}
+	if numReduces > 0 {
+		rows = append(rows, RequestRow{
+			NumContainers: numReduces,
+			Priority:      PriorityReduce,
+			Size:          spec.ReduceContainer,
+			Locality:      "*",
+			Type:          TypeReduce,
+		})
+	}
+	return rows
+}
+
+// FormatRequestTable renders rows with the paper's column headers.
+func FormatRequestTable(rows []RequestRow) string {
+	var b strings.Builder
+	b.WriteString("Number of containers\tPriority\tSize\tLocality constraints\tTask type\n")
+	for _, r := range rows {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
