@@ -7,6 +7,7 @@
 package hadoop2perf
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -239,6 +240,81 @@ func BenchmarkEstimators(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServicePredict measures the serving hot path: a cold predict
+// pays one full model run; a cached predict is a canonical-key hash plus an
+// LRU lookup. The gap between the two is the cache's value per repeated
+// operational query.
+func BenchmarkServicePredict(b *testing.B) {
+	job, err := workload.NewJob(0, 5*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := PredictRequest{Spec: DefaultCluster(4), Job: job}
+
+	b.Run("cold", func(b *testing.B) {
+		svc := NewService(ServiceOptions{Workers: 1, CacheSize: 4})
+		// Vary the input size by an imperceptible amount each iteration:
+		// essentially the same model work, but a distinct cache key.
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.Job.InputMB += float64(i) * 1e-6
+			if _, err := svc.Predict(context.Background(), r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		svc := NewService(ServiceOptions{Workers: 1, CacheSize: 4})
+		if _, err := svc.Predict(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := svc.Predict(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !resp.Cached {
+				b.Fatal("cache miss on the cached path")
+			}
+		}
+	})
+}
+
+// BenchmarkServicePlan measures a model-backed what-if sweep (8 cluster
+// sizes) through the parallel planner: cold pays 8 model runs, cached is 8
+// key hashes + LRU hits.
+func BenchmarkServicePlan(b *testing.B) {
+	job, err := workload.NewJob(0, 2*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := PlanRequest{
+		Spec: DefaultCluster(4), Job: job,
+		Nodes: []int{2, 4, 6, 8, 10, 12, 14, 16},
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			svc := NewService(ServiceOptions{}) // fresh cache each sweep
+			if _, err := svc.Plan(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		svc := NewService(ServiceOptions{})
+		if _, err := svc.Plan(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.Plan(context.Background(), req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

@@ -1,0 +1,83 @@
+// Command mrserved serves the hadoop2perf performance model over HTTP: a
+// long-lived prediction service with a bounded worker pool, an LRU +
+// singleflight cache, and a parallel what-if planner for capacity-planning
+// and deadline queries.
+//
+// Endpoints (all bodies JSON; see README.md for curl examples):
+//
+//	GET  /healthz     liveness probe
+//	GET  /v1/metrics  request counts, cache hit rate, in-flight simulations
+//	POST /v1/predict  analytic model prediction
+//	POST /v1/simulate discrete-event simulation (median of seeds)
+//	POST /v1/compare  model vs. simulator validation
+//	POST /v1/plan     what-if grid search (nodes × block size × reducers × policy)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hadoop2perf/internal/service"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+	log.SetPrefix("mrserved: ")
+
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		cacheSize = flag.Int("cache-size", service.DefaultCacheSize, "LRU cache entries")
+		simReps   = flag.Int("sim-reps", service.DefaultSimReps, "default median-of-seeds repetitions")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		SimReps:   *simReps,
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc, service.ServerConfig{Timeout: *timeout}),
+		ReadHeaderTimeout: 10 * time.Second,
+		// WriteTimeout outlives the handler timeout so slow requests get a
+		// 504 body instead of a severed connection.
+		WriteTimeout: *timeout + 5*time.Second,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (workers=%d cache=%d sim-reps=%d timeout=%s)",
+			*addr, *workers, *cacheSize, *simReps, *timeout)
+		done <- srv.ListenAndServe()
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("received %s, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		m := svc.Metrics()
+		log.Printf("served %d predict / %d simulate / %d compare / %d plan; cache hit rate %.0f%%",
+			m.PredictRequests, m.SimulateRequests, m.CompareRequests, m.PlanRequests, 100*m.HitRate)
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,14 +1,16 @@
 // Capacity planning: the paper's motivating use case — "critical decision
 // making in workload management and resource capacity planning" — answered
-// with the analytic model instead of test runs on a real cluster.
+// with one what-if planner call against the prediction service instead of
+// test runs on a real cluster.
 //
 // Question: how many nodes does a nightly 20 GB WordCount-like aggregation
 // need to finish within a 6-minute SLA, and what does each size cost in
-// node-hours? The model answers in milliseconds per candidate size; a real
-// evaluation run would take tens of cluster-minutes per point.
+// node-seconds? The service sweeps every candidate size in parallel (and
+// caches each prediction, so re-planning with a different SLA is free).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,53 +24,54 @@ func main() {
 		slaSec   = 360.0
 		maxNodes = 24
 	)
-	fmt.Printf("SLA: %.0f s for a %d GB wordcount-style job\n\n", slaSec, inputGB)
-	fmt.Println("nodes  maps  est. response (fork/join)   meets SLA   node-seconds")
-
-	best := -1
-	for n := 2; n <= maxNodes; n += 2 {
-		spec := hadoop2perf.DefaultCluster(n)
-		job, err := hadoop2perf.NewJob(0, inputGB*1024, 128, n, hadoop2perf.WordCount())
-		if err != nil {
-			log.Fatal(err)
-		}
-		pred, err := hadoop2perf.Predict(hadoop2perf.ModelConfig{
-			Spec: spec, Job: job, NumJobs: 1,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		meets := pred.ResponseTime <= slaSec
-		mark := "  no"
-		if meets {
-			mark = " YES"
-			if best < 0 {
-				best = n
-			}
-		}
-		fmt.Printf("%5d  %4d  %22.1f s  %s  %12.0f\n",
-			n, job.NumMaps(), pred.ResponseTime, mark, pred.ResponseTime*float64(n))
-	}
-	if best < 0 {
-		fmt.Printf("\nno cluster size up to %d nodes meets the SLA; relax it or shrink the input\n", maxNodes)
-		return
-	}
-	fmt.Printf("\nsmallest cluster meeting the SLA: %d nodes\n", best)
-
-	// Sanity-check the chosen size on the simulator before committing.
-	spec := hadoop2perf.DefaultCluster(best)
-	job, err := hadoop2perf.NewJob(0, inputGB*1024, 128, best, hadoop2perf.WordCount())
+	svc := hadoop2perf.NewService(hadoop2perf.ServiceOptions{})
+	job, err := hadoop2perf.NewJob(0, inputGB*1024, 128, 8, hadoop2perf.WordCount())
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
-		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 7,
-	}, 5)
+
+	var nodes []int
+	for n := 2; n <= maxNodes; n += 2 {
+		nodes = append(nodes, n)
+	}
+	plan, err := svc.Plan(context.Background(), hadoop2perf.PlanRequest{
+		Spec:        hadoop2perf.DefaultCluster(4),
+		Job:         job,
+		Nodes:       nodes,
+		DeadlineSec: slaSec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("SLA: %.0f s for a %d GB wordcount-style job\n\n", slaSec, inputGB)
+	fmt.Println("nodes  est. response (fork/join)   meets SLA   node-seconds")
+	for _, c := range plan.Candidates {
+		mark := "  no"
+		if c.Feasible {
+			mark = " YES"
+		}
+		fmt.Printf("%5d  %22.1f s  %s  %12.0f\n", c.Nodes, c.ResponseTime, mark, c.NodeSeconds)
+	}
+	if plan.Best == nil {
+		fmt.Printf("\nno cluster size up to %d nodes meets the SLA; relax it or shrink the input\n", maxNodes)
+		return
+	}
+	best := *plan.Best
+	fmt.Printf("\ncheapest cluster meeting the SLA: %d nodes (%.0f node-seconds)\n",
+		best.Nodes, best.NodeSeconds)
+
+	// Sanity-check the chosen size on the simulator before committing; the
+	// service runs the median-of-seeds protocol behind the same cache.
+	spec := hadoop2perf.DefaultCluster(best.Nodes)
+	sim, err := svc.Simulate(context.Background(), hadoop2perf.SimulateRequest{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 7, Reps: 5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("simulator check at %d nodes: %.1f s (SLA %.0f s)\n",
-		best, res.MeanResponse(), slaSec)
+		best.Nodes, sim.Result.MeanResponse(), slaSec)
 
 	// What would the job actually consume at this size? (paper §6 extension)
 	use, _, err := hadoop2perf.EstimateResources(hadoop2perf.ModelConfig{
@@ -81,4 +84,8 @@ func main() {
 		use.Total.CPUSeconds, use.Total.DiskSeconds, use.Total.NetworkSeconds)
 	fmt.Printf("predicted mean utilization: cpu %.0f%%, disk %.0f%%, network %.0f%%\n",
 		100*use.CPUUtilization, 100*use.DiskUtilization, 100*use.NetworkUtilization)
+
+	m := svc.Metrics()
+	fmt.Printf("\nservice: %d computations (model + simulator), %d served from cache\n",
+		m.CacheMisses, m.CacheHits)
 }

@@ -1,0 +1,3 @@
+module hadoop2perf
+
+go 1.24

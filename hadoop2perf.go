@@ -23,11 +23,15 @@
 package hadoop2perf
 
 import (
+	"net/http"
+	"time"
+
 	"hadoop2perf/internal/aria"
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
 	"hadoop2perf/internal/herodotou"
 	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/service"
 	"hadoop2perf/internal/stats"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
@@ -62,6 +66,22 @@ type (
 	HerodotouEstimate = herodotou.Estimate
 	// ResourceEstimate holds predicted per-job resource consumption.
 	ResourceEstimate = core.ResourceEstimate
+	// Service is the concurrent prediction engine behind cmd/mrserved: a
+	// bounded worker pool, an LRU + singleflight cache, and a parallel
+	// what-if planner.
+	Service = service.Service
+	// ServiceOptions configures a Service.
+	ServiceOptions = service.Options
+	// ServiceMetrics is a snapshot of service counters.
+	ServiceMetrics = service.Metrics
+	// PredictRequest / SimulateRequest / CompareRequest / PlanRequest are
+	// the service API inputs; PlanResponse ranks a what-if grid.
+	PredictRequest  = service.PredictRequest
+	SimulateRequest = service.SimulateRequest
+	CompareRequest  = service.CompareRequest
+	PlanRequest     = service.PlanRequest
+	PlanResponse    = service.PlanResponse
+	PlanCandidate   = service.PlanCandidate
 )
 
 // Estimators (paper §4.2.4).
@@ -112,6 +132,19 @@ func Simulate(cfg SimConfig) (SimResult, error) { return mrsim.Run(cfg) }
 // (the paper's measurement methodology, §5.1).
 func SimulateMedian(cfg SimConfig, reps int) (SimResult, error) {
 	return mrsim.RunMedianOfSeeds(cfg, reps)
+}
+
+// NewService builds the concurrent prediction engine: cached Predict /
+// Simulate / Compare plus the parallel what-if Plan. The zero ServiceOptions
+// picks sensible defaults (GOMAXPROCS workers, 1024 cache entries, 5
+// simulator repetitions).
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// NewServiceHandler exposes a Service as the mrserved HTTP API (/healthz,
+// /v1/metrics, /v1/predict, /v1/simulate, /v1/compare, /v1/plan). A zero
+// timeout selects the 30-second default.
+func NewServiceHandler(s *Service, timeout time.Duration) http.Handler {
+	return service.NewHandler(s, service.ServerConfig{Timeout: timeout})
 }
 
 // PredictARIA computes the ARIA baseline bounds.

@@ -68,3 +68,61 @@ func TestFacadeCompare(t *testing.T) {
 		t.Errorf("estimator ordering: fj %v >= tp %v", cmp.ForkJoin, cmp.Tripathi)
 	}
 }
+
+func TestFacadeCompareDegenerateInputs(t *testing.T) {
+	// Compare happy path aside (above), the facade must reject impossible
+	// configurations instead of hanging a simulation.
+	spec := DefaultCluster(2)
+	job, err := NewJob(0, 512, 128, 2, WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compare(spec, job, 1, 1, 0); err == nil {
+		t.Error("zero reps accepted")
+	}
+	bad := job
+	bad.InputMB = 0
+	if _, err := Compare(spec, bad, 1, 1, 1); err == nil {
+		t.Error("zero-input job accepted")
+	}
+}
+
+func TestFacadeService(t *testing.T) {
+	// The facade constructor wires the full service stack: engine, cache
+	// and HTTP handler.
+	svc := NewService(ServiceOptions{Workers: 2, CacheSize: 8})
+	spec := DefaultCluster(2)
+	job, err := NewJob(0, 512, 128, 2, WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := svc.Predict(t.Context(), PredictRequest{Spec: spec, Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Prediction.ResponseTime <= 0 {
+		t.Fatalf("response = %v", resp.Prediction.ResponseTime)
+	}
+	again, err := svc.Predict(t.Context(), PredictRequest{Spec: spec, Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Error("repeat predict not cached")
+	}
+	plan, err := svc.Plan(t.Context(), PlanRequest{
+		Spec: spec, Job: job, Nodes: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Best == nil || plan.Evaluated != 2 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if NewServiceHandler(svc, 0) == nil {
+		t.Fatal("nil handler")
+	}
+	if m := svc.Metrics(); m.PredictRequests < 2 || m.HitRate <= 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}

@@ -10,9 +10,10 @@ import (
 )
 
 // Resource is a YARN-style resource vector (memory in MB, virtual cores).
+// JSON tags give the wire API (cmd/mrserved) camelCase field names.
 type Resource struct {
-	MemoryMB int
-	VCores   int
+	MemoryMB int `json:"memoryMB"`
+	VCores   int `json:"vcores"`
 }
 
 // Add returns r + o componentwise.
@@ -42,21 +43,21 @@ func (r Resource) String() string {
 // ("all of them having the same technical characteristics").
 type Spec struct {
 	// NumNodes is the number of worker nodes in the cluster.
-	NumNodes int
+	NumNodes int `json:"numNodes"`
 	// NodeCapacity is the schedulable resource per node.
-	NodeCapacity Resource
+	NodeCapacity Resource `json:"nodeCapacity"`
 	// MapContainer and ReduceContainer are the container sizes requested by
 	// the MapReduce ApplicationMaster for map and reduce tasks.
-	MapContainer    Resource
-	ReduceContainer Resource
+	MapContainer    Resource `json:"mapContainer"`
+	ReduceContainer Resource `json:"reduceContainer"`
 	// CPUPerNode and DiskPerNode describe the node hardware used by the
 	// contention model (number of cores sharing CPU work, number of disks).
-	CPUPerNode  int
-	DiskPerNode int
+	CPUPerNode  int `json:"cpuPerNode"`
+	DiskPerNode int `json:"diskPerNode"`
 	// DiskMBps and NetworkMBps are per-disk and cluster-link bandwidths used
 	// by the simulator to convert bytes into service demands.
-	DiskMBps    float64
-	NetworkMBps float64
+	DiskMBps    float64 `json:"diskMBps"`
+	NetworkMBps float64 `json:"networkMBps"`
 }
 
 // Default returns the evaluation cluster of the paper (§5.1), scaled to a

@@ -58,6 +58,40 @@ func (e Estimator) String() string {
 	}
 }
 
+// ParseEstimator is the inverse of String. The empty string selects the
+// fork/join default; "forkjoin" is accepted as a URL-friendly alias.
+func ParseEstimator(s string) (Estimator, error) {
+	switch s {
+	case "", "fork/join", "forkjoin":
+		return EstimatorForkJoin, nil
+	case "tripathi":
+		return EstimatorTripathi, nil
+	case "paper-literal":
+		return EstimatorPaperLiteral, nil
+	}
+	return 0, fmt.Errorf("core: unknown estimator %q (want \"fork/join\", \"tripathi\" or \"paper-literal\")", s)
+}
+
+// MarshalText serializes the estimator by its stable name (JSON wire
+// format, canonical cache keys).
+func (e Estimator) MarshalText() ([]byte, error) {
+	switch e {
+	case EstimatorForkJoin, EstimatorTripathi, EstimatorPaperLiteral:
+		return []byte(e.String()), nil
+	}
+	return nil, fmt.Errorf("core: invalid estimator %d", int(e))
+}
+
+// UnmarshalText parses the stable estimator name.
+func (e *Estimator) UnmarshalText(b []byte) error {
+	est, err := ParseEstimator(string(b))
+	if err != nil {
+		return err
+	}
+	*e = est
+	return nil
+}
+
 // Defaults for Config fields left zero.
 const (
 	DefaultEpsilon         = 1e-7

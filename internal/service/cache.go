@@ -1,0 +1,118 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// lruCache is a mutex-guarded LRU map from canonical request keys to
+// completed responses. Values are treated as immutable once inserted: hits
+// return the stored value directly, so callers must not mutate results.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val any
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lruCache) add(key string, val any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.items, tail.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// flightGroup deduplicates concurrent identical requests: the first caller
+// for a key computes, later callers for the same key wait for that result
+// instead of recomputing (the classic singleflight pattern, reimplemented
+// here because the module is dependency-free).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers. The returned bool
+// reports whether the result was shared from another caller's execution.
+// Waiters honor ctx cancellation; the executing caller's fn is responsible
+// for observing its own ctx. A shared result that failed only because the
+// *leader's* context ended is not inherited: a still-live waiter retries as
+// the new leader instead of failing with someone else's cancellation.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (any, error)) (any, error, bool) {
+	for {
+		g.mu.Lock()
+		if c, ok := g.calls[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if isContextError(c.err) && ctx.Err() == nil {
+					continue // leader died of its own cancellation, not ours
+				}
+				return c.val, c.err, true
+			case <-ctx.Done():
+				return nil, ctx.Err(), true
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
+		g.mu.Unlock()
+
+		c.val, c.err = fn()
+		close(c.done)
+
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		return c.val, c.err, false
+	}
+}
+
+func isContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,340 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+// ServerConfig tunes the HTTP layer.
+type ServerConfig struct {
+	// Timeout bounds one request's handling, including queueing for a pool
+	// slot (default 30s).
+	Timeout time.Duration
+	// MaxBodyBytes bounds request bodies (default 1 MiB).
+	MaxBodyBytes int64
+}
+
+const (
+	defaultHTTPTimeout  = 30 * time.Second
+	defaultMaxBodyBytes = 1 << 20
+)
+
+// NewHandler builds the mrserved HTTP API over a Service:
+//
+//	GET  /healthz     — liveness
+//	GET  /v1/metrics  — service counters (requests, cache hit rate, in-flight sims)
+//	POST /v1/predict  — analytic model prediction
+//	POST /v1/simulate — discrete-event simulator run (median of seeds)
+//	POST /v1/compare  — model vs. simulator validation
+//	POST /v1/plan     — parallel what-if grid search
+func NewHandler(s *Service, cfg ServerConfig) http.Handler {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = defaultHTTPTimeout
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("POST /v1/predict", jsonEndpoint(cfg, func(ctx context.Context, req predictWire) (any, error) {
+		pr, err := req.toRequest()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.Predict(ctx, pr)
+		if err != nil {
+			return nil, err
+		}
+		return predictResultWire{
+			ResponseTime: resp.Prediction.ResponseTime,
+			Iterations:   resp.Prediction.Iterations,
+			Converged:    resp.Prediction.Converged,
+			Estimator:    pr.Estimator,
+			Cached:       resp.Cached,
+		}, nil
+	}))
+	mux.HandleFunc("POST /v1/simulate", jsonEndpoint(cfg, func(ctx context.Context, req simulateWire) (any, error) {
+		sr, err := req.toRequest()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.Simulate(ctx, sr)
+		if err != nil {
+			return nil, err
+		}
+		out := simulateResultWire{
+			MeanResponse: resp.Result.MeanResponse(),
+			Makespan:     resp.Result.Makespan,
+			Events:       resp.Result.Events,
+			Cached:       resp.Cached,
+		}
+		for _, j := range resp.Result.Jobs {
+			out.Jobs = append(out.Jobs, simJobWire{ID: j.JobID, Response: j.Response})
+		}
+		return out, nil
+	}))
+	mux.HandleFunc("POST /v1/compare", jsonEndpoint(cfg, func(ctx context.Context, req compareWire) (any, error) {
+		cr, err := req.toRequest()
+		if err != nil {
+			return nil, err
+		}
+		return s.Compare(ctx, cr)
+	}))
+	mux.HandleFunc("POST /v1/plan", jsonEndpoint(cfg, func(ctx context.Context, req planWire) (any, error) {
+		pr, err := req.toRequest()
+		if err != nil {
+			return nil, err
+		}
+		return s.Plan(ctx, pr)
+	}))
+	return mux
+}
+
+// validationError marks client mistakes (HTTP 400, vs. 500 for the rest).
+type validationError struct{ err error }
+
+func (e validationError) Error() string { return e.err.Error() }
+
+// jsonEndpoint wires one POST endpoint: decode, handle under the configured
+// timeout, encode. Validation failures map to 400, timeouts to 504.
+func jsonEndpoint[Req any](cfg ServerConfig, handle func(context.Context, Req) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		defer cancel()
+		var req Req
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			return
+		}
+		out, err := handle(ctx, req)
+		if err != nil {
+			// Client faults (malformed wire input, rejected validation) map
+			// to 400; anything the engine failed at after accepting the
+			// request is a genuine 500 so monitoring sees it.
+			status := http.StatusInternalServerError
+			var verr validationError
+			switch {
+			case errors.Is(err, context.DeadlineExceeded):
+				status = http.StatusGatewayTimeout
+			case errors.Is(err, context.Canceled):
+				status = 499 // client closed request
+			case errors.As(err, &verr), IsInvalidRequest(err):
+				status = http.StatusBadRequest
+			}
+			writeError(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// clusterWire selects a cluster: the calibrated default scaled to "nodes",
+// or a fully custom spec.
+type clusterWire struct {
+	Nodes  int           `json:"nodes,omitempty"`
+	Custom *cluster.Spec `json:"custom,omitempty"`
+}
+
+func (c clusterWire) spec() (cluster.Spec, error) {
+	if c.Custom != nil {
+		return *c.Custom, nil
+	}
+	if c.Nodes <= 0 {
+		return cluster.Spec{}, validationError{errors.New("cluster.nodes must be positive (or supply cluster.custom)")}
+	}
+	return cluster.Default(c.Nodes), nil
+}
+
+// jobWire describes one job: a named built-in profile ("wordcount", "grep",
+// "terasort") or a full custom profile.
+type jobWire struct {
+	InputMB       float64           `json:"inputMB"`
+	BlockSizeMB   float64           `json:"blockSizeMB,omitempty"` // default 128
+	Reduces       int               `json:"reduces,omitempty"`     // default 1
+	Profile       string            `json:"profile,omitempty"`     // default "wordcount"
+	CustomProfile *workload.Profile `json:"customProfile,omitempty"`
+}
+
+func (j jobWire) job() (workload.Job, error) {
+	prof := workload.WordCount()
+	switch {
+	case j.CustomProfile != nil:
+		prof = *j.CustomProfile
+	case j.Profile == "" || j.Profile == "wordcount":
+	case j.Profile == "grep":
+		prof = workload.Grep()
+	case j.Profile == "terasort":
+		prof = workload.TeraSort()
+	default:
+		return workload.Job{}, validationError{fmt.Errorf("unknown profile %q (want wordcount, grep or terasort)", j.Profile)}
+	}
+	block := j.BlockSizeMB
+	if block <= 0 {
+		block = 128
+	}
+	reduces := j.Reduces
+	if reduces <= 0 {
+		reduces = 1
+	}
+	job, err := workload.NewJob(0, j.InputMB, block, reduces, prof)
+	if err != nil {
+		return workload.Job{}, validationError{err}
+	}
+	return job, nil
+}
+
+type predictWire struct {
+	Cluster   clusterWire    `json:"cluster"`
+	Job       jobWire        `json:"job"`
+	NumJobs   int            `json:"numJobs,omitempty"`
+	Estimator core.Estimator `json:"estimator,omitempty"`
+}
+
+func (p predictWire) toRequest() (PredictRequest, error) {
+	spec, err := p.Cluster.spec()
+	if err != nil {
+		return PredictRequest{}, err
+	}
+	job, err := p.Job.job()
+	if err != nil {
+		return PredictRequest{}, err
+	}
+	return PredictRequest{Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator}, nil
+}
+
+type predictResultWire struct {
+	ResponseTime float64        `json:"responseTime"`
+	Iterations   int            `json:"iterations"`
+	Converged    bool           `json:"converged"`
+	Estimator    core.Estimator `json:"estimator"`
+	Cached       bool           `json:"cached"`
+}
+
+type simulateWire struct {
+	Cluster clusterWire `json:"cluster"`
+	Job     jobWire     `json:"job"`
+	// NumJobs submits that many identical copies of Job at t = 0.
+	NumJobs int         `json:"numJobs,omitempty"`
+	Seed    int64       `json:"seed,omitempty"`
+	Reps    int         `json:"reps,omitempty"`
+	Policy  yarn.Policy `json:"policy,omitempty"`
+}
+
+func (sw simulateWire) toRequest() (SimulateRequest, error) {
+	spec, err := sw.Cluster.spec()
+	if err != nil {
+		return SimulateRequest{}, err
+	}
+	job, err := sw.Job.job()
+	if err != nil {
+		return SimulateRequest{}, err
+	}
+	n := sw.NumJobs
+	if n <= 0 {
+		n = 1
+	}
+	// Bound before allocating: numJobs comes off the wire.
+	if n > MaxSimJobs {
+		return SimulateRequest{}, validationError{fmt.Errorf("numJobs %d exceeds limit %d", n, MaxSimJobs)}
+	}
+	jobs := make([]workload.Job, n)
+	for i := range jobs {
+		j := job
+		j.ID = i
+		jobs[i] = j
+	}
+	return SimulateRequest{Spec: spec, Jobs: jobs, Seed: sw.Seed, Reps: sw.Reps, Policy: sw.Policy}, nil
+}
+
+type simJobWire struct {
+	ID       int     `json:"id"`
+	Response float64 `json:"response"`
+}
+
+type simulateResultWire struct {
+	MeanResponse float64      `json:"meanResponse"`
+	Makespan     float64      `json:"makespan"`
+	Events       int          `json:"events"`
+	Jobs         []simJobWire `json:"jobs"`
+	Cached       bool         `json:"cached"`
+}
+
+type compareWire struct {
+	Cluster clusterWire `json:"cluster"`
+	Job     jobWire     `json:"job"`
+	NumJobs int         `json:"numJobs,omitempty"`
+	Seed    int64       `json:"seed,omitempty"`
+	Reps    int         `json:"reps,omitempty"`
+}
+
+func (c compareWire) toRequest() (CompareRequest, error) {
+	spec, err := c.Cluster.spec()
+	if err != nil {
+		return CompareRequest{}, err
+	}
+	job, err := c.Job.job()
+	if err != nil {
+		return CompareRequest{}, err
+	}
+	return CompareRequest{Spec: spec, Job: job, NumJobs: c.NumJobs, Seed: c.Seed, Reps: c.Reps}, nil
+}
+
+type planWire struct {
+	Cluster      clusterWire    `json:"cluster"`
+	Job          jobWire        `json:"job"`
+	NumJobs      int            `json:"numJobs,omitempty"`
+	Estimator    core.Estimator `json:"estimator,omitempty"`
+	Nodes        []int          `json:"nodes,omitempty"`
+	BlockSizesMB []float64      `json:"blockSizesMB,omitempty"`
+	Reducers     []int          `json:"reducers,omitempty"`
+	Policies     []yarn.Policy  `json:"policies,omitempty"`
+	DeadlineSec  float64        `json:"deadlineSec,omitempty"`
+	UseSimulator bool           `json:"useSimulator,omitempty"`
+	Seed         int64          `json:"seed,omitempty"`
+	Reps         int            `json:"reps,omitempty"`
+}
+
+func (p planWire) toRequest() (PlanRequest, error) {
+	spec, err := p.Cluster.spec()
+	if err != nil {
+		return PlanRequest{}, err
+	}
+	job, err := p.Job.job()
+	if err != nil {
+		return PlanRequest{}, err
+	}
+	return PlanRequest{
+		Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator,
+		Nodes: p.Nodes, BlockSizesMB: p.BlockSizesMB, Reducers: p.Reducers,
+		Policies: p.Policies, DeadlineSec: p.DeadlineSec,
+		UseSimulator: p.UseSimulator, Seed: p.Seed, Reps: p.Reps,
+	}, nil
+}

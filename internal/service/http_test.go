@@ -1,0 +1,240 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T) (*Service, *httptest.Server) {
+	t.Helper()
+	svc := New(Options{Workers: 4, CacheSize: 64})
+	ts := httptest.NewServer(NewHandler(svc, ServerConfig{Timeout: 30 * time.Second}))
+	t.Cleanup(ts.Close)
+	return svc, ts
+}
+
+func postJSON(t *testing.T, url, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("%s: non-JSON response %q", url, raw)
+	}
+	return resp.StatusCode, out
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "ok" {
+		t.Errorf("body = %v", body)
+	}
+}
+
+// TestPredictRoundTrip is the end-to-end acceptance path: a predict call
+// over real HTTP, repeated, with the repeat served from cache and the hit
+// visible in /v1/metrics.
+func TestPredictRoundTrip(t *testing.T) {
+	svc, ts := newTestServer(t)
+	req := `{"cluster":{"nodes":4},"job":{"inputMB":1024,"blockSizeMB":128,"reduces":4,"profile":"wordcount"},"numJobs":1,"estimator":"tripathi"}`
+
+	status, body := postJSON(t, ts.URL+"/v1/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	rt, _ := body["responseTime"].(float64)
+	if rt <= 0 {
+		t.Fatalf("responseTime = %v", body["responseTime"])
+	}
+	if body["cached"] != false {
+		t.Error("first call reported cached")
+	}
+	if body["estimator"] != "tripathi" {
+		t.Errorf("estimator echoed as %v", body["estimator"])
+	}
+
+	status, body = postJSON(t, ts.URL+"/v1/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("repeat status = %d", status)
+	}
+	if body["cached"] != true {
+		t.Error("repeat not served from cache")
+	}
+	if got, _ := body["responseTime"].(float64); got != rt {
+		t.Errorf("cached responseTime drifted: %v vs %v", got, rt)
+	}
+
+	// The hit is visible in the metrics endpoint.
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.PredictRequests != 2 || m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Errorf("metrics = %+v", m)
+	}
+	if m.HitRate != 0.5 {
+		t.Errorf("hit rate = %v", m.HitRate)
+	}
+	if m != svc.Metrics() {
+		t.Errorf("wire metrics %+v != engine metrics %+v", m, svc.Metrics())
+	}
+}
+
+func TestSimulateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := `{"cluster":{"nodes":2},"job":{"inputMB":256,"reduces":1},"seed":1,"reps":1,"policy":"fifo"}`
+	status, body := postJSON(t, ts.URL+"/v1/simulate", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	if mr, _ := body["meanResponse"].(float64); mr <= 0 {
+		t.Errorf("meanResponse = %v", body["meanResponse"])
+	}
+	jobs, _ := body["jobs"].([]any)
+	if len(jobs) != 1 {
+		t.Errorf("jobs = %v", body["jobs"])
+	}
+}
+
+func TestCompareEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed comparison in -short mode")
+	}
+	_, ts := newTestServer(t)
+	req := `{"cluster":{"nodes":2},"job":{"inputMB":256,"reduces":1},"seed":1,"reps":1}`
+	status, body := postJSON(t, ts.URL+"/v1/compare", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	for _, k := range []string{"Simulated", "ForkJoin", "Tripathi"} {
+		if v, _ := body[k].(float64); v <= 0 {
+			t.Errorf("%s = %v", k, body[k])
+		}
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := `{"cluster":{"nodes":4},"job":{"inputMB":2048,"reduces":4},
+		"nodes":[2,4,6],"deadlineSec":100000}`
+	status, body := postJSON(t, ts.URL+"/v1/plan", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	cands, _ := body["candidates"].([]any)
+	if len(cands) != 3 {
+		t.Fatalf("candidates = %v", body["candidates"])
+	}
+	best, _ := body["best"].(map[string]any)
+	if best == nil {
+		t.Fatal("no best candidate")
+	}
+	if best["feasible"] != true {
+		t.Errorf("best = %v", best)
+	}
+	if pol, _ := best["policy"].(string); pol != "fifo" {
+		t.Errorf("policy serialized as %v", best["policy"])
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct{ name, url, body string }{
+		{"garbage", "/v1/predict", `{`},
+		{"unknown field", "/v1/predict", `{"clutser":{"nodes":4}}`},
+		{"no cluster", "/v1/predict", `{"job":{"inputMB":512}}`},
+		{"bad profile", "/v1/predict", `{"cluster":{"nodes":2},"job":{"inputMB":512,"profile":"sortbench"}}`},
+		{"bad estimator", "/v1/predict", `{"cluster":{"nodes":2},"job":{"inputMB":512},"estimator":"oracle"}`},
+		{"bad policy", "/v1/simulate", `{"cluster":{"nodes":2},"job":{"inputMB":512},"policy":"lifo"}`},
+		{"zero input", "/v1/predict", `{"cluster":{"nodes":2},"job":{"inputMB":0}}`},
+		{"negative deadline", "/v1/plan", `{"cluster":{"nodes":2},"job":{"inputMB":512},"deadlineSec":-5}`},
+	}
+	for _, tc := range cases {
+		status, body := postJSON(t, ts.URL+tc.url, tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d body = %v", tc.name, status, body)
+		}
+		if msg, _ := body["error"].(string); msg == "" {
+			t.Errorf("%s: no error message", tc.name)
+		}
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/v1/predict")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/predict status = %d", resp.StatusCode)
+	}
+}
+
+func TestRequestTimeout(t *testing.T) {
+	// A handler with a microscopic budget over a saturated single-worker
+	// pool must answer 504, not hang.
+	svc := New(Options{Workers: 1})
+	if err := svc.acquire(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	defer svc.release()
+	ts := httptest.NewServer(NewHandler(svc, ServerConfig{Timeout: 50 * time.Millisecond}))
+	defer ts.Close()
+
+	req := `{"cluster":{"nodes":2},"job":{"inputMB":256,"reduces":1}}`
+	status, body := postJSON(t, ts.URL+"/v1/predict", req)
+	if status != http.StatusGatewayTimeout {
+		t.Errorf("status = %d body = %v", status, body)
+	}
+}
+
+// TestCustomClusterSpecCamelCase: custom specs follow the API's camelCase
+// convention like every other wire field.
+func TestCustomClusterSpecCamelCase(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := `{"cluster":{"custom":{
+		"numNodes":3,
+		"nodeCapacity":{"memoryMB":32768,"vcores":32},
+		"mapContainer":{"memoryMB":4096,"vcores":2},
+		"reduceContainer":{"memoryMB":4096,"vcores":4},
+		"cpuPerNode":6,"diskPerNode":1,"diskMBps":240,"networkMBps":110
+	}},"job":{"inputMB":512,"reduces":2}}`
+	status, body := postJSON(t, ts.URL+"/v1/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d body = %v", status, body)
+	}
+	if rt, _ := body["responseTime"].(float64); rt <= 0 {
+		t.Errorf("responseTime = %v", body["responseTime"])
+	}
+}

@@ -1,0 +1,132 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+// keyVersion is folded into every cache key; bump it whenever the canonical
+// encoding below changes shape so stale entries can never alias new ones.
+const keyVersion = 2
+
+// keyWriter streams a canonical, order-stable binary encoding of a request
+// into a hash. Floats are encoded by their IEEE-754 bits (so +0/-0 and NaN
+// payload differences distinguish keys rather than colliding), strings are
+// length-prefixed, and every request kind starts with a distinct tag so a
+// predict key can never alias a simulate key.
+type keyWriter struct {
+	buf []byte
+}
+
+func newKeyWriter(kind string) *keyWriter {
+	w := &keyWriter{buf: make([]byte, 0, 256)}
+	w.putString(kind)
+	w.putInt(keyVersion)
+	return w
+}
+
+func (w *keyWriter) putInt(v int)   { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(int64(v))) }
+func (w *keyWriter) putI64(v int64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *keyWriter) putF64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+
+func (w *keyWriter) putBool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf = append(w.buf, b)
+}
+
+func (w *keyWriter) putString(s string) {
+	w.putInt(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *keyWriter) putSpec(s cluster.Spec) {
+	w.putInt(s.NumNodes)
+	w.putInt(s.NodeCapacity.MemoryMB)
+	w.putInt(s.NodeCapacity.VCores)
+	w.putInt(s.MapContainer.MemoryMB)
+	w.putInt(s.MapContainer.VCores)
+	w.putInt(s.ReduceContainer.MemoryMB)
+	w.putInt(s.ReduceContainer.VCores)
+	w.putInt(s.CPUPerNode)
+	w.putInt(s.DiskPerNode)
+	w.putF64(s.DiskMBps)
+	w.putF64(s.NetworkMBps)
+}
+
+func (w *keyWriter) putProfile(p workload.Profile) {
+	w.putString(p.Name)
+	w.putF64(p.MapCPUPerMB)
+	w.putF64(p.CollectCPUPerMB)
+	w.putF64(p.SortCPUPerMB)
+	w.putF64(p.MergeCPUPerMB)
+	w.putF64(p.ShuffleCPUPerMB)
+	w.putF64(p.ReduceCPUPerMB)
+	w.putF64(p.RSortCPUPerMB)
+	w.putF64(p.MapOutputRatio)
+	w.putF64(p.OutputRatio)
+	w.putF64(p.SpillPasses)
+	w.putF64(p.TaskJitterCV)
+	w.putF64(p.ContainerStartup)
+	w.putF64(p.AMStartup)
+}
+
+// putJob encodes the fields that determine a job's workload shape. Job.ID is
+// deliberately excluded: the analytic model never reads it, so predictions
+// for the same shape under different caller-assigned IDs share one cache
+// entry. Simulation keys add IDs separately (they seed HDFS placement).
+func (w *keyWriter) putJob(j workload.Job) {
+	w.putF64(j.InputMB)
+	w.putF64(j.BlockSizeMB)
+	w.putInt(j.NumReduces)
+	w.putBool(j.SlowStart)
+	w.putF64(j.SlowStartFraction)
+	w.putProfile(j.Profile)
+}
+
+func (w *keyWriter) sum() string {
+	h := sha256.Sum256(w.buf)
+	return hex.EncodeToString(h[:])
+}
+
+func predictKey(req PredictRequest) string {
+	w := newKeyWriter("predict")
+	w.putSpec(req.Spec)
+	w.putJob(req.Job)
+	w.putInt(req.NumJobs)
+	w.putInt(int(req.Estimator))
+	return w.sum()
+}
+
+func simulateKey(req SimulateRequest) string {
+	w := newKeyWriter("simulate")
+	w.putSpec(req.Spec)
+	w.putInt(len(req.Jobs))
+	for _, j := range req.Jobs {
+		w.putInt(j.ID) // affects HDFS block placement in the simulator
+		w.putJob(j)
+	}
+	w.putI64(req.Seed)
+	w.putInt(req.Reps)
+	w.putInt(int(req.Policy))
+	return w.sum()
+}
+
+func compareKey(req CompareRequest) string {
+	w := newKeyWriter("compare")
+	w.putSpec(req.Spec)
+	w.putJob(req.Job)
+	w.putInt(req.NumJobs)
+	w.putI64(req.Seed)
+	w.putInt(req.Reps)
+	return w.sum()
+}

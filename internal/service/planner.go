@@ -1,0 +1,296 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+// maxPlanCandidates bounds one plan's grid so a single request cannot pin
+// the pool indefinitely; split larger sweeps across calls.
+const maxPlanCandidates = 4096
+
+// PlanRequest is a what-if grid search: the cartesian product of the axis
+// slices is evaluated in parallel, each candidate derived from the base
+// cluster/job template. An empty axis keeps the template's value. This
+// generalizes the capacity-planning and deadline examples (examples/
+// capacityplanning, examples/deadline) into one API call: set DeadlineSec
+// and read Best.
+type PlanRequest struct {
+	// Spec is the node-hardware template; the Nodes axis overrides only its
+	// NumNodes field, keeping per-node capacities and bandwidths.
+	Spec cluster.Spec
+	// Job is the job template; the BlockSizesMB and Reducers axes override
+	// its BlockSizeMB / NumReduces fields.
+	Job workload.Job
+	// NumJobs is the concurrent-job population of every candidate (default 1).
+	NumJobs int
+	// Estimator selects the analytic tree estimator (default fork/join).
+	Estimator core.Estimator
+
+	// Grid axes. Empty slices keep the template's value.
+	Nodes        []int
+	BlockSizesMB []float64
+	Reducers     []int
+	// Policies only differentiates candidates when UseSimulator is set: the
+	// analytic model has no scheduler-policy input, so model-backed
+	// candidates that differ only in policy share one cached prediction.
+	Policies []yarn.Policy
+
+	// DeadlineSec, when positive, marks candidates meeting it as feasible
+	// and selects Best as the cheapest feasible candidate (fewest
+	// node-seconds); when zero, Best is simply the fastest candidate.
+	DeadlineSec float64
+
+	// UseSimulator evaluates candidates on the discrete-event simulator
+	// (median of Reps seeded runs from Seed) instead of the analytic model —
+	// slower, but scheduler-policy-aware.
+	UseSimulator bool
+	Seed         int64
+	Reps         int
+}
+
+func (r *PlanRequest) validate() error {
+	if r.NumJobs <= 0 {
+		r.NumJobs = 1
+	}
+	if r.NumJobs > MaxNumJobs {
+		return fmt.Errorf("service: NumJobs %d exceeds limit %d", r.NumJobs, MaxNumJobs)
+	}
+	if r.Reps > MaxSimReps {
+		return fmt.Errorf("service: Reps %d exceeds limit %d", r.Reps, MaxSimReps)
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := r.Job.Validate(); err != nil {
+		return err
+	}
+	if _, err := r.Estimator.MarshalText(); err != nil {
+		return err
+	}
+	for _, n := range r.Nodes {
+		if n <= 0 {
+			return fmt.Errorf("service: plan node count %d must be positive", n)
+		}
+	}
+	for _, b := range r.BlockSizesMB {
+		if b <= 0 {
+			return fmt.Errorf("service: plan block size %v must be positive", b)
+		}
+	}
+	for _, red := range r.Reducers {
+		if red <= 0 {
+			return fmt.Errorf("service: plan reducer count %d must be positive", red)
+		}
+	}
+	for _, p := range r.Policies {
+		if _, err := p.MarshalText(); err != nil {
+			return err
+		}
+	}
+	if r.DeadlineSec < 0 {
+		return fmt.Errorf("service: deadline %v must be nonnegative", r.DeadlineSec)
+	}
+	return nil
+}
+
+// PlanCandidate is one evaluated grid point.
+type PlanCandidate struct {
+	Nodes       int         `json:"nodes"`
+	BlockSizeMB float64     `json:"blockSizeMB"`
+	Reducers    int         `json:"reducers"`
+	Policy      yarn.Policy `json:"policy"`
+	// ResponseTime is the predicted (or simulated) mean job response time.
+	ResponseTime float64 `json:"responseTime"`
+	// NodeSeconds is the capacity cost proxy: ResponseTime × Nodes.
+	NodeSeconds float64 `json:"nodeSeconds"`
+	// Feasible reports ResponseTime <= DeadlineSec (always false when the
+	// request set no deadline).
+	Feasible bool `json:"feasible"`
+	// Cached reports whether this candidate was served from the cache.
+	Cached bool `json:"cached"`
+	// Err is set when this candidate failed to evaluate (the rest of the
+	// grid still completes).
+	Err string `json:"err,omitempty"`
+}
+
+// PlanResponse is the evaluated grid, sorted best-first.
+type PlanResponse struct {
+	// Candidates is sorted: with a deadline, feasible candidates first by
+	// ascending node-seconds; without one, by ascending response time.
+	Candidates []PlanCandidate `json:"candidates"`
+	// Best points at Candidates[0] when it satisfies the request objective:
+	// the cheapest feasible candidate, or (with no deadline) the fastest.
+	// Nil when a deadline was set and no candidate meets it.
+	Best *PlanCandidate `json:"best,omitempty"`
+	// Evaluated counts candidates that produced a result (no Err).
+	Evaluated int `json:"evaluated"`
+}
+
+// axis returns the grid values for one dimension, defaulting to the
+// template's value.
+func axisInts(vals []int, def int) []int {
+	if len(vals) == 0 {
+		return []int{def}
+	}
+	return vals
+}
+
+func axisFloats(vals []float64, def float64) []float64 {
+	if len(vals) == 0 {
+		return []float64{def}
+	}
+	return vals
+}
+
+func axisPolicies(vals []yarn.Policy) []yarn.Policy {
+	if len(vals) == 0 {
+		return []yarn.Policy{yarn.PolicyFIFO}
+	}
+	return vals
+}
+
+// Plan evaluates the what-if grid in parallel and ranks the outcomes. Each
+// candidate flows through the same cache/singleflight/pool path as a direct
+// Predict or Simulate call, so overlapping plans share work.
+func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, error) {
+	s.planReqs.Add(1)
+	if err := req.validate(); err != nil {
+		return PlanResponse{}, invalid(err)
+	}
+
+	nodes := axisInts(req.Nodes, req.Spec.NumNodes)
+	blocks := axisFloats(req.BlockSizesMB, req.Job.BlockSizeMB)
+	reducers := axisInts(req.Reducers, req.Job.NumReduces)
+	policies := axisPolicies(req.Policies)
+
+	total := len(nodes) * len(blocks) * len(reducers) * len(policies)
+	if total > maxPlanCandidates {
+		return PlanResponse{}, invalid(fmt.Errorf("service: plan grid has %d candidates (max %d); split the sweep",
+			total, maxPlanCandidates))
+	}
+
+	cands := make([]PlanCandidate, 0, total)
+	for _, n := range nodes {
+		for _, b := range blocks {
+			for _, red := range reducers {
+				for _, pol := range policies {
+					cands = append(cands, PlanCandidate{
+						Nodes: n, BlockSizeMB: b, Reducers: red, Policy: pol,
+					})
+				}
+			}
+		}
+	}
+
+	// Fan out one goroutine per candidate; the service's worker pool bounds
+	// actual concurrency and the shared cache collapses duplicates (e.g.
+	// model-backed candidates differing only in policy).
+	var wg sync.WaitGroup
+	for i := range cands {
+		wg.Add(1)
+		go func(c *PlanCandidate) {
+			defer wg.Done()
+			s.evalCandidate(ctx, req, c)
+		}(&cands[i])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return PlanResponse{}, err
+	}
+
+	resp := PlanResponse{Candidates: cands}
+	for i := range resp.Candidates {
+		c := &resp.Candidates[i]
+		if c.Err != "" {
+			continue
+		}
+		resp.Evaluated++
+		c.NodeSeconds = c.ResponseTime * float64(c.Nodes)
+		c.Feasible = req.DeadlineSec > 0 && c.ResponseTime <= req.DeadlineSec
+	}
+	sortCandidates(resp.Candidates, req.DeadlineSec > 0)
+	if len(resp.Candidates) > 0 {
+		top := resp.Candidates[0]
+		if top.Err == "" && (req.DeadlineSec <= 0 || top.Feasible) {
+			resp.Best = &resp.Candidates[0]
+		}
+	}
+	return resp, nil
+}
+
+// evalCandidate fills in one grid point via the cached Predict/Simulate
+// paths.
+func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCandidate) {
+	spec := req.Spec
+	spec.NumNodes = c.Nodes
+	job := req.Job
+	job.BlockSizeMB = c.BlockSizeMB
+	job.NumReduces = c.Reducers
+
+	if !req.UseSimulator {
+		pr, err := s.predict(ctx, PredictRequest{
+			Spec: spec, Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator,
+		})
+		if err != nil {
+			c.Err = err.Error()
+			return
+		}
+		c.ResponseTime = pr.Prediction.ResponseTime
+		c.Cached = pr.Cached
+		return
+	}
+
+	jobs := make([]workload.Job, req.NumJobs)
+	for i := range jobs {
+		j := job
+		j.ID = i
+		jobs[i] = j
+	}
+	sr, err := s.simulate(ctx, SimulateRequest{
+		Spec: spec, Jobs: jobs, Seed: req.Seed, Reps: req.Reps, Policy: c.Policy,
+	})
+	if err != nil {
+		c.Err = err.Error()
+		return
+	}
+	c.ResponseTime = sr.Result.MeanResponse()
+	c.Cached = sr.Cached
+}
+
+// sortCandidates ranks the grid best-first. Failed candidates sink to the
+// bottom. With a deadline the objective is cost (node-seconds) among
+// feasible candidates; otherwise raw speed.
+func sortCandidates(cands []PlanCandidate, hasDeadline bool) {
+	sort.SliceStable(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if (ca.Err == "") != (cb.Err == "") {
+			return ca.Err == ""
+		}
+		if ca.Err != "" {
+			return false
+		}
+		if hasDeadline {
+			if ca.Feasible != cb.Feasible {
+				return ca.Feasible
+			}
+			if ca.Feasible {
+				if ca.NodeSeconds != cb.NodeSeconds {
+					return ca.NodeSeconds < cb.NodeSeconds
+				}
+				return ca.ResponseTime < cb.ResponseTime
+			}
+		}
+		if ca.ResponseTime != cb.ResponseTime {
+			return ca.ResponseTime < cb.ResponseTime
+		}
+		return ca.NodeSeconds < cb.NodeSeconds
+	})
+}

@@ -1,0 +1,496 @@
+// Package service is the long-lived prediction engine behind cmd/mrserved:
+// it wraps the analytic model (internal/core), the discrete-event simulator
+// (internal/mrsim) and the static baselines behind one concurrent
+// request/response API suitable for serving many what-if scenarios.
+//
+// Three mechanisms make repeated operational queries cheap:
+//
+//   - a bounded worker pool caps concurrent model/simulator executions, so a
+//     burst of requests degrades into queueing instead of thrashing;
+//   - an LRU cache keyed on a canonical hash of the full request
+//     (cluster spec, job, scheduler policy, estimator, job count) makes
+//     repeated predictions O(1);
+//   - a singleflight layer deduplicates concurrent identical requests, so a
+//     thundering herd computes once and shares the result.
+//
+// The what-if planner (planner.go) fans grid searches over cluster size,
+// block size, reducer count and scheduler policy through the same pool and
+// cache to answer capacity-planning and deadline queries in one call.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/stats"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+// Defaults for Options fields left zero.
+const (
+	DefaultCacheSize = 1024
+	DefaultSimReps   = 5
+)
+
+// Request ceilings. The engine fronts untrusted HTTP input, so every
+// quantity that scales work or memory is bounded: a single request may not
+// allocate unbounded job slices or pin a worker for hours.
+const (
+	// MaxNumJobs bounds the concurrent-job population of one request (the
+	// MVA step is O(N²) in it; the paper evaluates N ≤ 4).
+	MaxNumJobs = 64
+	// MaxSimJobs bounds the job list of one simulation.
+	MaxSimJobs = 64
+	// MaxSimReps bounds the median-of-seeds repetition count.
+	MaxSimReps = 25
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers bounds concurrently executing model/simulator jobs
+	// (default: GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU entry capacity (default 1024).
+	CacheSize int
+	// SimReps is the default median-of-seeds repetition count for simulation
+	// requests that leave Reps zero (default 5, the paper's methodology).
+	SimReps int
+}
+
+func (o *Options) applyDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = DefaultCacheSize
+	}
+	if o.SimReps <= 0 {
+		o.SimReps = DefaultSimReps
+	}
+}
+
+// invalidRequestError marks errors raised by request validation, before any
+// computation, so transports can map them to client-fault status codes.
+type invalidRequestError struct{ err error }
+
+func (e invalidRequestError) Error() string { return e.err.Error() }
+func (e invalidRequestError) Unwrap() error { return e.err }
+
+// invalid wraps a validation error (nil stays nil).
+func invalid(err error) error {
+	if err == nil {
+		return nil
+	}
+	return invalidRequestError{err}
+}
+
+// IsInvalidRequest reports whether err comes from request validation (a
+// client mistake) as opposed to an engine failure.
+func IsInvalidRequest(err error) bool {
+	var e invalidRequestError
+	return errors.As(err, &e)
+}
+
+// Metrics is a point-in-time snapshot of service counters.
+type Metrics struct {
+	// Requests counts accepted API calls per kind.
+	PredictRequests  int64 `json:"predictRequests"`
+	SimulateRequests int64 `json:"simulateRequests"`
+	CompareRequests  int64 `json:"compareRequests"`
+	PlanRequests     int64 `json:"planRequests"`
+	// CacheHits counts requests served without computing (LRU hit or a
+	// shared singleflight result); CacheMisses counts actual computations.
+	CacheHits   int64 `json:"cacheHits"`
+	CacheMisses int64 `json:"cacheMisses"`
+	// HitRate is CacheHits / (CacheHits + CacheMisses), 0 when idle.
+	HitRate float64 `json:"hitRate"`
+	// InFlightSims is the number of simulator executions running right now.
+	InFlightSims int64 `json:"inFlightSims"`
+	// SimRuns counts completed simulator executions (each is Reps seeded runs).
+	SimRuns int64 `json:"simRuns"`
+	// CacheEntries is the current LRU population.
+	CacheEntries int `json:"cacheEntries"`
+}
+
+// Service is a concurrent prediction engine. It is safe for use from many
+// goroutines; create one with New.
+type Service struct {
+	opts   Options
+	sem    chan struct{}
+	cache  *lruCache
+	flight *flightGroup
+
+	predictReqs  atomic.Int64
+	simulateReqs atomic.Int64
+	compareReqs  atomic.Int64
+	planReqs     atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	inFlightSims atomic.Int64
+	simRuns      atomic.Int64
+}
+
+// New builds a Service with the given options.
+func New(opts Options) *Service {
+	opts.applyDefaults()
+	return &Service{
+		opts:   opts,
+		sem:    make(chan struct{}, opts.Workers),
+		cache:  newLRUCache(opts.CacheSize),
+		flight: newFlightGroup(),
+	}
+}
+
+// Metrics returns a snapshot of the service counters.
+func (s *Service) Metrics() Metrics {
+	m := Metrics{
+		PredictRequests:  s.predictReqs.Load(),
+		SimulateRequests: s.simulateReqs.Load(),
+		CompareRequests:  s.compareReqs.Load(),
+		PlanRequests:     s.planReqs.Load(),
+		CacheHits:        s.hits.Load(),
+		CacheMisses:      s.misses.Load(),
+		InFlightSims:     s.inFlightSims.Load(),
+		SimRuns:          s.simRuns.Load(),
+		CacheEntries:     s.cache.len(),
+	}
+	if tot := m.CacheHits + m.CacheMisses; tot > 0 {
+		m.HitRate = float64(m.CacheHits) / float64(tot)
+	}
+	return m
+}
+
+// acquire takes a worker-pool slot, honoring cancellation while queued.
+func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Service) release() { <-s.sem }
+
+// cachedCompute serves one request through the LRU + singleflight path:
+// cache hit, or join an in-flight identical computation, or compute and
+// populate the cache. compute is responsible for its own worker-pool usage
+// (acquire/release) so that uninterruptible work can keep its slot past a
+// caller's cancellation.
+func (s *Service) cachedCompute(ctx context.Context, key string, compute func() (any, error)) (any, bool, error) {
+	if v, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		return v, true, nil
+	}
+	// The leader rechecks the cache before computing: it may have become a
+	// leader by retrying after a canceled predecessor whose orphaned run
+	// already published a result (see runSim), or lost a race with one.
+	fromCache := false
+	v, err, shared := s.flight.do(ctx, key, func() (any, error) {
+		if v, ok := s.cache.get(key); ok {
+			fromCache = true
+			return v, nil
+		}
+		v, err := compute()
+		if err != nil {
+			return nil, err
+		}
+		s.cache.add(key, v)
+		return v, nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if shared || fromCache {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return v, shared || fromCache, nil
+}
+
+// PredictRequest asks for one analytic model evaluation.
+type PredictRequest struct {
+	Spec cluster.Spec
+	Job  workload.Job
+	// NumJobs is the closed-network population (default 1).
+	NumJobs int
+	// Estimator selects the tree estimator (default fork/join).
+	Estimator core.Estimator
+}
+
+func (r *PredictRequest) validate() error {
+	if r.NumJobs <= 0 {
+		r.NumJobs = 1
+	}
+	if r.NumJobs > MaxNumJobs {
+		return fmt.Errorf("service: NumJobs %d exceeds limit %d", r.NumJobs, MaxNumJobs)
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := r.Job.Validate(); err != nil {
+		return err
+	}
+	if _, err := r.Estimator.MarshalText(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// PredictResponse is an analytic prediction plus serving metadata. The
+// embedded Prediction may be shared with other cache readers — treat it as
+// read-only.
+type PredictResponse struct {
+	Prediction core.Prediction
+	// Cached reports whether the response was served without a fresh model
+	// run (LRU hit or shared in-flight computation).
+	Cached bool
+}
+
+// Predict runs (or recalls) one analytic model evaluation.
+func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+	s.predictReqs.Add(1)
+	return s.predict(ctx, req)
+}
+
+// predict is Predict without the API-call counter — the planner evaluates
+// candidates through it so /v1/metrics keeps counting client calls, not
+// internal fan-out.
+func (s *Service) predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+	if err := req.validate(); err != nil {
+		return PredictResponse{}, invalid(err)
+	}
+	v, cached, err := s.cachedCompute(ctx, predictKey(req), func() (any, error) {
+		if err := s.acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.release()
+		return core.Predict(core.Config{
+			Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: req.Estimator,
+		})
+	})
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	return PredictResponse{Prediction: v.(core.Prediction), Cached: cached}, nil
+}
+
+// SimulateRequest asks for a median-of-seeds simulator execution.
+type SimulateRequest struct {
+	Spec cluster.Spec
+	Jobs []workload.Job
+	// Seed anchors the consecutive-seed repetitions.
+	Seed int64
+	// Reps is the median-of-seeds repetition count (default Options.SimReps).
+	Reps int
+	// Policy orders applications in the RM root queue.
+	Policy yarn.Policy
+}
+
+func (r *SimulateRequest) validate(defaultReps int) error {
+	if r.Reps <= 0 {
+		r.Reps = defaultReps
+	}
+	if r.Reps > MaxSimReps {
+		return fmt.Errorf("service: Reps %d exceeds limit %d", r.Reps, MaxSimReps)
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if len(r.Jobs) == 0 {
+		return errors.New("service: simulate needs at least one job")
+	}
+	if len(r.Jobs) > MaxSimJobs {
+		return fmt.Errorf("service: %d jobs exceeds limit %d", len(r.Jobs), MaxSimJobs)
+	}
+	for i, j := range r.Jobs {
+		if err := j.Validate(); err != nil {
+			return fmt.Errorf("service: job %d: %w", i, err)
+		}
+	}
+	if _, err := r.Policy.MarshalText(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SimulateResponse is a simulator execution plus serving metadata. The
+// embedded Result may be shared with other cache readers — treat it as
+// read-only.
+type SimulateResponse struct {
+	Result mrsim.Result
+	Cached bool
+}
+
+// Simulate runs (or recalls) a median-of-seeds cluster simulation. The
+// simulator cannot be interrupted mid-run; on cancellation Simulate returns
+// promptly while the already-started run completes in the background —
+// keeping its worker-pool slot so the concurrency bound holds — and then
+// populates the cache so a retry is free.
+func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
+	s.simulateReqs.Add(1)
+	return s.simulate(ctx, req)
+}
+
+// simulate is Simulate without the API-call counter (see predict).
+func (s *Service) simulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
+	if err := req.validate(s.opts.SimReps); err != nil {
+		return SimulateResponse{}, invalid(err)
+	}
+	key := simulateKey(req)
+	v, cached, err := s.cachedCompute(ctx, key, func() (any, error) {
+		return s.runSim(ctx, key, req)
+	})
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	return SimulateResponse{Result: v.(mrsim.Result), Cached: cached}, nil
+}
+
+// runSim executes the simulator under a worker-pool slot, on its own
+// goroutine so the caller can observe ctx while the (uninterruptible)
+// discrete-event run proceeds. If the caller's ctx ends first, the run
+// finishes in the background, holding its slot until done and caching its
+// result under key.
+func (s *Service) runSim(ctx context.Context, key string, req SimulateRequest) (mrsim.Result, error) {
+	if err := s.acquire(ctx); err != nil {
+		return mrsim.Result{}, err
+	}
+	type outcome struct {
+		res mrsim.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	s.inFlightSims.Add(1)
+	go func() {
+		defer s.release()
+		defer s.inFlightSims.Add(-1)
+		res, err := mrsim.RunMedianOfSeeds(mrsim.Config{
+			Spec: req.Spec, Jobs: req.Jobs, Seed: req.Seed, Scheduler: req.Policy,
+		}, req.Reps)
+		if err == nil {
+			s.simRuns.Add(1)
+			// Also cache directly: when the caller has already given up, the
+			// cachedCompute layer never sees this result.
+			s.cache.add(key, res)
+		}
+		done <- outcome{res, err} // buffered; never blocks an orphaned run
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-ctx.Done():
+		return mrsim.Result{}, ctx.Err()
+	}
+}
+
+// CompareRequest validates the model against the simulator for one
+// configuration: numJobs concurrent copies of Job (fair scheduling when
+// numJobs > 1, mirroring the paper's multi-job methodology).
+type CompareRequest struct {
+	Spec    cluster.Spec
+	Job     workload.Job
+	NumJobs int
+	Seed    int64
+	Reps    int
+}
+
+func (r *CompareRequest) validate(defaultReps int) error {
+	if r.NumJobs <= 0 {
+		r.NumJobs = 1
+	}
+	if r.NumJobs > MaxNumJobs {
+		return fmt.Errorf("service: NumJobs %d exceeds limit %d", r.NumJobs, MaxNumJobs)
+	}
+	if r.Reps <= 0 {
+		r.Reps = defaultReps
+	}
+	if r.Reps > MaxSimReps {
+		return fmt.Errorf("service: Reps %d exceeds limit %d", r.Reps, MaxSimReps)
+	}
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	return r.Job.Validate()
+}
+
+// CompareResponse reports both model estimates against the simulated truth.
+type CompareResponse struct {
+	// Simulated is the median measured mean job response time.
+	Simulated float64
+	// ForkJoin and Tripathi are the two model estimates; the *Err fields are
+	// signed relative errors vs. Simulated (positive = overestimate).
+	ForkJoin    float64
+	Tripathi    float64
+	ForkJoinErr float64
+	TripathiErr float64
+	Cached      bool
+}
+
+// Compare validates both model variants against a simulated execution.
+func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareResponse, error) {
+	s.compareReqs.Add(1)
+	if err := req.validate(s.opts.SimReps); err != nil {
+		return CompareResponse{}, invalid(err)
+	}
+	v, cached, err := s.cachedCompute(ctx, compareKey(req), func() (any, error) {
+		return s.runCompare(ctx, req)
+	})
+	if err != nil {
+		return CompareResponse{}, err
+	}
+	out := v.(CompareResponse)
+	out.Cached = cached
+	return out, nil
+}
+
+func (s *Service) runCompare(ctx context.Context, req CompareRequest) (CompareResponse, error) {
+	jobs := make([]workload.Job, req.NumJobs)
+	for i := range jobs {
+		j := req.Job
+		j.ID = i
+		jobs[i] = j
+	}
+	pol := yarn.PolicyFIFO
+	if req.NumJobs > 1 {
+		pol = yarn.PolicyFair
+	}
+	// The inner simulation goes through the shared cache/singleflight path
+	// under its own key: a Compare after (or concurrent with) a Simulate of
+	// the same configuration reuses its run, and vice versa.
+	sim, err := s.simulate(ctx, SimulateRequest{
+		Spec: req.Spec, Jobs: jobs, Seed: req.Seed, Reps: req.Reps, Policy: pol,
+	})
+	if err != nil {
+		return CompareResponse{}, err
+	}
+	res := sim.Result
+	if err := s.acquire(ctx); err != nil {
+		return CompareResponse{}, err
+	}
+	defer s.release()
+	fj, err := core.Predict(core.Config{Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: core.EstimatorForkJoin})
+	if err != nil {
+		return CompareResponse{}, err
+	}
+	tp, err := core.Predict(core.Config{Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: core.EstimatorTripathi})
+	if err != nil {
+		return CompareResponse{}, err
+	}
+	measured := res.MeanResponse()
+	return CompareResponse{
+		Simulated:   measured,
+		ForkJoin:    fj.ResponseTime,
+		Tripathi:    tp.ResponseTime,
+		ForkJoinErr: stats.SignedRelError(fj.ResponseTime, measured),
+		TripathiErr: stats.SignedRelError(tp.ResponseTime, measured),
+	}, nil
+}

@@ -68,6 +68,28 @@ func TestReadRejectsInconsistentTimes(t *testing.T) {
 	}
 }
 
+func TestReadRejectsNegativeTimes(t *testing.T) {
+	// A task starting before t=0 cannot come from a real execution.
+	doc := `{"version":1,"result":{"jobs":[{"job":0,"submit":0,"start":1,"end":9,"response":9,
+		"tasks":[{"job":0,"class":"map","task":0,"node":0,"start":-3,"end":2}]}]}}`
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("negative task start accepted")
+	}
+	// A job registering before its own submission is equally inconsistent.
+	doc2 := `{"version":1,"result":{"jobs":[{"job":0,"submit":4,"start":1,"end":9,"response":5,"tasks":[]}]}}`
+	if _, err := Read(strings.NewReader(doc2)); err == nil {
+		t.Error("start<submit accepted")
+	}
+}
+
+func TestReadRejectsVersionZero(t *testing.T) {
+	// A document with no version field decodes as version 0 and must be
+	// rejected rather than treated as current.
+	if _, err := Read(strings.NewReader(`{"result":{}}`)); err == nil {
+		t.Error("missing version accepted")
+	}
+}
+
 func TestExtractProfile(t *testing.T) {
 	res := simResult(t)
 	p, err := Extract(res)

@@ -20,35 +20,36 @@ import (
 // Profile holds per-MB service costs for every Herodotou phase of a
 // MapReduce job (read, map, collect, spill, merge / shuffle, sort-merge,
 // reduce, write) plus data-flow selectivities.
+// JSON tags give the wire API (cmd/mrserved) camelCase field names.
 type Profile struct {
-	Name string
+	Name string `json:"name"`
 
 	// Map-side phases.
-	MapCPUPerMB     float64 // map function CPU, s/MB of input
-	CollectCPUPerMB float64 // serialization+partitioning CPU, s/MB of map output
-	SortCPUPerMB    float64 // in-memory sort during spill, s/MB of map output
-	MergeCPUPerMB   float64 // on-disk merge CPU, s/MB of map output
+	MapCPUPerMB     float64 `json:"mapCPUPerMB"`     // map function CPU, s/MB of input
+	CollectCPUPerMB float64 `json:"collectCPUPerMB"` // serialization+partitioning CPU, s/MB of map output
+	SortCPUPerMB    float64 `json:"sortCPUPerMB"`    // in-memory sort during spill, s/MB of map output
+	MergeCPUPerMB   float64 `json:"mergeCPUPerMB"`   // on-disk merge CPU, s/MB of map output
 
 	// Reduce-side phases.
-	ShuffleCPUPerMB float64 // decompression/copy CPU during shuffle, s/MB
-	ReduceCPUPerMB  float64 // reduce function CPU, s/MB of reduce input
-	RSortCPUPerMB   float64 // final merge-sort CPU, s/MB of reduce input
+	ShuffleCPUPerMB float64 `json:"shuffleCPUPerMB"` // decompression/copy CPU during shuffle, s/MB
+	ReduceCPUPerMB  float64 `json:"reduceCPUPerMB"`  // reduce function CPU, s/MB of reduce input
+	RSortCPUPerMB   float64 `json:"rsortCPUPerMB"`   // final merge-sort CPU, s/MB of reduce input
 
 	// Selectivities.
-	MapOutputRatio float64 // map output bytes / map input bytes
-	OutputRatio    float64 // job output bytes / reduce input bytes
+	MapOutputRatio float64 `json:"mapOutputRatio"` // map output bytes / map input bytes
+	OutputRatio    float64 `json:"outputRatio"`    // job output bytes / reduce input bytes
 
 	// SpillPasses is how many times map output crosses the local disk before
 	// it is final (1 spill + merges).
-	SpillPasses float64
+	SpillPasses float64 `json:"spillPasses"`
 
 	// TaskJitterCV is the coefficient of variation of multiplicative task
 	// service-time noise in the simulator (stragglers, JVM warmup, OS noise).
-	TaskJitterCV float64
+	TaskJitterCV float64 `json:"taskJitterCV"`
 
 	// Fixed overheads (seconds).
-	ContainerStartup float64 // JVM/container launch per task
-	AMStartup        float64 // ApplicationMaster negotiation before first request
+	ContainerStartup float64 `json:"containerStartup"` // JVM/container launch per task
+	AMStartup        float64 `json:"amStartup"`        // ApplicationMaster negotiation before first request
 }
 
 // WordCount returns the calibrated profile for the paper's evaluation

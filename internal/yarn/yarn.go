@@ -154,6 +154,39 @@ func (p Policy) String() string {
 	return "fifo"
 }
 
+// ParsePolicy is the inverse of String. It accepts the canonical names and
+// the empty string (which maps to the FIFO default), so wire formats and
+// cache keys share one stable spelling per policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "fifo":
+		return PolicyFIFO, nil
+	case "fair":
+		return PolicyFair, nil
+	}
+	return 0, fmt.Errorf("yarn: unknown scheduling policy %q (want \"fifo\" or \"fair\")", s)
+}
+
+// MarshalText makes Policy serialize by its stable name rather than its
+// numeric value (JSON wire format, canonical cache keys).
+func (p Policy) MarshalText() ([]byte, error) {
+	switch p {
+	case PolicyFIFO, PolicyFair:
+		return []byte(p.String()), nil
+	}
+	return nil, fmt.Errorf("yarn: invalid policy %d", int(p))
+}
+
+// UnmarshalText parses the stable policy name.
+func (p *Policy) UnmarshalText(b []byte) error {
+	pol, err := ParsePolicy(string(b))
+	if err != nil {
+		return err
+	}
+	*p = pol
+	return nil
+}
+
 // RM is the global ResourceManager with a single root queue: applications
 // are ordered by the configured Policy, and within an application,
 // higher-priority requests are served first.
