@@ -120,12 +120,128 @@ func BenchmarkSimulator(b *testing.B) {
 		b.Fatal(err)
 	}
 	cfg := mrsim.Config{Spec: DefaultCluster(4), Jobs: []workload.Job{job}, Seed: 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mrsim.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSimulatorLarge measures a 5 GB, 8-node simulation — the heavy
+// end of the figure benchmarks, where the event-calendar and resource hot
+// paths dominate.
+func BenchmarkSimulatorLarge(b *testing.B) {
+	job, err := workload.NewJob(0, 5*1024, 128, 8, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := mrsim.Config{Spec: DefaultCluster(8), Jobs: []workload.Job{job}, Seed: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mrsim.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictBatch compares a cluster-size sweep evaluated through
+// one reusable Predictor (PredictBatch) against fresh per-config Predict
+// calls — the shape the planner produces.
+func BenchmarkPredictBatch(b *testing.B) {
+	job, err := workload.NewJob(0, 2*1024, 128, 1, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cfgs []ModelConfig
+	for n := 2; n <= 17; n++ {
+		cfgs = append(cfgs, ModelConfig{Spec: DefaultCluster(n), Job: job, NumJobs: 1})
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				if _, err := Predict(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PredictBatch(cfgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPlanDeadline is the headline planner comparison: one
+// representative deadline query — "how many nodes does this 1 GB job need
+// to finish in time?" over a 64-point node axis — answered by the
+// exhaustive grid vs. the monotone search (bisection + dominance pruning).
+// Each iteration uses a cold cache, so ns/op measures real model work; the
+// predicts/op metric counts actual model executions.
+func BenchmarkPlanDeadline(b *testing.B) {
+	job, err := workload.NewJob(0, 1024, 128, 1, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]int, 64)
+	for i := range nodes {
+		nodes[i] = 2 + i
+	}
+	base := PlanRequest{Spec: DefaultCluster(4), Job: job, Nodes: nodes}
+
+	// Mid-range deadline from one exhaustive pass.
+	setup := NewService(ServiceOptions{})
+	ex := base
+	ex.Exhaustive = true
+	ex.DeadlineSec = 1
+	ref, err := setup.Plan(context.Background(), ex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := ref.Candidates[0].ResponseTime, ref.Candidates[0].ResponseTime
+	for _, c := range ref.Candidates {
+		if c.ResponseTime < lo {
+			lo = c.ResponseTime
+		}
+		if c.ResponseTime > hi {
+			hi = c.ResponseTime
+		}
+	}
+	deadline := (lo + hi) / 2
+
+	run := func(b *testing.B, exhaustive bool) {
+		b.ReportAllocs()
+		var best *PlanCandidate
+		var predicts int64
+		for i := 0; i < b.N; i++ {
+			svc := NewService(ServiceOptions{}) // cold cache per query
+			req := base
+			req.DeadlineSec = deadline
+			req.Exhaustive = exhaustive
+			resp, err := svc.Plan(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Best == nil {
+				b.Fatal("no feasible plan")
+			}
+			best = resp.Best
+			predicts += svc.Metrics().CacheMisses
+		}
+		b.ReportMetric(float64(predicts)/float64(b.N), "predicts/op")
+		if best.Nodes <= 0 {
+			b.Fatal("bogus best")
+		}
+	}
+	b.Run("grid", func(b *testing.B) { run(b, true) })
+	b.Run("search", func(b *testing.B) { run(b, false) })
 }
 
 // BenchmarkTimelineConstruction isolates Algorithm 1 (§4.3: O(C·T) per

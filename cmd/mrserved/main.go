@@ -10,7 +10,12 @@
 //	POST /v1/predict  analytic model prediction
 //	POST /v1/simulate discrete-event simulation (median of seeds)
 //	POST /v1/compare  model vs. simulator validation
-//	POST /v1/plan     what-if grid search (nodes × block size × reducers × policy)
+//	POST /v1/plan     what-if search (nodes × block size × reducers × policy;
+//	                  deadline queries bisect the node axis)
+//
+// Runtime profiles of the serving process are exposed on a separate
+// loopback-only listener (-pprof-addr, default 127.0.0.1:6060) so the
+// public API surface never serves /debug/pprof/*; see PERFORMANCE.md.
 package main
 
 import (
@@ -19,8 +24,10 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -33,10 +40,11 @@ func main() {
 
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (model/simulator executions in flight)")
 		cacheSize = flag.Int("cache-size", service.DefaultCacheSize, "LRU cache entries")
 		simReps   = flag.Int("sim-reps", service.DefaultSimReps, "default median-of-seeds repetitions")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "loopback /debug/pprof listener (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -45,6 +53,23 @@ func main() {
 		CacheSize: *cacheSize,
 		SimReps:   *simReps,
 	})
+	if *pprofAddr != "" {
+		// Profile the live process under real traffic, on its own listener:
+		// profiles burn CPU and expose memory contents, so they never ride
+		// the public API port (see PERFORMANCE.md for recipes).
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			// No write timeout: second-long CPU/trace profiles are the point.
+			err := (&http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}).ListenAndServe()
+			log.Printf("pprof listener: %v", err)
+		}()
+		log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
+	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           service.NewHandler(svc, service.ServerConfig{Timeout: *timeout}),

@@ -119,6 +119,19 @@ func NewJob(id int, inputMB, blockSizeMB float64, reduces int, p Profile) (Job, 
 // Predict runs the analytic performance model (modified MVA, §4.2).
 func Predict(cfg ModelConfig) (Prediction, error) { return core.Predict(cfg) }
 
+// Predictor is a reusable, allocation-lean model evaluator (one goroutine
+// at a time); see NewPredictor.
+type Predictor = core.Predictor
+
+// NewPredictor returns a reusable model evaluator whose scratch buffers
+// survive across predictions — the fast path for evaluating many
+// configurations in a loop.
+func NewPredictor() *Predictor { return core.NewPredictor() }
+
+// PredictBatch evaluates many model configurations through one shared
+// evaluator, reusing the timeline/overlap scaffolding across entries.
+func PredictBatch(cfgs []ModelConfig) ([]Prediction, error) { return core.PredictBatch(cfgs) }
+
 // EstimateResources predicts per-class and total resource consumption and
 // cluster utilization for the configured job (the paper's §6 future work).
 func EstimateResources(cfg ModelConfig) (ResourceEstimate, Prediction, error) {

@@ -194,8 +194,67 @@ type classData struct {
 
 func (c *classData) demandTotal() float64 { return c.demCPU + c.demDisk + c.demNetwork }
 
-// Predict runs the model to convergence.
+// Predictor is a reusable, allocation-lean model evaluator: the O(T²)
+// overlap matrices, the MVA solver scratch, the timeline inputs and the
+// per-iteration lookup tables live on the Predictor and are recycled across
+// iterations and across predictions, so evaluating many configurations —
+// the planner's node-axis sweeps, batched figure reproduction — stops
+// churning the garbage collector.
+//
+// A Predictor is not safe for concurrent use; pool Predictors (one per
+// worker) to serve parallel predictions. Results are bit-identical to the
+// one-shot Predict.
+type Predictor struct {
+	solver mva.OverlapSolver
+
+	// Overlap-factor matrices: 2 (alpha, beta) × numCenters layers of n×n,
+	// views over one flat backing array, rebuilt only when n changes.
+	ovFlat      []float64
+	alpha, beta [][][]float64
+	ovN         int
+
+	// Per-task MVA demands, flat-backed.
+	demands []mva.TaskDemand
+	demFlat []float64
+
+	// Algorithm-1 inputs (timeline.Build copies them; safe to reuse).
+	maps    []timeline.MapTask
+	reduces []timeline.ReduceTask
+
+	// Per-iteration lookup tables, cleared instead of reallocated.
+	lanes  map[laneKey]laneWindow
+	respOf map[classTask]float64
+}
+
+// NewPredictor returns an empty Predictor; buffers grow on first use.
+func NewPredictor() *Predictor { return &Predictor{} }
+
+// Predict runs the model to convergence with a fresh evaluator.
 func Predict(cfg Config) (Prediction, error) {
+	var p Predictor
+	return p.Predict(cfg)
+}
+
+// PredictBatch evaluates a batch of configurations through one shared
+// evaluator, reusing the timeline/overlap scaffolding across entries. Same
+// results as calling Predict per config, with far fewer allocations for
+// batches whose entries share a task-count shape (e.g. a planner's
+// cluster-size sweep of one job). Stops at the first failing config.
+func PredictBatch(cfgs []Config) ([]Prediction, error) {
+	p := NewPredictor()
+	out := make([]Prediction, len(cfgs))
+	for i, cfg := range cfgs {
+		pred, err := p.Predict(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
+		}
+		out[i] = pred
+	}
+	return out, nil
+}
+
+// Predict runs the model to convergence.
+func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 	cfg.applyDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
 		return Prediction{}, err
@@ -219,7 +278,7 @@ func Predict(cfg Config) (Prediction, error) {
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
 		// A2: timeline from current class response times.
-		tl, err = buildTimeline(cfg, classes)
+		tl, err = p.buildTimeline(cfg, classes)
 		if err != nil {
 			return Prediction{}, err
 		}
@@ -229,10 +288,10 @@ func Predict(cfg Config) (Prediction, error) {
 			return Prediction{}, err
 		}
 		// A4: overlap factors.
-		alpha, beta := overlapFactors(cfg, tl)
+		alpha, beta := p.overlapFactors(cfg, tl)
 		// A5: overlap-weighted MVA step.
-		taskDemands := demandsFor(cfg, tl, classes)
-		step, err := mva.OverlapStep(mva.OverlapInput{
+		taskDemands := p.demandsFor(cfg, tl, classes)
+		step, err := p.solver.Step(mva.OverlapInput{
 			Tasks:     taskDemands,
 			Alpha:     alpha,
 			Beta:      beta,
@@ -243,17 +302,18 @@ func Predict(cfg Config) (Prediction, error) {
 			return Prediction{}, err
 		}
 		// Aggregate per class with damping.
-		newResp := classMeans(tl, step.Response)
+		var newResp [numClasses]float64
+		classMeans(tl, step.Response, &newResp)
 		for cls, cd := range classes {
-			nr, ok := newResp[cls]
-			if !ok || nr <= 0 {
+			nr := newResp[cls]
+			if nr <= 0 {
 				continue
 			}
 			cd.response = damping*cd.response + (1-damping)*nr
 			classes[cls] = cd
 		}
 		// A6: job response from the tree + convergence test.
-		total, err := estimate(cfg, tree, tl, step.Response, classes)
+		total, err := p.estimate(cfg, tree, tl, step.Response, classes)
 		if err != nil {
 			return Prediction{}, err
 		}
@@ -329,8 +389,9 @@ func leafCVFor(cfg Config, cls timeline.Class) float64 {
 
 // buildTimeline converts class responses into Algorithm 1 inputs. The
 // shuffle-sort response is split into a node-local base and a network share
-// that Algorithm 1 redistributes per remote map (sd/|R|).
-func buildTimeline(cfg Config, classes map[timeline.Class]*classData) (*timeline.Timeline, error) {
+// that Algorithm 1 redistributes per remote map (sd/|R|). The input slices
+// are predictor-owned scratch: timeline.Build copies what it keeps.
+func (p *Predictor) buildTimeline(cfg Config, classes map[timeline.Class]*classData) (*timeline.Timeline, error) {
 	m := cfg.Job.NumMaps()
 	r := cfg.Job.NumReduces
 	mapResp := classes[timeline.ClassMap].response
@@ -361,19 +422,23 @@ func buildTimeline(cfg Config, classes map[timeline.Class]*classData) (*timeline
 	if redSlots < 1 {
 		redSlots = 1
 	}
+	p.maps = p.maps[:0]
+	p.reduces = p.reduces[:0]
+	for i := 0; i < m; i++ {
+		p.maps = append(p.maps, timeline.MapTask{ID: i, Duration: mapResp, ShuffleDuration: sd})
+	}
+	for i := 0; i < r; i++ {
+		p.reduces = append(p.reduces, timeline.ReduceTask{
+			ID: i, ShuffleSortBase: ssBase, MergeDuration: mgResp,
+		})
+	}
 	in := timeline.Input{
 		NumNodes:           cfg.Spec.NumNodes,
 		MapSlotsPerNode:    mapSlots,
 		ReduceSlotsPerNode: redSlots,
+		Maps:               p.maps,
+		Reduces:            p.reduces,
 		SlowStart:          cfg.Job.SlowStart,
-	}
-	for i := 0; i < m; i++ {
-		in.Maps = append(in.Maps, timeline.MapTask{ID: i, Duration: mapResp, ShuffleDuration: sd})
-	}
-	for i := 0; i < r; i++ {
-		in.Reduces = append(in.Reduces, timeline.ReduceTask{
-			ID: i, ShuffleSortBase: ssBase, MergeDuration: mgResp,
-		})
 	}
 	return timeline.Build(in)
 }
@@ -389,6 +454,50 @@ const (
 	numCenters    = 3
 )
 
+// numClasses is the paper's C = 3 (map, shuffle-sort, merge); the timeline
+// class constants index arrays of this size.
+const numClasses = 3
+
+// overlapMatrices returns zeroed alpha/beta matrices for n tasks, views
+// over one predictor-owned flat backing so repeated iterations of the same
+// shape allocate nothing.
+func (p *Predictor) overlapMatrices(n int) (alpha, beta [][][]float64) {
+	need := 2 * numCenters * n * n
+	if p.ovN != n {
+		p.ovN = n
+		if cap(p.ovFlat) < need {
+			p.ovFlat = make([]float64, need)
+		}
+		p.ovFlat = p.ovFlat[:need]
+		if p.alpha == nil {
+			p.alpha = make([][][]float64, numCenters)
+			p.beta = make([][][]float64, numCenters)
+		}
+		off := 0
+		row := func() []float64 {
+			r := p.ovFlat[off : off+n : off+n]
+			off += n
+			return r
+		}
+		for k := 0; k < numCenters; k++ {
+			if cap(p.alpha[k]) < n {
+				p.alpha[k] = make([][]float64, n)
+				p.beta[k] = make([][]float64, n)
+			}
+			p.alpha[k] = p.alpha[k][:n]
+			p.beta[k] = p.beta[k][:n]
+			for i := 0; i < n; i++ {
+				p.alpha[k][i] = row()
+			}
+			for i := 0; i < n; i++ {
+				p.beta[k][i] = row()
+			}
+		}
+	}
+	clear(p.ovFlat)
+	return p.alpha, p.beta
+}
+
 // overlapFactors computes α (intra-job) and β (inter-job) per center.
 //
 // α^k_ij is the fraction of task i's execution that overlaps task j's, masked
@@ -402,19 +511,10 @@ const (
 // as α — including j = i, whose twin in the other job fully overlaps — with
 // node co-location probability 1/numNodes for the per-node centers (the
 // other job's tasks spread uniformly over nodes).
-func overlapFactors(cfg Config, tl *timeline.Timeline) (alpha, beta [][][]float64) {
+func (p *Predictor) overlapFactors(cfg Config, tl *timeline.Timeline) (alpha, beta [][][]float64) {
 	n := len(tl.Tasks)
-	alpha = make([][][]float64, numCenters)
-	beta = make([][][]float64, numCenters)
-	for k := 0; k < numCenters; k++ {
-		alpha[k] = make([][]float64, n)
-		beta[k] = make([][]float64, n)
-		for i := 0; i < n; i++ {
-			alpha[k][i] = make([]float64, n)
-			beta[k][i] = make([]float64, n)
-		}
-	}
-	windows := laneWindows(tl)
+	alpha, beta = p.overlapMatrices(n)
+	windows := p.laneWindows(tl)
 	for i := 0; i < n; i++ {
 		ti := tl.Tasks[i]
 		di := ti.Duration()
@@ -473,8 +573,12 @@ type laneWindow struct {
 	total  float64         // sum of task durations in the lane
 }
 
-func laneWindows(tl *timeline.Timeline) map[laneKey]laneWindow {
-	out := map[laneKey]laneWindow{}
+func (p *Predictor) laneWindows(tl *timeline.Timeline) map[laneKey]laneWindow {
+	if p.lanes == nil {
+		p.lanes = make(map[laneKey]laneWindow)
+	}
+	clear(p.lanes)
+	out := p.lanes
 	for _, t := range tl.Tasks {
 		k := laneKey{mapPool: t.Class == timeline.ClassMap, node: t.Node, slot: t.Slot}
 		w, ok := out[k]
@@ -512,9 +616,18 @@ func laneOverlap(ti, tj timeline.Placed, windows map[laneKey]laneWindow, pairwis
 }
 
 // demandsFor maps placed tasks to center demands. Map demands use the
-// task's actual split size (the final split may be short).
-func demandsFor(cfg Config, tl *timeline.Timeline, classes map[timeline.Class]*classData) []mva.TaskDemand {
-	out := make([]mva.TaskDemand, len(tl.Tasks))
+// task's actual split size (the final split may be short). The returned
+// slice is predictor-owned scratch, valid until the next call.
+func (p *Predictor) demandsFor(cfg Config, tl *timeline.Timeline, classes map[timeline.Class]*classData) []mva.TaskDemand {
+	n := len(tl.Tasks)
+	if cap(p.demands) < n {
+		p.demands = make([]mva.TaskDemand, n)
+		p.demFlat = make([]float64, n*numCenters)
+		for i := 0; i < n; i++ {
+			p.demands[i].Demands = p.demFlat[i*numCenters : (i+1)*numCenters : (i+1)*numCenters]
+		}
+	}
+	out := p.demands[:n]
 	for i, t := range tl.Tasks {
 		var cpu, disk, net float64
 		switch {
@@ -525,7 +638,9 @@ func demandsFor(cfg Config, tl *timeline.Timeline, classes map[timeline.Class]*c
 			cd := classes[t.Class]
 			cpu, disk, net = cd.demCPU, cd.demDisk, cd.demNetwork
 		}
-		out[i] = mva.TaskDemand{Demands: []float64{cpu, disk, net}}
+		out[i].Demands[centerCPU] = cpu
+		out[i].Demands[centerDisk] = disk
+		out[i].Demands[centerNetwork] = net
 	}
 	return out
 }
@@ -541,36 +656,45 @@ func centerServers(spec cluster.Spec) []float64 {
 	return []float64{float64(spec.CPUPerNode), float64(spec.DiskPerNode), fabric}
 }
 
-// classMeans averages per-task responses back into class responses.
-func classMeans(tl *timeline.Timeline, resp []float64) map[timeline.Class]float64 {
-	sum := map[timeline.Class]float64{}
-	cnt := map[timeline.Class]int{}
+// classMeans averages per-task responses back into class responses,
+// written into out (indexed by timeline.Class; zero = class absent).
+func classMeans(tl *timeline.Timeline, resp []float64, out *[numClasses]float64) {
+	var sum [numClasses]float64
+	var cnt [numClasses]int
 	for i, t := range tl.Tasks {
 		sum[t.Class] += resp[i]
 		cnt[t.Class]++
 	}
-	out := map[timeline.Class]float64{}
-	for cls, s := range sum {
-		out[cls] = s / float64(cnt[cls])
+	for cls := range out {
+		out[cls] = 0
+		if cnt[cls] > 0 {
+			out[cls] = sum[cls] / float64(cnt[cls])
+		}
 	}
-	return out
+}
+
+// classTask identifies a placed task by class and ID (the estimate lookup
+// key).
+type classTask struct {
+	cls timeline.Class
+	id  int
 }
 
 // estimate computes the job response time from the precedence tree using the
 // configured estimator; leaf response times come from the MVA step (per
 // task), leaf CVs from the class data.
-func estimate(cfg Config, tree *ptree.Node, tl *timeline.Timeline, taskResp []float64, classes map[timeline.Class]*classData) (float64, error) {
+func (p *Predictor) estimate(cfg Config, tree *ptree.Node, tl *timeline.Timeline, taskResp []float64, classes map[timeline.Class]*classData) (float64, error) {
 	// Index placed tasks to their MVA responses.
-	type key struct {
-		cls timeline.Class
-		id  int
+	if p.respOf == nil {
+		p.respOf = make(map[classTask]float64, len(tl.Tasks))
 	}
-	respOf := make(map[key]float64, len(tl.Tasks))
+	clear(p.respOf)
+	respOf := p.respOf
 	for i, t := range tl.Tasks {
-		respOf[key{t.Class, t.ID}] = taskResp[i]
+		respOf[classTask{t.Class, t.ID}] = taskResp[i]
 	}
 	leaf := func(t *timeline.Placed) (mean, cv float64, err error) {
-		m, ok := respOf[key{t.Class, t.ID}]
+		m, ok := respOf[classTask{t.Class, t.ID}]
 		if !ok || m <= 0 {
 			return 0, 0, fmt.Errorf("core: no response for %s task %d", t.Class, t.ID)
 		}

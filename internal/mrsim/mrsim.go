@@ -24,6 +24,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/hdfs"
@@ -31,6 +32,12 @@ import (
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
+
+// enginePool recycles discrete-event engines across runs: a reset engine
+// keeps its calendar and arena capacity, so repeated simulations (median of
+// seeds, planner sweeps, concurrent service traffic) skip the warm-up
+// allocations of a cold calendar.
+var enginePool = sync.Pool{New: func() any { return simevent.NewEngine() }}
 
 // maxEvents bounds a single simulation run.
 const maxEvents = 20_000_000
@@ -122,7 +129,15 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, errors.New("mrsim: SubmitTimes length mismatch")
 	}
 
-	s, err := newSim(cfg)
+	eng := enginePool.Get().(*simevent.Engine)
+	// Reset before Put (not after Get): a failed run leaves calendar
+	// closures pinning the whole sim graph, which must not survive in the
+	// pool.
+	defer func() {
+		eng.Reset()
+		enginePool.Put(eng)
+	}()
+	s, err := newSim(cfg, eng)
 	if err != nil {
 		return Result{}, err
 	}
@@ -167,8 +182,7 @@ type sim struct {
 	jobs []*jobRun
 }
 
-func newSim(cfg Config) (*sim, error) {
-	eng := simevent.NewEngine()
+func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
 	rm, err := yarn.NewRM(eng, cfg.Spec)
 	if err != nil {
 		return nil, err
@@ -207,7 +221,11 @@ func newSim(cfg Config) (*sim, error) {
 			job:    job,
 			file:   file,
 			submit: submit,
-			record: &JobResult{JobID: job.ID, Submit: submit},
+			record: &JobResult{
+				JobID: job.ID, Submit: submit,
+				// One record per map plus shuffle-sort and merge per reducer.
+				Tasks: make([]TaskRecord, 0, file.NumSplits()+2*job.NumReduces),
+			},
 		})
 	}
 	return s, nil
@@ -236,7 +254,7 @@ type jobRun struct {
 	pendingMaps    []int // split indices not yet assigned
 	completedMaps  int
 	assignedMaps   int
-	mapDoneOnNode  map[int][]int // node -> completed map IDs (for locality of fetches)
+	mapDoneOnNode  [][]int // node -> completed map IDs (for locality of fetches)
 	reduceAsked    bool
 	reducers       []*reducerRun
 	activeReducers int
@@ -259,7 +277,7 @@ func (j *jobRun) startJob() {
 		for i := range j.pendingMaps {
 			j.pendingMaps[i] = i
 		}
-		j.mapDoneOnNode = map[int][]int{}
+		j.mapDoneOnNode = make([][]int, s.cfg.Spec.NumNodes)
 		// Group map requests by primary-replica node (Table 1 shape).
 		perNode := map[int]int{}
 		for _, b := range j.file.Blocks {
@@ -437,7 +455,8 @@ type reducerRun struct {
 	cont       *yarn.Container
 	started    bool
 	shuffleRec TaskRecord
-	fetched    map[int]bool
+	fetched    []bool // by split index
+	numFetched int
 	inFlight   int
 	shuffleEnd bool
 	mergeDone  bool
@@ -446,7 +465,7 @@ type reducerRun struct {
 func (r *reducerRun) start() {
 	s := r.job.sim
 	r.started = true
-	r.fetched = map[int]bool{}
+	r.fetched = make([]bool, r.job.numMaps())
 	r.shuffleRec = TaskRecord{
 		JobID: r.job.job.ID, Class: ClassShuffleSort, TaskID: r.id, Node: r.node,
 		Start: s.eng.Now(),
@@ -455,8 +474,8 @@ func (r *reducerRun) start() {
 	r.shuffleRec.CPU = ss.CPU
 	r.shuffleRec.Disk = ss.Disk
 	r.shuffleRec.Network = ss.Network
-	// Fetch everything already finished; future completions arrive via
-	// mapCompleted.
+	// Fetch everything already finished (in node order — deterministic);
+	// future completions arrive via mapCompleted.
 	for node, splits := range r.job.mapDoneOnNode {
 		for _, split := range splits {
 			r.fetch(split, node)
@@ -480,6 +499,7 @@ func (r *reducerRun) fetch(split, node int) {
 		return
 	}
 	r.fetched[split] = true
+	r.numFetched++
 	r.inFlight++
 	s := r.job.sim
 	job := r.job.job
@@ -510,7 +530,7 @@ func (r *reducerRun) maybeFinishShuffle() {
 	if r.shuffleEnd || r.inFlight > 0 {
 		return
 	}
-	if len(r.fetched) < r.job.numMaps() {
+	if r.numFetched < r.job.numMaps() {
 		return
 	}
 	r.shuffleEnd = true

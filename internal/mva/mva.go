@@ -207,7 +207,62 @@ type OverlapResult struct {
 	Iterations int
 }
 
-// OverlapStep solves the overlap-weighted residence-time fixed point
+// OverlapSolver runs overlap-weighted residence-time steps with reusable
+// scratch buffers: the residence matrices are double-buffered over flat
+// backing arrays, so repeated Step calls — the outer loop of the paper's
+// model iterates the step to a fixed point, and batched predictions solve
+// many steps of the same shape — allocate nothing once warmed up.
+//
+// A solver is not safe for concurrent use. The matrices inside the returned
+// OverlapResult alias solver-owned memory and are valid until the next Step
+// call; callers that retain them across steps must copy.
+type OverlapSolver struct {
+	resFlat  []float64 // n×k residence matrix backing, current iterate
+	nextFlat []float64 // n×k residence matrix backing, next iterate
+	res      [][]float64
+	next     [][]float64
+	resp     []float64
+	servers  []float64
+	rho      []float64 // n×k visit-probability matrix, rebuilt per sweep
+	n, k     int
+}
+
+// ensure sizes the scratch for n tasks over k centers, reusing capacity.
+func (s *OverlapSolver) ensure(n, k int) {
+	if s.n == n && s.k == k {
+		return
+	}
+	s.n, s.k = n, k
+	need := n * k
+	if cap(s.resFlat) < need {
+		s.resFlat = make([]float64, need)
+		s.nextFlat = make([]float64, need)
+		s.rho = make([]float64, need)
+	}
+	s.resFlat = s.resFlat[:need]
+	s.nextFlat = s.nextFlat[:need]
+	s.rho = s.rho[:need]
+	if cap(s.res) < n {
+		s.res = make([][]float64, n)
+		s.next = make([][]float64, n)
+	}
+	s.res = s.res[:n]
+	s.next = s.next[:n]
+	for i := 0; i < n; i++ {
+		s.res[i] = s.resFlat[i*k : (i+1)*k : (i+1)*k]
+		s.next[i] = s.nextFlat[i*k : (i+1)*k : (i+1)*k]
+	}
+	if cap(s.resp) < n {
+		s.resp = make([]float64, n)
+	}
+	s.resp = s.resp[:n]
+	if cap(s.servers) < k {
+		s.servers = make([]float64, k)
+	}
+	s.servers = s.servers[:k]
+}
+
+// Step solves the overlap-weighted residence-time fixed point
 // (Mak–Lundstrom arrival queue lengths over processor-sharing multi-server
 // centers):
 //
@@ -219,7 +274,7 @@ type OverlapResult struct {
 // the classical single-server inflation D_ik*(1+arr); for c_k > 1 it is the
 // fluid processor-sharing law: no slowdown until the expected concurrency
 // exceeds the server count. Iterates until response times are stable.
-func OverlapStep(in OverlapInput) (OverlapResult, error) {
+func (s *OverlapSolver) Step(in OverlapInput) (OverlapResult, error) {
 	n := len(in.Tasks)
 	if n == 0 {
 		return OverlapResult{}, errors.New("mva: no tasks")
@@ -249,11 +304,11 @@ func OverlapStep(in OverlapInput) (OverlapResult, error) {
 	if in.Servers != nil && len(in.Servers) != k {
 		return OverlapResult{}, errors.New("mva: Servers must have one entry per center")
 	}
-	servers := make([]float64, k)
+	s.ensure(n, k)
 	for c := 0; c < k; c++ {
-		servers[c] = 1
+		s.servers[c] = 1
 		if in.Servers != nil && in.Servers[c] > 0 {
-			servers[c] = in.Servers[c]
+			s.servers[c] = in.Servers[c]
 		}
 	}
 	tol := in.Tol
@@ -266,58 +321,78 @@ func OverlapStep(in OverlapInput) (OverlapResult, error) {
 	}
 
 	// Initialize residence = demand.
-	res := make([][]float64, n)
-	resp := make([]float64, n)
-	for i := range res {
-		res[i] = append([]float64(nil), in.Tasks[i].Demands...)
-		for _, d := range res[i] {
-			resp[i] += d
+	for i := 0; i < n; i++ {
+		tot := 0.0
+		for c, d := range in.Tasks[i].Demands {
+			s.res[i][c] = d
+			tot += d
 		}
-		if resp[i] <= 0 {
+		if tot <= 0 {
 			return OverlapResult{}, fmt.Errorf("mva: task %d has zero total demand", i)
 		}
+		s.resp[i] = tot
 	}
 
+	otherJobs := float64(in.OtherJobs)
 	var it int
 	for it = 0; it < maxIter; it++ {
 		maxDelta := 0.0
-		newRes := make([][]float64, n)
+		// Hoist the visit probabilities: ρ_jk depends only on the current
+		// iterate, not on i, so computing it once per sweep turns the inner
+		// loop into pure multiply-adds. The division stays a division to keep
+		// results bit-identical with the historical per-(i,j) computation.
+		for j := 0; j < n; j++ {
+			for c := 0; c < k; c++ {
+				s.rho[j*k+c] = s.res[j][c] / s.resp[j]
+			}
+		}
 		for i := 0; i < n; i++ {
-			newRes[i] = make([]float64, k)
 			for c := 0; c < k; c++ {
 				d := in.Tasks[i].Demands[c]
 				if d == 0 {
+					s.next[i][c] = 0
 					continue
 				}
+				alphaRow := in.Alpha[c][i]
+				betaRow := in.Beta[c][i]
 				arr := 0.0
 				for j := 0; j < n; j++ {
-					rho := res[j][c] / resp[j]
+					rho := s.rho[j*k+c]
 					if j != i {
-						arr += in.Alpha[c][i][j] * rho
+						arr += alphaRow[j] * rho
 					}
-					arr += float64(in.OtherJobs) * in.Beta[c][i][j] * rho
+					arr += otherJobs * betaRow[j] * rho
 				}
-				slowdown := (1 + arr) / servers[c]
+				slowdown := (1 + arr) / s.servers[c]
 				if slowdown < 1 {
 					slowdown = 1
 				}
-				newRes[i][c] = d * slowdown
+				s.next[i][c] = d * slowdown
 			}
 		}
 		for i := 0; i < n; i++ {
 			var tot float64
 			for c := 0; c < k; c++ {
-				tot += newRes[i][c]
+				tot += s.next[i][c]
 			}
-			if delta := math.Abs(tot - resp[i]); delta > maxDelta {
+			if delta := math.Abs(tot - s.resp[i]); delta > maxDelta {
 				maxDelta = delta
 			}
-			resp[i] = tot
-			res[i] = newRes[i]
+			s.resp[i] = tot
 		}
+		s.res, s.next = s.next, s.res
+		s.resFlat, s.nextFlat = s.nextFlat, s.resFlat
 		if maxDelta < tol {
 			break
 		}
 	}
-	return OverlapResult{Residence: res, Response: resp, Iterations: it + 1}, nil
+	return OverlapResult{Residence: s.res, Response: s.resp, Iterations: it + 1}, nil
+}
+
+// OverlapStep solves one overlap-weighted residence-time step with a fresh
+// solver (see OverlapSolver.Step). The result's matrices are freshly owned
+// by the caller.
+func OverlapStep(in OverlapInput) (OverlapResult, error) {
+	var s OverlapSolver
+	return s.Step(in)
 }

@@ -317,6 +317,7 @@ type planWire struct {
 	Reducers     []int          `json:"reducers,omitempty"`
 	Policies     []yarn.Policy  `json:"policies,omitempty"`
 	DeadlineSec  float64        `json:"deadlineSec,omitempty"`
+	Exhaustive   bool           `json:"exhaustive,omitempty"`
 	UseSimulator bool           `json:"useSimulator,omitempty"`
 	Seed         int64          `json:"seed,omitempty"`
 	Reps         int            `json:"reps,omitempty"`
@@ -334,7 +335,7 @@ func (p planWire) toRequest() (PlanRequest, error) {
 	return PlanRequest{
 		Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator,
 		Nodes: p.Nodes, BlockSizesMB: p.BlockSizesMB, Reducers: p.Reducers,
-		Policies: p.Policies, DeadlineSec: p.DeadlineSec,
+		Policies: p.Policies, DeadlineSec: p.DeadlineSec, Exhaustive: p.Exhaustive,
 		UseSimulator: p.UseSimulator, Seed: p.Seed, Reps: p.Reps,
 	}, nil
 }

@@ -48,6 +48,13 @@ type PlanRequest struct {
 	// node-seconds); when zero, Best is simply the fastest candidate.
 	DeadlineSec float64
 
+	// Exhaustive forces the full grid even when the deadline fast path
+	// (bisection on the node axis + dominance pruning, see search.go)
+	// applies. The fast path returns the same Best with far fewer model
+	// evaluations; set Exhaustive to get every grid point evaluated, e.g.
+	// to plot the whole response surface.
+	Exhaustive bool
+
 	// UseSimulator evaluates candidates on the discrete-event simulator
 	// (median of Reps seeded runs from Seed) instead of the analytic model —
 	// slower, but scheduler-policy-aware.
@@ -121,10 +128,20 @@ type PlanCandidate struct {
 	Err string `json:"err,omitempty"`
 }
 
+// Plan strategies reported in PlanResponse.
+const (
+	// StrategyGrid is the exhaustive cartesian sweep.
+	StrategyGrid = "grid"
+	// StrategySearch is the deadline fast path: node-axis bisection plus
+	// dominance pruning (search.go).
+	StrategySearch = "search"
+)
+
 // PlanResponse is the evaluated grid, sorted best-first.
 type PlanResponse struct {
 	// Candidates is sorted: with a deadline, feasible candidates first by
-	// ascending node-seconds; without one, by ascending response time.
+	// ascending node-seconds; without one, by ascending response time. The
+	// search strategy omits pruned grid points (see Pruned).
 	Candidates []PlanCandidate `json:"candidates"`
 	// Best points at Candidates[0] when it satisfies the request objective:
 	// the cheapest feasible candidate, or (with no deadline) the fastest.
@@ -132,6 +149,12 @@ type PlanResponse struct {
 	Best *PlanCandidate `json:"best,omitempty"`
 	// Evaluated counts candidates that produced a result (no Err).
 	Evaluated int `json:"evaluated"`
+	// Pruned counts grid points the search strategy skipped: provably
+	// infeasible (below the feasibility frontier) or cost-dominated by an
+	// evaluated candidate. Always 0 for the grid strategy.
+	Pruned int `json:"pruned,omitempty"`
+	// Strategy reports how the plan was evaluated: "grid" or "search".
+	Strategy string `json:"strategy"`
 }
 
 // axis returns the grid values for one dimension, defaulting to the
@@ -157,7 +180,9 @@ func axisPolicies(vals []yarn.Policy) []yarn.Policy {
 	return vals
 }
 
-// Plan evaluates the what-if grid in parallel and ranks the outcomes. Each
+// Plan evaluates the what-if request and ranks the outcomes. Deadline
+// queries backed by the analytic model run the bisection + pruning search
+// (search.go); everything else evaluates the full grid in parallel. Each
 // candidate flows through the same cache/singleflight/pool path as a direct
 // Predict or Simulate call, so overlapping plans share work.
 func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, error) {
@@ -175,6 +200,10 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 	if total > maxPlanCandidates {
 		return PlanResponse{}, invalid(fmt.Errorf("service: plan grid has %d candidates (max %d); split the sweep",
 			total, maxPlanCandidates))
+	}
+
+	if useSearch(&req, nodes) {
+		return s.planSearch(ctx, req, nodes, blocks, reducers, policies)
 	}
 
 	cands := make([]PlanCandidate, 0, total)
@@ -206,39 +235,28 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 		return PlanResponse{}, err
 	}
 
-	resp := PlanResponse{Candidates: cands}
-	for i := range resp.Candidates {
-		c := &resp.Candidates[i]
-		if c.Err != "" {
-			continue
-		}
-		resp.Evaluated++
-		c.NodeSeconds = c.ResponseTime * float64(c.Nodes)
-		c.Feasible = req.DeadlineSec > 0 && c.ResponseTime <= req.DeadlineSec
-	}
-	sortCandidates(resp.Candidates, req.DeadlineSec > 0)
-	if len(resp.Candidates) > 0 {
-		top := resp.Candidates[0]
-		if top.Err == "" && (req.DeadlineSec <= 0 || top.Feasible) {
-			resp.Best = &resp.Candidates[0]
-		}
-	}
+	resp := PlanResponse{Candidates: cands, Strategy: StrategyGrid}
+	finalizePlan(&resp, req.DeadlineSec)
 	return resp, nil
+}
+
+// candidatePredictRequest derives the model request of one grid point from
+// the plan template — the single definition of what a candidate means,
+// shared by the grid and search strategies.
+func candidatePredictRequest(req PlanRequest, nodes int, blockMB float64, reducers int) PredictRequest {
+	spec := req.Spec
+	spec.NumNodes = nodes
+	job := req.Job
+	job.BlockSizeMB = blockMB
+	job.NumReduces = reducers
+	return PredictRequest{Spec: spec, Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator}
 }
 
 // evalCandidate fills in one grid point via the cached Predict/Simulate
 // paths.
 func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCandidate) {
-	spec := req.Spec
-	spec.NumNodes = c.Nodes
-	job := req.Job
-	job.BlockSizeMB = c.BlockSizeMB
-	job.NumReduces = c.Reducers
-
 	if !req.UseSimulator {
-		pr, err := s.predict(ctx, PredictRequest{
-			Spec: spec, Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator,
-		})
+		pr, err := s.predict(ctx, candidatePredictRequest(req, c.Nodes, c.BlockSizeMB, c.Reducers))
 		if err != nil {
 			c.Err = err.Error()
 			return
@@ -248,14 +266,17 @@ func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCan
 		return
 	}
 
+	// Same candidate derivation as the model branch; the simulator runs
+	// NumJobs identical copies of the derived job.
+	pr := candidatePredictRequest(req, c.Nodes, c.BlockSizeMB, c.Reducers)
 	jobs := make([]workload.Job, req.NumJobs)
 	for i := range jobs {
-		j := job
+		j := pr.Job
 		j.ID = i
 		jobs[i] = j
 	}
 	sr, err := s.simulate(ctx, SimulateRequest{
-		Spec: spec, Jobs: jobs, Seed: req.Seed, Reps: req.Reps, Policy: c.Policy,
+		Spec: pr.Spec, Jobs: jobs, Seed: req.Seed, Reps: req.Reps, Policy: c.Policy,
 	})
 	if err != nil {
 		c.Err = err.Error()

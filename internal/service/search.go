@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+
+	"hadoop2perf/internal/yarn"
+)
+
+// This file implements the planner's deadline fast path: instead of
+// evaluating every node count of the what-if grid, the search exploits the
+// model's monotonicity in cluster size — response time does not increase
+// when nodes are added — to locate the feasibility frontier by bisection in
+// O(log N) predictions, then walks upward from the frontier pruning
+// candidates whose cost provably cannot beat the incumbent.
+//
+// Monotonicity is an optimization assumption, not an axiom. For
+// single-reducer jobs it holds across the calibrated cluster range (pinned
+// by core's TestPredictMonotoneInNodes); multi-reducer predictions show
+// localized 20-30% spikes at reducer-placement parity boundaries, where a
+// bisection sample can provably never rule out cheaper feasible "islands"
+// between its probes. The search therefore only bisects single-reducer
+// combos, and even there verifies the assumption over every pair of points
+// it actually evaluates — including the point just below the frontier —
+// falling back to exhaustive evaluation of that axis on any observed
+// violation. Multi-reducer combos are evaluated exhaustively inside the
+// same response, so every plan is grid-exact. PlanRequest.Exhaustive forces
+// the grid unconditionally.
+//
+// Every evaluation flows through the service's canonical-key cache, so
+// neighboring sweeps (and the bisection + sweep phases themselves) share
+// work across requests and across combos that the model cannot distinguish
+// (e.g. scheduler policies).
+
+// minSearchAxis is the node-axis length below which the exhaustive grid is
+// used: bisection cannot save work on tiny axes.
+const minSearchAxis = 6
+
+// monoTol is the relative slack of the monotonicity verifier: a later
+// (larger-cluster) response may exceed an earlier one by at most this
+// fraction before the search declares the axis non-monotone. Tight enough
+// to catch real spikes (≥0.1%), loose enough to ignore float noise.
+const monoTol = 1e-9
+
+// useSearch reports whether the deadline fast path applies: a deadline
+// objective, model-backed evaluation (simulator results are noisy and
+// policy-dependent), a node axis worth bisecting, and no explicit opt-out.
+func useSearch(req *PlanRequest, nodes []int) bool {
+	return req.DeadlineSec > 0 && !req.UseSimulator && !req.Exhaustive && len(nodes) >= minSearchAxis
+}
+
+// axisOutcome is the result of searching one node axis (one combo of the
+// non-node grid dimensions).
+type axisOutcome struct {
+	cands  []PlanCandidate // evaluated candidates only
+	pruned int             // grid points skipped by bisection/dominance
+	exact  bool            // false when the axis fell back to exhaustive
+}
+
+// axisEval evaluates the node axis at index i.
+type axisEval func(i int) (rt float64, cached bool, err error)
+
+// searchNodeAxis finds the grid-equivalent candidate set of one node axis
+// under a deadline. nodes must be sorted ascending. It returns every
+// evaluated point as a candidate (feasible points above the frontier,
+// infeasible bisection probes below it) plus the count of pruned points.
+//
+// Exactness: under monotone response times, the returned set provably
+// contains the axis's cheapest feasible candidate — a pruned point i either
+// satisfies rt(i) > deadline (below the frontier) or has cost
+// nodes[i]·rt(i) ≥ nodes[i]·rt(max) strictly above the incumbent best. On
+// any observed monotonicity violation the axis is re-evaluated
+// exhaustively instead.
+func searchNodeAxis(nodes []int, deadline float64, eval axisEval) axisOutcome {
+	n := len(nodes)
+	rt := make([]float64, n)
+	cached := make([]bool, n)
+	evaluated := make([]bool, n)
+
+	get := func(i int) (float64, bool) {
+		if evaluated[i] {
+			return rt[i], true
+		}
+		v, c, err := eval(i)
+		if err != nil {
+			return 0, false
+		}
+		evaluated[i] = true
+		rt[i] = v
+		cached[i] = c
+		return v, true
+	}
+	// monotone verifies the non-increasing assumption over every evaluated
+	// pair (it suffices to compare consecutive evaluated points).
+	monotone := func() bool {
+		prev := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !evaluated[i] {
+				continue
+			}
+			if rt[i] > prev*(1+monoTol) {
+				return false
+			}
+			prev = rt[i]
+		}
+		return true
+	}
+	exhaustive := func() axisOutcome { return exhaustiveAxis(nodes, eval) }
+	collect := func() axisOutcome {
+		out := axisOutcome{exact: true}
+		for i := 0; i < n; i++ {
+			if evaluated[i] {
+				out.cands = append(out.cands, PlanCandidate{
+					Nodes: nodes[i], ResponseTime: rt[i], Cached: cached[i],
+				})
+			} else {
+				out.pruned++
+			}
+		}
+		return out
+	}
+
+	// Feasibility ceiling: if the largest cluster misses the deadline, no
+	// smaller one meets it (monotone); the whole axis is infeasible. A lone
+	// probe gives the monotonicity verifier nothing to check, so guard the
+	// conclusion with a midpoint probe — an upward spike at the axis end
+	// (rt(max) infeasible over a feasible interior) is caught here instead
+	// of silently pruning a feasible plan.
+	rtMax, ok := get(n - 1)
+	if !ok {
+		return exhaustive()
+	}
+	if rtMax > deadline {
+		if mid := (n - 1) / 2; mid < n-1 {
+			v, ok := get(mid)
+			if !ok || !monotone() || v <= deadline {
+				return exhaustive()
+			}
+		}
+		return collect()
+	}
+
+	// Bisect the feasibility frontier: smallest index whose response meets
+	// the deadline. The upper bracket is always an evaluated feasible point.
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v, ok := get(mid)
+		if !ok || !monotone() {
+			return exhaustive()
+		}
+		if v <= deadline {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	frontier := lo
+
+	// Guard the frontier from below: a feasible point right under it means
+	// the axis dips (non-monotone) and bisection may have missed cheaper
+	// feasible islands.
+	if frontier > 0 {
+		if _, ok := get(frontier - 1); !ok || !monotone() {
+			return exhaustive()
+		}
+		if rt[frontier-1] <= deadline {
+			return exhaustive()
+		}
+	}
+
+	// Dominance sweep upward from the frontier. rt(max) lower-bounds every
+	// response on the axis (monotone), so nodes[i]·rt(max) lower-bounds the
+	// cost of candidate i: once that optimistic cost exceeds the incumbent
+	// best, i — and every larger unevaluated point — is dominated. Points
+	// already evaluated by the bisection ride along for free.
+	bestCost, bestRT := math.Inf(1), math.Inf(1)
+	for i := frontier; i < n; i++ {
+		if !evaluated[i] {
+			if optimistic := float64(nodes[i]) * rtMax; optimistic > bestCost {
+				continue // dominated: true cost ≥ optimistic > best
+			}
+			if _, ok := get(i); !ok || !monotone() {
+				return exhaustive()
+			}
+		}
+		cost := float64(nodes[i]) * rt[i]
+		if cost < bestCost || (cost == bestCost && rt[i] < bestRT) {
+			bestCost, bestRT = cost, rt[i]
+		}
+	}
+	return collect()
+}
+
+// exhaustiveAxis evaluates every point of one node axis, grid-style:
+// candidates fan out concurrently (the worker pool bounds real parallelism,
+// the cache collapses duplicates) and evaluation errors are recorded per
+// candidate while the rest of the axis still completes.
+func exhaustiveAxis(nodes []int, eval axisEval) axisOutcome {
+	out := axisOutcome{exact: false, cands: make([]PlanCandidate, len(nodes))}
+	var wg sync.WaitGroup
+	for i := range nodes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := &out.cands[i]
+			c.Nodes = nodes[i]
+			if v, cached, err := eval(i); err != nil {
+				c.Err = err.Error()
+			} else {
+				c.ResponseTime, c.Cached = v, cached
+			}
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// planSearch answers a deadline query through per-combo node-axis searches
+// run concurrently (the per-candidate predictions inside each combo are
+// bounded by the service worker pool, like the grid path). Single-reducer
+// combos ride the bisection fast path; multi-reducer combos — whose
+// response curves are not reliably monotone in cluster size — are evaluated
+// exhaustively.
+func (s *Service) planSearch(ctx context.Context, req PlanRequest, nodes []int, blocks []float64, reducers []int, policies []yarn.Policy) (PlanResponse, error) {
+	sortedNodes := append([]int(nil), nodes...)
+	sort.Ints(sortedNodes)
+
+	type combo struct {
+		block  float64
+		red    int
+		policy yarn.Policy
+	}
+	var combos []combo
+	for _, b := range blocks {
+		for _, red := range reducers {
+			for _, pol := range policies {
+				combos = append(combos, combo{block: b, red: red, policy: pol})
+			}
+		}
+	}
+
+	outcomes := make([]axisOutcome, len(combos))
+	var wg sync.WaitGroup
+	for ci := range combos {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			cb := combos[ci]
+			eval := func(i int) (float64, bool, error) {
+				pr, err := s.predict(ctx, candidatePredictRequest(req, sortedNodes[i], cb.block, cb.red))
+				if err != nil {
+					return 0, false, err
+				}
+				return pr.Prediction.ResponseTime, pr.Cached, nil
+			}
+			if cb.red == 1 {
+				outcomes[ci] = searchNodeAxis(sortedNodes, req.DeadlineSec, eval)
+			} else {
+				outcomes[ci] = exhaustiveAxis(sortedNodes, eval)
+			}
+		}(ci)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return PlanResponse{}, err
+	}
+
+	resp := PlanResponse{Strategy: StrategySearch}
+	for ci, out := range outcomes {
+		cb := combos[ci]
+		for _, c := range out.cands {
+			c.BlockSizeMB = cb.block
+			c.Reducers = cb.red
+			c.Policy = cb.policy
+			resp.Candidates = append(resp.Candidates, c)
+		}
+		resp.Pruned += out.pruned
+	}
+	finalizePlan(&resp, req.DeadlineSec)
+	return resp, nil
+}
+
+// finalizePlan computes the derived candidate fields, ranks the grid and
+// selects Best — shared by the grid and search paths.
+func finalizePlan(resp *PlanResponse, deadline float64) {
+	for i := range resp.Candidates {
+		c := &resp.Candidates[i]
+		if c.Err != "" {
+			continue
+		}
+		resp.Evaluated++
+		c.NodeSeconds = c.ResponseTime * float64(c.Nodes)
+		c.Feasible = deadline > 0 && c.ResponseTime <= deadline
+	}
+	sortCandidates(resp.Candidates, deadline > 0)
+	if len(resp.Candidates) > 0 {
+		top := resp.Candidates[0]
+		if top.Err == "" && (deadline <= 0 || top.Feasible) {
+			resp.Best = &resp.Candidates[0]
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package service
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+// syntheticEval adapts a response-time curve to an axisEval, counting calls
+// (atomically: the exhaustive fallback evaluates concurrently).
+type syntheticEval struct {
+	rt    []float64
+	calls atomic.Int64
+}
+
+func (s *syntheticEval) eval(i int) (float64, bool, error) {
+	s.calls.Add(1)
+	return s.rt[i], false, nil
+}
+
+// bruteBest computes the grid answer for one synthetic axis: the cheapest
+// feasible (cost, rt), or none.
+func bruteBest(nodes []int, rt []float64, deadline float64) (cost, best float64, ok bool) {
+	cost, best = math.Inf(1), math.Inf(1)
+	for i, n := range nodes {
+		if rt[i] > deadline {
+			continue
+		}
+		c := float64(n) * rt[i]
+		if c < cost || (c == cost && rt[i] < best) {
+			cost, best, ok = c, rt[i], true
+		}
+	}
+	return cost, best, ok
+}
+
+// searchBest extracts the cheapest feasible candidate from a search outcome.
+func searchBest(out axisOutcome, deadline float64) (cost, rt float64, ok bool) {
+	cost, rt = math.Inf(1), math.Inf(1)
+	for _, c := range out.cands {
+		if c.Err != "" || c.ResponseTime > deadline {
+			continue
+		}
+		cc := float64(c.Nodes) * c.ResponseTime
+		if cc < cost || (cc == cost && c.ResponseTime < rt) {
+			cost, rt, ok = cc, c.ResponseTime, true
+		}
+	}
+	return cost, rt, ok
+}
+
+func TestSearchNodeAxisMonotoneCurves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 6 + rng.Intn(30)
+		nodes := make([]int, n)
+		rt := make([]float64, n)
+		cur := 2 + rng.Intn(3)
+		// Amdahl-shaped response: a serial floor plus perfectly parallel
+		// work, the shape real predictions take (strictly decreasing,
+		// flattening toward the floor).
+		floor := 5 + 40*rng.Float64()
+		work := 200 + 2000*rng.Float64()
+		for i := 0; i < n; i++ {
+			nodes[i] = cur
+			rt[i] = floor + work/float64(cur)
+			cur += 1 + rng.Intn(4)
+		}
+		// Deadlines spanning infeasible-everywhere to feasible-everywhere.
+		for _, d := range []float64{rt[0] * 1.1, (rt[0] + rt[n-1]) / 2, rt[n-1] * 1.05, rt[n-1] * 0.5} {
+			se := &syntheticEval{rt: rt}
+			out := searchNodeAxis(nodes, d, se.eval)
+			if !out.exact {
+				t.Fatalf("trial %d: fell back on a monotone curve", trial)
+			}
+			wc, wr, wok := bruteBest(nodes, rt, d)
+			gc, gr, gok := searchBest(out, d)
+			if wok != gok || (wok && (wc != gc || wr != gr)) {
+				t.Fatalf("trial %d deadline %v: search best (%v,%v,%v) != grid best (%v,%v,%v)",
+					trial, d, gc, gr, gok, wc, wr, wok)
+			}
+			if len(out.cands)+out.pruned != n {
+				t.Fatalf("trial %d: %d candidates + %d pruned != %d axis points",
+					trial, len(out.cands), out.pruned, n)
+			}
+			// The whole point: far fewer evaluations than the axis length on
+			// feasible axes of meaningful size.
+			if wok && n >= 16 && int(se.calls.Load()) >= n {
+				t.Errorf("trial %d (n=%d): search used %d evaluations", trial, n, se.calls.Load())
+			}
+		}
+	}
+}
+
+func TestSearchNodeAxisDetectsViolations(t *testing.T) {
+	// An alternating two-regime curve (the shape multi-reducer predictions
+	// take): the verifier must observe an inversion and fall back, making
+	// the result grid-identical.
+	nodes := []int{2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+	rt := make([]float64, len(nodes))
+	for i, n := range nodes {
+		base := 300 / float64(n)
+		if n%2 == 0 {
+			base *= 1.4 // slow regime on even node counts
+		}
+		rt[i] = base
+	}
+	for _, d := range []float64{40, 55, 70, 100} {
+		se := &syntheticEval{rt: rt}
+		out := searchNodeAxis(nodes, d, se.eval)
+		wc, wr, wok := bruteBest(nodes, rt, d)
+		gc, gr, gok := searchBest(out, d)
+		if wok != gok || (wok && (wc != gc || wr != gr)) {
+			t.Errorf("deadline %v: search best (%v,%v,%v) != grid best (%v,%v,%v) exact=%v",
+				d, gc, gr, gok, wc, wr, wok, out.exact)
+		}
+	}
+}
+
+func TestSearchNodeAxisFrontierGuard(t *testing.T) {
+	// A single feasible dip immediately below the monotone frontier: the
+	// frontier-1 guard must catch it and fall back to exhaustive, keeping
+	// the cheaper island in play.
+	nodes := []int{2, 4, 6, 8, 10, 12, 14, 16}
+	rt := []float64{90, 80, 70, 48, 52, 49, 47, 46}
+	const deadline = 50.0
+	// Frontier by monotone bisection would land at index 4..; index 3 dips
+	// under the deadline (48 <= 50) right below an infeasible point.
+	se := &syntheticEval{rt: rt}
+	out := searchNodeAxis(nodes, deadline, se.eval)
+	wc, wr, wok := bruteBest(nodes, rt, deadline)
+	gc, gr, gok := searchBest(out, deadline)
+	if wok != gok || wc != gc || wr != gr {
+		t.Errorf("search best (%v,%v,%v) != grid best (%v,%v,%v) exact=%v",
+			gc, gr, gok, wc, wr, wok, out.exact)
+	}
+}
+
+func TestSearchNodeAxisAllInfeasible(t *testing.T) {
+	nodes := []int{2, 4, 6, 8, 10, 12}
+	rt := []float64{100, 90, 80, 70, 65, 61}
+	se := &syntheticEval{rt: rt}
+	out := searchNodeAxis(nodes, 60, se.eval)
+	if se.calls.Load() != 2 {
+		t.Errorf("infeasible axis used %d evaluations, want 2 (ceiling + midpoint guard)", se.calls.Load())
+	}
+	if _, _, ok := searchBest(out, 60); ok {
+		t.Error("found a feasible candidate on an infeasible axis")
+	}
+	if len(out.cands) != 2 || out.pruned != len(nodes)-2 {
+		t.Errorf("cands=%d pruned=%d", len(out.cands), out.pruned)
+	}
+}
+
+func TestSearchNodeAxisEndSpikeGuard(t *testing.T) {
+	// An upward spike at the axis end: rt(max) misses the deadline while the
+	// interior is feasible. The midpoint guard must refuse the
+	// all-infeasible conclusion and fall back to exhaustive, recovering the
+	// feasible interior plan the grid would find.
+	nodes := []int{2, 4, 6, 8, 10, 12, 14, 16}
+	rt := []float64{90, 80, 70, 60, 55, 52, 50, 75}
+	const deadline = 65.0
+	se := &syntheticEval{rt: rt}
+	out := searchNodeAxis(nodes, deadline, se.eval)
+	wc, wr, wok := bruteBest(nodes, rt, deadline)
+	gc, gr, gok := searchBest(out, deadline)
+	if wok != gok || wc != gc || wr != gr {
+		t.Errorf("search best (%v,%v,%v) != grid best (%v,%v,%v) exact=%v",
+			gc, gr, gok, wc, wr, wok, out.exact)
+	}
+}
+
+// planProblem is one randomized planning problem of the property test.
+type planProblem struct {
+	req PlanRequest
+}
+
+// randomPlanProblem draws a planning problem over the calibrated cluster:
+// random job shape, a random sorted node axis, and optional block-size and
+// reducer axes. Multi-reducer shapes exercise the non-monotone fallback.
+func randomPlanProblem(t *testing.T, rng *rand.Rand) planProblem {
+	t.Helper()
+	profiles := []workload.Profile{workload.WordCount(), workload.Grep(), workload.TeraSort()}
+	inputMB := float64(512 * (1 + rng.Intn(6)))
+	reduces := []int{1, 2, 4}[rng.Intn(3)]
+	job, err := workload.NewJob(0, inputMB, 128, reduces, profiles[rng.Intn(len(profiles))])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted distinct node axis of 6..14 points in [2, 32].
+	axisLen := minSearchAxis + rng.Intn(9)
+	seen := map[int]bool{}
+	var nodes []int
+	for len(nodes) < axisLen {
+		n := 2 + rng.Intn(31)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	req := PlanRequest{
+		Spec:    cluster.Default(4),
+		Job:     job,
+		NumJobs: 1 + rng.Intn(3),
+		Nodes:   nodes,
+	}
+	if rng.Intn(2) == 0 {
+		req.BlockSizesMB = []float64{64, 128}
+	}
+	if rng.Intn(3) == 0 {
+		req.Reducers = []int{1, 2}
+	}
+	return planProblem{req: req}
+}
+
+// TestPlanSearchMatchesGridProperty is the correctness contract of the
+// tentpole: on randomized planning problems, the bisection + pruning search
+// returns the same best plan (same cost, response time and feasibility) as
+// the exhaustive grid. Deadlines are drawn from the grid's own response
+// range so every regime — infeasible, frontier, all-feasible — is hit.
+func TestPlanSearchMatchesGridProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 12
+	if testing.Short() {
+		trials = 4
+	}
+	for trial := 0; trial < trials; trial++ {
+		prob := randomPlanProblem(t, rng)
+
+		// Grid reference, fresh service.
+		gridReq := prob.req
+		gridReq.Exhaustive = true
+		gridReq.DeadlineSec = 1 // any positive value; replaced below
+		gridSvc := New(Options{Workers: 4})
+		ref, err := gridSvc.Plan(context.Background(), gridReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Strategy != StrategyGrid {
+			t.Fatalf("exhaustive plan used strategy %q", ref.Strategy)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, c := range ref.Candidates {
+			if c.Err != "" {
+				t.Fatalf("trial %d: grid candidate failed: %s", trial, c.Err)
+			}
+			lo = math.Min(lo, c.ResponseTime)
+			hi = math.Max(hi, c.ResponseTime)
+		}
+
+		for _, q := range []float64{-0.05, 0.1, 0.35, 0.6, 0.9, 1.05} {
+			deadline := lo + q*(hi-lo)
+			if deadline <= 0 {
+				deadline = lo * 0.9
+			}
+			gridReq.DeadlineSec = deadline
+			want, err := gridSvc.Plan(context.Background(), gridReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			searchReq := prob.req
+			searchReq.DeadlineSec = deadline
+			searchSvc := New(Options{Workers: 4})
+			got, err := searchSvc.Plan(context.Background(), searchReq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Strategy != StrategySearch {
+				t.Fatalf("trial %d: deadline plan used strategy %q", trial, got.Strategy)
+			}
+
+			if (want.Best == nil) != (got.Best == nil) {
+				t.Errorf("trial %d deadline %.2f: grid best %+v, search best %+v",
+					trial, deadline, want.Best, got.Best)
+				continue
+			}
+			if want.Best == nil {
+				continue
+			}
+			// Same objective value: cost, speed, feasibility. (Identity may
+			// differ only on exact cost+response ties across combos.)
+			if want.Best.NodeSeconds != got.Best.NodeSeconds ||
+				want.Best.ResponseTime != got.Best.ResponseTime ||
+				!got.Best.Feasible {
+				t.Errorf("trial %d deadline %.2f:\n  grid   best %+v\n  search best %+v",
+					trial, deadline, *want.Best, *got.Best)
+			}
+			if len(got.Candidates)+got.Pruned != len(want.Candidates) {
+				t.Errorf("trial %d: search candidates %d + pruned %d != grid %d",
+					trial, len(got.Candidates), got.Pruned, len(want.Candidates))
+			}
+		}
+	}
+}
+
+// TestPlanSearchSavesPredictions pins the headline win: a representative
+// deadline query over a wide node axis must run at least 2x fewer model
+// evaluations than the grid.
+func TestPlanSearchSavesPredictions(t *testing.T) {
+	job, err := workload.NewJob(0, 1024, 128, 1, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]int, 32)
+	for i := range nodes {
+		nodes[i] = 2 + i
+	}
+	base := PlanRequest{Spec: cluster.Default(4), Job: job, Nodes: nodes}
+
+	// Find a mid-range deadline from an exhaustive pass.
+	gridSvc := New(Options{Workers: 4})
+	ex := base
+	ex.Exhaustive = true
+	ex.DeadlineSec = 1
+	ref, err := gridSvc.Plan(context.Background(), ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, c := range ref.Candidates {
+		lo, hi = math.Min(lo, c.ResponseTime), math.Max(hi, c.ResponseTime)
+	}
+	deadline := (lo + hi) / 2
+	gridMisses := gridSvc.Metrics().CacheMisses
+
+	searchSvc := New(Options{Workers: 4})
+	sr := base
+	sr.DeadlineSec = deadline
+	resp, err := searchSvc.Plan(context.Background(), sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Strategy != StrategySearch || resp.Best == nil {
+		t.Fatalf("strategy=%q best=%v", resp.Strategy, resp.Best)
+	}
+	searchMisses := searchSvc.Metrics().CacheMisses
+	t.Logf("axis=%d: grid %d model runs, search %d (pruned %d)", len(nodes), gridMisses, searchMisses, resp.Pruned)
+	if searchMisses*2 > gridMisses {
+		t.Errorf("search ran %d model evaluations, want <= half of grid's %d", searchMisses, gridMisses)
+	}
+}
+
+func TestPlanExhaustiveFlagForcesGrid(t *testing.T) {
+	job, err := workload.NewJob(0, 512, 128, 1, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := PlanRequest{
+		Spec: cluster.Default(4), Job: job,
+		Nodes:       []int{2, 4, 6, 8, 10, 12},
+		DeadlineSec: 1e9,
+		Exhaustive:  true,
+	}
+	s := New(Options{Workers: 4})
+	resp, err := s.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Strategy != StrategyGrid || resp.Evaluated != 6 || resp.Pruned != 0 {
+		t.Errorf("strategy=%q evaluated=%d pruned=%d", resp.Strategy, resp.Evaluated, resp.Pruned)
+	}
+}

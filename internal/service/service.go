@@ -13,9 +13,12 @@
 //   - a singleflight layer deduplicates concurrent identical requests, so a
 //     thundering herd computes once and shares the result.
 //
-// The what-if planner (planner.go) fans grid searches over cluster size,
-// block size, reducer count and scheduler policy through the same pool and
-// cache to answer capacity-planning and deadline queries in one call.
+// The what-if planner (planner.go) sweeps cluster size, block size,
+// reducer count and scheduler policy through the same pool and cache to
+// answer capacity-planning and deadline queries in one call. Deadline
+// queries ride a monotone search engine (search.go) — bisection on the
+// node axis plus dominance pruning — that returns the grid's answer in
+// O(log N) model evaluations instead of O(N).
 package service
 
 import (
@@ -23,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"hadoop2perf/internal/cluster"
@@ -126,6 +130,10 @@ type Service struct {
 	sem    chan struct{}
 	cache  *lruCache
 	flight *flightGroup
+	// predictors recycles allocation-lean model evaluators across requests:
+	// each worker borrows one for the duration of a model run, so steady
+	// traffic stops allocating the O(T²) overlap scaffolding per request.
+	predictors sync.Pool
 
 	predictReqs  atomic.Int64
 	simulateReqs atomic.Int64
@@ -141,10 +149,11 @@ type Service struct {
 func New(opts Options) *Service {
 	opts.applyDefaults()
 	return &Service{
-		opts:   opts,
-		sem:    make(chan struct{}, opts.Workers),
-		cache:  newLRUCache(opts.CacheSize),
-		flight: newFlightGroup(),
+		opts:       opts,
+		sem:        make(chan struct{}, opts.Workers),
+		cache:      newLRUCache(opts.CacheSize),
+		flight:     newFlightGroup(),
+		predictors: sync.Pool{New: func() any { return core.NewPredictor() }},
 	}
 }
 
@@ -273,7 +282,9 @@ func (s *Service) predict(ctx context.Context, req PredictRequest) (PredictRespo
 			return nil, err
 		}
 		defer s.release()
-		return core.Predict(core.Config{
+		p := s.predictors.Get().(*core.Predictor)
+		defer s.predictors.Put(p)
+		return p.Predict(core.Config{
 			Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: req.Estimator,
 		})
 	})

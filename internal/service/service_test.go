@@ -358,9 +358,12 @@ func TestFlightFollowerSurvivesLeaderCancel(t *testing.T) {
 // so the retry is free.
 func TestOrphanedSimulationCachesResult(t *testing.T) {
 	s := New(Options{Workers: 1})
-	// Heavy enough (~30 ms) that the 1 ms deadline reliably fires mid-run.
+	// Heavy enough (hundreds of ms, many preemption quanta) that the 1 ms
+	// deadline reliably fires mid-run even on GOMAXPROCS=1, where the
+	// CPU-bound simulation only yields at the runtime's async-preemption
+	// boundary.
 	req := SimulateRequest{
-		Spec: cluster.Default(2), Jobs: []workload.Job{testJob(t, 5*1024, 4)},
+		Spec: cluster.Default(2), Jobs: []workload.Job{testJob(t, 20*1024, 4)},
 		Seed: 1, Reps: 25,
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)

@@ -3,66 +3,104 @@
 // cluster simulator (internal/mrsim) executes: an event calendar plus
 // processor-sharing and FCFS resources that convert "seconds of work" into
 // elapsed time under concurrency.
+//
+// The calendar is engineered for the simulator hot path: scheduled events
+// live in a value slice managed by a free list (one arena slot per pending
+// event, no per-event heap allocation), the binary heap orders lightweight
+// index entries, and cancelled events are compacted away once they exceed
+// half the calendar instead of lingering until popped. Engines are reusable
+// via Reset, so callers running many simulations (median-of-seeds, planner
+// sweeps) can pool them.
 package simevent
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback.
-type event struct {
+// entry is one calendar position: the scheduled time, a FIFO tie-break
+// sequence, and the arena slot holding the callback. Entries move inside the
+// heap; slots do not, so Timer handles stay valid.
+type entry struct {
 	time float64
-	seq  uint64 // FIFO tie-break for simultaneous events
+	seq  uint64
+	slot int32
+}
+
+// slot is one arena cell. gen guards Timer handles against slot reuse: a
+// slot is freed (and its generation bumped) only when its calendar entry is
+// removed, so every pending event owns exactly one slot.
+type slot struct {
 	fn   func()
-	dead bool
+	gen  uint32
+	live bool
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].time != q[j].time {
-		return q[i].time < q[j].time
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
+// compactMinLen is the calendar size below which dead entries are left for
+// Run to skip: compaction of tiny calendars costs more than it saves.
+const compactMinLen = 64
 
 // Engine is a single-threaded discrete-event simulator clock and calendar.
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
 	now   float64
-	queue eventQueue
 	seq   uint64
+	cal   []entry // binary min-heap by (time, seq)
+	slots []slot
+	free  []int32
+	dead  int // cancelled entries still occupying calendar positions
 }
 
 // NewEngine returns an engine with the clock at 0.
-func NewEngine() *Engine {
-	e := &Engine{}
-	heap.Init(&e.queue)
-	return e
-}
+func NewEngine() *Engine { return &Engine{} }
 
 // Now returns the current simulation time.
 func (e *Engine) Now() float64 { return e.now }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// Len returns the number of calendar entries, including cancelled ones not
+// yet compacted or popped.
+func (e *Engine) Len() int { return len(e.cal) }
 
-// Cancel prevents the event from firing; safe to call after it fired.
+// Pending returns the number of live (non-cancelled) scheduled events.
+func (e *Engine) Pending() int { return len(e.cal) - e.dead }
+
+// Reset returns the engine to its initial state (clock at 0, empty
+// calendar) while keeping its allocated capacity, so one engine can serve
+// many simulation runs. Outstanding Timer handles are invalidated.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.dead = 0, 0, 0
+	e.cal = e.cal[:0]
+	e.free = e.free[:0]
+	for i := range e.slots {
+		e.slots[i].fn = nil
+		e.slots[i].live = false
+		e.slots[i].gen++ // stale Timers from the previous run must not cancel
+		e.free = append(e.free, int32(i))
+	}
+}
+
+// Timer is a handle to a scheduled event that can be cancelled. The zero
+// value is a valid no-op handle.
+type Timer struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
+}
+
+// Cancel prevents the event from firing; safe to call after it fired. The
+// calendar entry is reclaimed lazily: either skipped on pop or swept out in
+// bulk once dead entries exceed half the calendar.
 func (t Timer) Cancel() {
-	if t.ev != nil {
-		t.ev.dead = true
+	e := t.eng
+	if e == nil {
+		return
+	}
+	s := &e.slots[t.slot]
+	if s.gen != t.gen || !s.live {
+		return // already fired, cancelled, or the slot was recycled
+	}
+	s.live = false
+	s.fn = nil
+	e.dead++
+	if e.dead*2 > len(e.cal) && len(e.cal) >= compactMinLen {
+		e.compact()
 	}
 }
 
@@ -72,10 +110,21 @@ func (e *Engine) At(t float64, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("simevent: scheduling at %v before now %v", t, e.now))
 	}
-	ev := &event{time: t, seq: e.seq, fn: fn}
+	var idx int32
+	if n := len(e.free); n > 0 {
+		idx = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		idx = int32(len(e.slots) - 1)
+	}
+	s := &e.slots[idx]
+	s.fn = fn
+	s.live = true
+	e.cal = append(e.cal, entry{time: t, seq: e.seq, slot: idx})
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return Timer{ev: ev}
+	e.siftUp(len(e.cal) - 1)
+	return Timer{eng: e, slot: idx, gen: s.gen}
 }
 
 // After schedules fn after delay d (>= 0).
@@ -83,20 +132,97 @@ func (e *Engine) After(d float64, fn func()) Timer { return e.At(e.now+d, fn) }
 
 // Run processes events until the calendar is empty or maxEvents events have
 // fired. It returns the number of events processed and an error if the event
-// budget was exhausted (guarding against runaway simulations).
+// budget was exhausted (guarding against runaway simulations). Cancelled
+// events are skipped without counting against the budget.
 func (e *Engine) Run(maxEvents int) (int, error) {
 	n := 0
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if ev.dead {
+	for len(e.cal) > 0 {
+		top := e.cal[0]
+		last := len(e.cal) - 1
+		e.cal[0] = e.cal[last]
+		e.cal = e.cal[:last]
+		if last > 0 {
+			e.siftDown(0)
+		}
+		s := &e.slots[top.slot]
+		fn := s.fn
+		wasLive := s.live
+		s.fn = nil
+		s.live = false
+		s.gen++
+		e.free = append(e.free, top.slot)
+		if !wasLive {
+			e.dead--
 			continue
 		}
-		e.now = ev.time
+		e.now = top.time
 		n++
 		if n > maxEvents {
 			return n, fmt.Errorf("simevent: exceeded event budget of %d", maxEvents)
 		}
-		ev.fn()
+		fn()
 	}
 	return n, nil
+}
+
+// compact sweeps cancelled entries out of the calendar in one pass and
+// restores the heap property, bounding calendar growth to 2x the live event
+// count regardless of how many timers are cancelled.
+func (e *Engine) compact() {
+	w := 0
+	for _, en := range e.cal {
+		s := &e.slots[en.slot]
+		if s.live {
+			e.cal[w] = en
+			w++
+			continue
+		}
+		s.fn = nil
+		s.gen++
+		e.free = append(e.free, en.slot)
+	}
+	e.cal = e.cal[:w]
+	e.dead = 0
+	// Bottom-up heapify: O(n), cheaper than n sift-ups.
+	for i := w/2 - 1; i >= 0; i-- {
+		e.siftDown(i)
+	}
+}
+
+func (e *Engine) less(i, j int) bool {
+	a, b := e.cal[i], e.cal[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			return
+		}
+		e.cal[i], e.cal[parent] = e.cal[parent], e.cal[i]
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.cal)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && e.less(l, min) {
+			min = l
+		}
+		if r < n && e.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		e.cal[i], e.cal[min] = e.cal[min], e.cal[i]
+		i = min
+	}
 }

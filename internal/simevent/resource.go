@@ -9,12 +9,15 @@ import "fmt"
 //
 // It models the shared service centers of the paper's queueing network: the
 // response time of a task's work inflates when concurrent tasks contend.
+// Active tasks live in a value slice kept in submission order, so service
+// and completion are deterministic and the per-task bookkeeping allocates
+// nothing beyond the slice itself.
 type PSResource struct {
 	eng      *Engine
 	name     string
 	capacity float64
-	active   map[int]*psTask
-	nextID   int
+	active   []psTask // submission order
+	fired    []func() // scratch for complete(), reused across events
 	lastUpd  float64
 	pending  Timer
 	// busyIntegral accumulates utilization*time for reporting.
@@ -32,7 +35,7 @@ func NewPSResource(eng *Engine, name string, capacity float64) *PSResource {
 	if capacity <= 0 {
 		panic(fmt.Sprintf("simevent: PS resource %q needs positive capacity", name))
 	}
-	return &PSResource{eng: eng, name: name, capacity: capacity, active: map[int]*psTask{}}
+	return &PSResource{eng: eng, name: name, capacity: capacity}
 }
 
 // Submit enqueues work seconds of demand; done fires when the work
@@ -44,9 +47,7 @@ func (r *PSResource) Submit(work float64, done func()) {
 		return
 	}
 	r.advance()
-	id := r.nextID
-	r.nextID++
-	r.active[id] = &psTask{remaining: work, done: done}
+	r.active = append(r.active, psTask{remaining: work, done: done})
 	r.reschedule()
 }
 
@@ -85,10 +86,10 @@ func (r *PSResource) advance() {
 	rt := r.rate()
 	served := rt * dt
 	r.busyIntegral += served * float64(len(r.active))
-	for _, t := range r.active {
-		t.remaining -= served
-		if t.remaining < 0 {
-			t.remaining = 0
+	for i := range r.active {
+		r.active[i].remaining -= served
+		if r.active[i].remaining < 0 {
+			r.active[i].remaining = 0
 		}
 	}
 }
@@ -101,28 +102,36 @@ func (r *PSResource) reschedule() {
 	}
 	rt := r.rate()
 	minRem := -1.0
-	for _, t := range r.active {
-		if minRem < 0 || t.remaining < minRem {
-			minRem = t.remaining
+	for i := range r.active {
+		if minRem < 0 || r.active[i].remaining < minRem {
+			minRem = r.active[i].remaining
 		}
 	}
 	eta := minRem / rt
 	r.pending = r.eng.After(eta, r.complete)
 }
 
-// complete fires the callbacks of every task that has (numerically) finished.
+// complete fires the callbacks of every task that has (numerically) finished,
+// in submission order.
 func (r *PSResource) complete() {
 	r.advance()
 	const eps = 1e-9
-	var fired []func()
-	for id, t := range r.active {
-		if t.remaining <= eps {
-			fired = append(fired, t.done)
-			delete(r.active, id)
+	r.fired = r.fired[:0]
+	w := 0
+	for i := range r.active {
+		if r.active[i].remaining <= eps {
+			r.fired = append(r.fired, r.active[i].done)
+			continue
 		}
+		r.active[w] = r.active[i]
+		w++
 	}
+	for i := w; i < len(r.active); i++ {
+		r.active[i].done = nil // release completed closures
+	}
+	r.active = r.active[:w]
 	r.reschedule()
-	for _, fn := range fired {
+	for _, fn := range r.fired {
 		fn()
 	}
 }
