@@ -244,6 +244,115 @@ func BenchmarkPlanDeadline(b *testing.B) {
 	b.Run("search", func(b *testing.B) { run(b, false) })
 }
 
+// benchTwoClassSpec is the 2-class cluster of the heterogeneous benchmarks:
+// a current generation plus a half-speed older one. Counts are overridden by
+// the planner's mix axis.
+func benchTwoClassSpec(fast, slow int) Cluster {
+	spec := DefaultCluster(0)
+	spec.NumNodes = 0
+	spec.Classes = []NodeClass{
+		{Name: "fast", Count: fast, Capacity: Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110, Speed: 1},
+		{Name: "slow", Count: slow, Capacity: Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 140, NetworkMBps: 110, Speed: 0.5},
+	}
+	return spec
+}
+
+// BenchmarkPredictHeterogeneous tracks the model hot path on a 2-class
+// cluster: per-class MVA centers widen every demand vector and overlap
+// matrix from 3 to 2K+1 layers, so this pins the cost (and the allocation
+// budget of the reusable Predictor) against the homogeneous baseline.
+func BenchmarkPredictHeterogeneous(b *testing.B) {
+	job, err := workload.NewJob(0, 4096, 128, 4, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for name, spec := range map[string]Cluster{
+		"flat-8":     DefaultCluster(8),
+		"2class-4+4": benchTwoClassSpec(4, 4),
+	} {
+		b.Run(name, func(b *testing.B) {
+			p := NewPredictor()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pred, err := p.Predict(ModelConfig{Spec: spec, Job: job, NumJobs: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if pred.ResponseTime <= 0 {
+					b.Fatal("bogus prediction")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPlanHeterogeneousDeadline measures a deadline query over a
+// 2-class mix axis (N fast + M slow), grid vs search: the bisection rides
+// the total-node ordering of the mixes with runtime-verified monotonicity.
+// predicts/op counts actual model evaluations (cache misses).
+func BenchmarkPlanHeterogeneousDeadline(b *testing.B) {
+	job, err := workload.NewJob(0, 1024, 128, 1, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 16 mixes with strictly increasing totals: f fast + f/2 slow.
+	mixes := make([][]int, 16)
+	for i := range mixes {
+		f := 2 + i
+		mixes[i] = []int{f, f / 2}
+	}
+	base := PlanRequest{Spec: benchTwoClassSpec(4, 4), Job: job, ClassCounts: mixes}
+
+	// Mid-range deadline from one exhaustive pass.
+	setup := NewService(ServiceOptions{})
+	ex := base
+	ex.Exhaustive = true
+	ex.DeadlineSec = 1
+	ref, err := setup.Plan(context.Background(), ex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := ref.Candidates[0].ResponseTime, ref.Candidates[0].ResponseTime
+	for _, c := range ref.Candidates {
+		if c.ResponseTime < lo {
+			lo = c.ResponseTime
+		}
+		if c.ResponseTime > hi {
+			hi = c.ResponseTime
+		}
+	}
+	deadline := (lo + hi) / 2
+
+	run := func(b *testing.B, exhaustive bool) {
+		b.ReportAllocs()
+		var best *PlanCandidate
+		var predicts int64
+		for i := 0; i < b.N; i++ {
+			svc := NewService(ServiceOptions{}) // cold cache per query
+			req := base
+			req.DeadlineSec = deadline
+			req.Exhaustive = exhaustive
+			resp, err := svc.Plan(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Best == nil {
+				b.Fatal("no feasible plan")
+			}
+			best = resp.Best
+			predicts += svc.Metrics().CacheMisses
+		}
+		b.ReportMetric(float64(predicts)/float64(b.N), "predicts/op")
+		if best.Nodes <= 0 || len(best.ClassCounts) != 2 {
+			b.Fatalf("bogus best %+v", best)
+		}
+	}
+	b.Run("grid", func(b *testing.B) { run(b, true) })
+	b.Run("search", func(b *testing.B) { run(b, false) })
+}
+
 // BenchmarkTimelineConstruction isolates Algorithm 1 (§4.3: O(C·T) per
 // iteration).
 func BenchmarkTimelineConstruction(b *testing.B) {

@@ -1,0 +1,105 @@
+// Heterogeneous clusters: real Hadoop deployments mix hardware generations,
+// while the paper assumes identical nodes. This example opens that scenario
+// axis end to end:
+//
+//  1. a 2-class cluster (current-generation nodes plus a half-speed older
+//     generation with slower disks) is described once as a class table;
+//  2. the analytic model and the discrete-event simulator both price tasks
+//     against the class of the node each container lands on, and their
+//     estimates are compared;
+//  3. the what-if planner sweeps class *mixes* — "N fast + M slow" — under a
+//     deadline, answering the procurement question "is it cheaper to add
+//     old nodes from the spare pool or buy fewer new ones?".
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"hadoop2perf"
+)
+
+// fleet describes the two hardware generations of the example cluster.
+func fleet(fast, slow int) hadoop2perf.Cluster {
+	spec := hadoop2perf.DefaultCluster(0)
+	spec.NumNodes = 0
+	spec.Classes = []hadoop2perf.NodeClass{
+		{
+			Name:        "gen2",
+			Count:       fast,
+			Capacity:    hadoop2perf.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs:        6,
+			Disks:       1,
+			DiskMBps:    240,
+			NetworkMBps: 110,
+			Speed:       1, // calibrated baseline generation
+		},
+		{
+			Name:        "gen1",
+			Count:       slow,
+			Capacity:    hadoop2perf.Resource{MemoryMB: 16384, VCores: 16},
+			CPUs:        4,
+			Disks:       1,
+			DiskMBps:    140,
+			NetworkMBps: 110,
+			Speed:       0.6, // older cores: CPU demands divide by 0.6
+		},
+	}
+	return spec
+}
+
+func main() {
+	log.SetFlags(0)
+	job, err := hadoop2perf.NewJob(0, 8*1024, 128, 4, hadoop2perf.WordCount())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1+2: model vs simulator on a fixed 4 fast + 4 slow cluster.
+	spec := fleet(4, 4)
+	cmp, err := hadoop2perf.Compare(spec, job, 1, 1, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("8 GB wordcount on 4x gen2 + 4x gen1:")
+	fmt.Printf("  simulated  %7.1f s\n", cmp.Simulated)
+	fmt.Printf("  fork/join  %7.1f s  (%+.1f%%)\n", cmp.ForkJoin, 100*cmp.ForkJoinErr)
+	fmt.Printf("  tripathi   %7.1f s  (%+.1f%%)\n", cmp.Tripathi, 100*cmp.TripathiErr)
+
+	// 3: sweep mixes under a deadline. Mixes are count vectors over the
+	// template's classes: {fast, slow}.
+	const deadline = 300.0
+	mixes := [][]int{
+		{2, 0}, {2, 2}, {2, 4}, {2, 8},
+		{4, 0}, {4, 2}, {4, 4}, {4, 8},
+		{6, 0}, {6, 2}, {8, 0},
+	}
+	svc := hadoop2perf.NewService(hadoop2perf.ServiceOptions{})
+	plan, err := svc.Plan(context.Background(), hadoop2perf.PlanRequest{
+		Spec:        spec,
+		Job:         job,
+		ClassCounts: mixes,
+		DeadlineSec: deadline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nmix sweep under a %.0f s deadline (strategy %s, %d pruned):\n", deadline, plan.Strategy, plan.Pruned)
+	fmt.Println("  gen2  gen1   est. response   meets   node-seconds")
+	for _, c := range plan.Candidates {
+		mark := "   no"
+		if c.Feasible {
+			mark = "  yes"
+		}
+		fmt.Printf("  %4d  %4d   %10.1f s   %s   %12.0f\n",
+			c.ClassCounts[0], c.ClassCounts[1], c.ResponseTime, mark, c.NodeSeconds)
+	}
+	if plan.Best != nil {
+		fmt.Printf("\ncheapest feasible fleet: %d gen2 + %d gen1 (%.1f s, %.0f node-seconds)\n",
+			plan.Best.ClassCounts[0], plan.Best.ClassCounts[1], plan.Best.ResponseTime, plan.Best.NodeSeconds)
+	} else {
+		fmt.Println("\nno swept mix meets the deadline")
+	}
+}

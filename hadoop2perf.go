@@ -40,8 +40,12 @@ import (
 // Re-exported types: the library's public surface. See the internal packages
 // for full documentation of each.
 type (
-	// Cluster describes a homogeneous YARN cluster.
+	// Cluster describes a YARN cluster: a flat homogeneous spec, or a
+	// heterogeneous one via Classes.
 	Cluster = cluster.Spec
+	// NodeClass is one hardware class of a heterogeneous cluster (a group of
+	// identical nodes; see Cluster.Classes).
+	NodeClass = cluster.NodeClass
 	// Resource is a YARN resource vector.
 	Resource = cluster.Resource
 	// Job describes one MapReduce job.

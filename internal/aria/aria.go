@@ -72,9 +72,7 @@ func Predict(job workload.Job, spec cluster.Spec) (Estimate, error) {
 		return Estimate{}, err
 	}
 	straggler := 1 + 2*job.Profile.TaskJitterCV // avg + 2 sigma as the observed max
-	md := job.MapDemands(job.BlockSizeMB, spec.DiskMBps).Total()
-	ss := job.ShuffleSortDemands(spec.NetworkMBps, spec.DiskMBps).Total()
-	mg := job.MergeDemands(spec.DiskMBps).Total()
+	md, ss, mg := meanDemands(job, spec)
 
 	mapB, err := StageBounds(StageProfile{Avg: md, Max: md * straggler}, job.NumMaps(), spec.TotalMapSlots())
 	if err != nil {
@@ -123,11 +121,19 @@ func SlotsForDeadline(job workload.Job, spec cluster.Spec, deadline float64) (in
 	return 0, errors.New("aria: deadline unattainable even with one slot per task")
 }
 
+// meanDemands evaluates the per-task stage demands on the cluster-average
+// hardware (exactly the flat values for homogeneous specs).
+func meanDemands(job workload.Job, spec cluster.Spec) (md, ss, mg float64) {
+	disk, net, inv := spec.MeanDiskMBps(), spec.MeanNetworkMBps(), spec.MeanInvSpeed()
+	md = job.MapDemands(job.BlockSizeMB, disk).TotalScaled(inv)
+	ss = job.ShuffleSortDemands(net, disk).TotalScaled(inv)
+	mg = job.MergeDemands(disk).TotalScaled(inv)
+	return md, ss, mg
+}
+
 func predictWithSlots(job workload.Job, spec cluster.Spec, mapSlots, redSlots int) (Estimate, error) {
 	straggler := 1 + 2*job.Profile.TaskJitterCV
-	md := job.MapDemands(job.BlockSizeMB, spec.DiskMBps).Total()
-	ss := job.ShuffleSortDemands(spec.NetworkMBps, spec.DiskMBps).Total()
-	mg := job.MergeDemands(spec.DiskMBps).Total()
+	md, ss, mg := meanDemands(job, spec)
 	mapB, err := StageBounds(StageProfile{Avg: md, Max: md * straggler}, job.NumMaps(), mapSlots)
 	if err != nil {
 		return Estimate{}, err

@@ -160,3 +160,34 @@ func TestSlotsForDeadlineMeetsIt(t *testing.T) {
 		}
 	}
 }
+
+// Class-form specs feed ARIA through the cluster-average hardware; the
+// bounds must stay finite, ordered, and slower than an all-fast cluster.
+func TestPredictHeterogeneousSpec(t *testing.T) {
+	job, err := workload.NewJob(0, 1024, 128, 2, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	het := cluster.Default(0)
+	het.NumNodes = 0
+	het.Classes = []cluster.NodeClass{
+		{Name: "fast", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110, Speed: 1},
+		{Name: "slow", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 120, NetworkMBps: 110, Speed: 0.5},
+	}
+	hetEst, err := Predict(job, het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hetEst.Low > 0 && hetEst.Low <= hetEst.Avg && hetEst.Avg <= hetEst.Up) {
+		t.Fatalf("het bounds out of order: %+v", hetEst)
+	}
+	fastEst, err := Predict(job, cluster.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hetEst.Avg <= fastEst.Avg {
+		t.Errorf("mixed cluster should be slower: het %v vs fast %v", hetEst.Avg, fastEst.Avg)
+	}
+}

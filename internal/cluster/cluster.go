@@ -1,7 +1,11 @@
-// Package cluster describes the physical Hadoop 2.x cluster: homogeneous
-// nodes with memory and vcore capacities, and container sizing from which the
-// per-node container limits pMaxMapsPerNode / pMaxReducePerNode of the paper
-// (§4.3) are derived.
+// Package cluster describes the physical Hadoop 2.x cluster. The paper
+// assumes homogeneous nodes ("all of them having the same technical
+// characteristics"); this package keeps that flat form as a special case and
+// generalizes it to heterogeneous clusters made of node classes — groups of
+// identical nodes mixing hardware generations. Container sizing stays
+// cluster-wide (it is the MapReduce AM's request, not hardware), from which
+// the per-node container limits pMaxMapsPerNode / pMaxReducePerNode of the
+// paper (§4.3) are derived per class.
 package cluster
 
 import (
@@ -38,26 +42,91 @@ func (r Resource) String() string {
 	return fmt.Sprintf("<%d MB, %d vcores>", r.MemoryMB, r.VCores)
 }
 
-// Spec is a homogeneous cluster specification. All nodes share the same
-// capacity and hardware speeds, matching the paper's assumption
-// ("all of them having the same technical characteristics").
+// NodeClass is one hardware class of a heterogeneous cluster: Count nodes
+// sharing the same capacity, core/disk counts, bandwidths and relative
+// compute speed. Nodes are numbered class by class: the first class owns node
+// IDs 0..Count-1, the next class the following IDs, and so on.
+type NodeClass struct {
+	// Name identifies the class (wire format, cache keys, error messages).
+	Name string `json:"name"`
+	// Count is the number of nodes of this class.
+	Count int `json:"count"`
+	// Capacity is the schedulable YARN resource per node of the class.
+	Capacity Resource `json:"capacity"`
+	// CPUs and Disks are the contended hardware units per node (cores sharing
+	// CPU work, spindles sharing disk bandwidth).
+	CPUs  int `json:"cpus"`
+	Disks int `json:"disks"`
+	// DiskMBps and NetworkMBps convert bytes into service demands for tasks
+	// placed on this class.
+	DiskMBps    float64 `json:"diskMBps"`
+	NetworkMBps float64 `json:"networkMBps"`
+	// Speed is the relative per-core compute speed of the class: CPU service
+	// demands divide by it (1 = the calibrated baseline generation; 2 = twice
+	// as fast). Zero means 1.
+	Speed float64 `json:"speed,omitempty"`
+}
+
+// SpeedFactor returns the effective compute-speed multiplier (Speed, or 1
+// when unset).
+func (c NodeClass) SpeedFactor() float64 {
+	if c.Speed > 0 {
+		return c.Speed
+	}
+	return 1
+}
+
+// validate checks one class entry.
+func (c NodeClass) validate() error {
+	switch {
+	case c.Name == "":
+		return errors.New("cluster: node class needs a name")
+	case c.Count <= 0:
+		return fmt.Errorf("cluster: class %q: Count must be positive", c.Name)
+	case c.Capacity.IsZeroOrNegative():
+		return fmt.Errorf("cluster: class %q: Capacity must be positive", c.Name)
+	case c.CPUs <= 0 || c.Disks <= 0:
+		return fmt.Errorf("cluster: class %q: CPUs and Disks must be positive", c.Name)
+	case c.DiskMBps <= 0 || c.NetworkMBps <= 0:
+		return fmt.Errorf("cluster: class %q: DiskMBps and NetworkMBps must be positive", c.Name)
+	case c.Speed < 0:
+		return fmt.Errorf("cluster: class %q: Speed must be nonnegative", c.Name)
+	}
+	return nil
+}
+
+// Spec is a cluster specification. Two forms round-trip through JSON:
+//
+//   - the flat (legacy) form — NumNodes identical nodes described by
+//     NodeCapacity / CPUPerNode / DiskPerNode / DiskMBps / NetworkMBps; and
+//   - the class form — Classes partitions the cluster into hardware classes,
+//     the per-node flat fields are ignored, and NumNodes is either zero or
+//     must equal the sum of class counts.
+//
+// MapContainer and ReduceContainer apply to both forms: container sizing is
+// requested by the job's ApplicationMaster and does not vary by hardware.
 type Spec struct {
-	// NumNodes is the number of worker nodes in the cluster.
-	NumNodes int `json:"numNodes"`
-	// NodeCapacity is the schedulable resource per node.
-	NodeCapacity Resource `json:"nodeCapacity"`
+	// NumNodes is the number of worker nodes in the cluster (flat form). With
+	// Classes set it is redundant: zero, or the sum of the class counts.
+	NumNodes int `json:"numNodes,omitempty"`
+	// NodeCapacity is the schedulable resource per node (flat form).
+	NodeCapacity Resource `json:"nodeCapacity,omitempty"`
 	// MapContainer and ReduceContainer are the container sizes requested by
 	// the MapReduce ApplicationMaster for map and reduce tasks.
 	MapContainer    Resource `json:"mapContainer"`
 	ReduceContainer Resource `json:"reduceContainer"`
 	// CPUPerNode and DiskPerNode describe the node hardware used by the
-	// contention model (number of cores sharing CPU work, number of disks).
-	CPUPerNode  int `json:"cpuPerNode"`
-	DiskPerNode int `json:"diskPerNode"`
-	// DiskMBps and NetworkMBps are per-disk and cluster-link bandwidths used
-	// by the simulator to convert bytes into service demands.
-	DiskMBps    float64 `json:"diskMBps"`
-	NetworkMBps float64 `json:"networkMBps"`
+	// contention model (number of cores sharing CPU work, number of disks) in
+	// the flat form.
+	CPUPerNode  int `json:"cpuPerNode,omitempty"`
+	DiskPerNode int `json:"diskPerNode,omitempty"`
+	// DiskMBps and NetworkMBps are per-disk and per-NIC bandwidths used to
+	// convert bytes into service demands (flat form).
+	DiskMBps    float64 `json:"diskMBps,omitempty"`
+	NetworkMBps float64 `json:"networkMBps,omitempty"`
+	// Classes, when non-empty, selects the heterogeneous class form: the
+	// cluster is the concatenation of the classes' node groups, in order.
+	Classes []NodeClass `json:"classes,omitempty"`
 }
 
 // Default returns the evaluation cluster of the paper (§5.1), scaled to a
@@ -80,17 +149,80 @@ func Default(numNodes int) Spec {
 	}
 }
 
+// Heterogeneous reports whether the spec uses the class form.
+func (s Spec) Heterogeneous() bool { return len(s.Classes) > 0 }
+
+// ClassView returns the canonical class table: Classes when set, otherwise a
+// single synthesized class mirroring the flat fields. The returned slice
+// must not be mutated.
+func (s Spec) ClassView() []NodeClass {
+	if len(s.Classes) > 0 {
+		return s.Classes
+	}
+	return []NodeClass{{
+		Name:        "default",
+		Count:       s.NumNodes,
+		Capacity:    s.NodeCapacity,
+		CPUs:        s.CPUPerNode,
+		Disks:       s.DiskPerNode,
+		DiskMBps:    s.DiskMBps,
+		NetworkMBps: s.NetworkMBps,
+		Speed:       1,
+	}}
+}
+
+// TotalNodes is the worker-node count across all classes (NumNodes for flat
+// specs).
+func (s Spec) TotalNodes() int {
+	if len(s.Classes) == 0 {
+		return s.NumNodes
+	}
+	n := 0
+	for _, c := range s.Classes {
+		n += c.Count
+	}
+	return n
+}
+
+// ClassOfNode maps a node ID (0-based, classes laid out in order) to its
+// class index in ClassView. Out-of-range IDs map to the last class.
+func (s Spec) ClassOfNode(node int) int {
+	if len(s.Classes) == 0 {
+		return 0
+	}
+	for i, c := range s.Classes {
+		node -= c.Count
+		if node < 0 {
+			return i
+		}
+	}
+	return len(s.Classes) - 1
+}
+
+// NodeCapacityOf returns the schedulable capacity of one node.
+func (s Spec) NodeCapacityOf(node int) Resource {
+	if len(s.Classes) == 0 {
+		return s.NodeCapacity
+	}
+	return s.Classes[s.ClassOfNode(node)].Capacity
+}
+
 // Validate checks the spec for internally consistent values.
 func (s Spec) Validate() error {
+	switch {
+	case s.MapContainer.IsZeroOrNegative():
+		return errors.New("cluster: MapContainer must be positive")
+	case s.ReduceContainer.IsZeroOrNegative():
+		return errors.New("cluster: ReduceContainer must be positive")
+	}
+	if len(s.Classes) > 0 {
+		return s.validateClasses()
+	}
 	switch {
 	case s.NumNodes <= 0:
 		return errors.New("cluster: NumNodes must be positive")
 	case s.NodeCapacity.IsZeroOrNegative():
 		return errors.New("cluster: NodeCapacity must be positive")
-	case s.MapContainer.IsZeroOrNegative():
-		return errors.New("cluster: MapContainer must be positive")
-	case s.ReduceContainer.IsZeroOrNegative():
-		return errors.New("cluster: ReduceContainer must be positive")
 	case !s.NodeCapacity.Fits(s.MapContainer):
 		return errors.New("cluster: map container exceeds node capacity")
 	case !s.NodeCapacity.Fits(s.ReduceContainer):
@@ -103,18 +235,144 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// MaxMapsPerNode is pMaxMapsPerNode of §4.3: how many map containers fit in a
-// node, limited by both memory and vcores.
-func (s Spec) MaxMapsPerNode() int { return containersPerNode(s.NodeCapacity, s.MapContainer) }
+func (s Spec) validateClasses() error {
+	names := make(map[string]bool, len(s.Classes))
+	total := 0
+	for _, c := range s.Classes {
+		if err := c.validate(); err != nil {
+			return err
+		}
+		if names[c.Name] {
+			return fmt.Errorf("cluster: duplicate node class %q", c.Name)
+		}
+		names[c.Name] = true
+		if !c.Capacity.Fits(s.MapContainer) {
+			return fmt.Errorf("cluster: map container exceeds class %q capacity", c.Name)
+		}
+		if !c.Capacity.Fits(s.ReduceContainer) {
+			return fmt.Errorf("cluster: reduce container exceeds class %q capacity", c.Name)
+		}
+		total += c.Count
+	}
+	if s.NumNodes != 0 && s.NumNodes != total {
+		return fmt.Errorf("cluster: NumNodes %d disagrees with class counts (sum %d)", s.NumNodes, total)
+	}
+	return nil
+}
 
-// MaxReducesPerNode is pMaxReducePerNode of §4.3.
-func (s Spec) MaxReducesPerNode() int { return containersPerNode(s.NodeCapacity, s.ReduceContainer) }
+// MeanDiskMBps is the count-weighted harmonic-mean disk bandwidth across
+// classes — the bandwidth whose per-byte cost equals the cluster-average
+// per-byte cost. For flat and single-class specs it is exactly the class
+// value.
+func (s Spec) MeanDiskMBps() float64 {
+	cs := s.ClassView()
+	if len(cs) == 1 {
+		return cs[0].DiskMBps
+	}
+	var inv float64
+	n := 0
+	for _, c := range cs {
+		inv += float64(c.Count) / c.DiskMBps
+		n += c.Count
+	}
+	return float64(n) / inv
+}
 
-// TotalMapSlots is the cluster-wide map container capacity.
-func (s Spec) TotalMapSlots() int { return s.NumNodes * s.MaxMapsPerNode() }
+// MeanNetworkMBps is the count-weighted harmonic-mean NIC bandwidth across
+// classes (the exact class value for flat and single-class specs).
+func (s Spec) MeanNetworkMBps() float64 {
+	cs := s.ClassView()
+	if len(cs) == 1 {
+		return cs[0].NetworkMBps
+	}
+	var inv float64
+	n := 0
+	for _, c := range cs {
+		inv += float64(c.Count) / c.NetworkMBps
+		n += c.Count
+	}
+	return float64(n) / inv
+}
 
-// TotalReduceSlots is the cluster-wide reduce container capacity.
-func (s Spec) TotalReduceSlots() int { return s.NumNodes * s.MaxReducesPerNode() }
+// MeanInvSpeed is the count-weighted mean inverse compute speed: the factor
+// an average task's CPU demand carries on this cluster (exactly 1 for flat
+// specs).
+func (s Spec) MeanInvSpeed() float64 {
+	cs := s.ClassView()
+	if len(cs) == 1 {
+		return 1 / cs[0].SpeedFactor()
+	}
+	var inv float64
+	n := 0
+	for _, c := range cs {
+		inv += float64(c.Count) / c.SpeedFactor()
+		n += c.Count
+	}
+	return inv / float64(n)
+}
+
+// MaxMapsOf is pMaxMapsPerNode of §4.3 for one class: how many map
+// containers fit in a node of the class, limited by both memory and vcores.
+func (s Spec) MaxMapsOf(c NodeClass) int { return containersPerNode(c.Capacity, s.MapContainer) }
+
+// MaxReducesOf is pMaxReducePerNode of §4.3 for one class.
+func (s Spec) MaxReducesOf(c NodeClass) int { return containersPerNode(c.Capacity, s.ReduceContainer) }
+
+// MaxMapsPerNode is the largest per-node map container capacity across
+// classes (for flat specs: the capacity of every node).
+func (s Spec) MaxMapsPerNode() int {
+	if len(s.Classes) == 0 {
+		return containersPerNode(s.NodeCapacity, s.MapContainer)
+	}
+	best := 0
+	for _, c := range s.Classes {
+		if m := s.MaxMapsOf(c); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// MaxReducesPerNode is the largest per-node reduce container capacity across
+// classes.
+func (s Spec) MaxReducesPerNode() int {
+	if len(s.Classes) == 0 {
+		return containersPerNode(s.NodeCapacity, s.ReduceContainer)
+	}
+	best := 0
+	for _, c := range s.Classes {
+		if m := s.MaxReducesOf(c); m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+// TotalMapSlots is the cluster-wide map container capacity, summed over
+// classes.
+func (s Spec) TotalMapSlots() int {
+	if len(s.Classes) == 0 {
+		return s.NumNodes * containersPerNode(s.NodeCapacity, s.MapContainer)
+	}
+	total := 0
+	for _, c := range s.Classes {
+		total += c.Count * s.MaxMapsOf(c)
+	}
+	return total
+}
+
+// TotalReduceSlots is the cluster-wide reduce container capacity, summed
+// over classes.
+func (s Spec) TotalReduceSlots() int {
+	if len(s.Classes) == 0 {
+		return s.NumNodes * containersPerNode(s.NodeCapacity, s.ReduceContainer)
+	}
+	total := 0
+	for _, c := range s.Classes {
+		total += c.Count * s.MaxReducesOf(c)
+	}
+	return total
+}
 
 func containersPerNode(capacity, container Resource) int {
 	if container.IsZeroOrNegative() {

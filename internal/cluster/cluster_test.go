@@ -1,6 +1,9 @@
 package cluster
 
 import (
+	"encoding/json"
+	"reflect"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -138,3 +141,180 @@ func TestContainerCountsFitProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// twoClass returns a valid 2-class spec: 2 big fast nodes + 3 small slow
+// ones under the default container sizing, with no flat per-node fields set.
+func twoClass() Spec {
+	s := Spec{
+		MapContainer:    Resource{MemoryMB: 4096, VCores: 2},
+		ReduceContainer: Resource{MemoryMB: 4096, VCores: 4},
+	}
+	s.Classes = []NodeClass{
+		{Name: "fast", Count: 2, Capacity: Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 2, DiskMBps: 240, NetworkMBps: 110, Speed: 1.5},
+		{Name: "slow", Count: 3, Capacity: Resource{MemoryMB: 16384, VCores: 16},
+			CPUs: 4, Disks: 1, DiskMBps: 140, NetworkMBps: 55},
+	}
+	return s
+}
+
+func TestClassSpecValidateAndHelpers(t *testing.T) {
+	s := twoClass()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Heterogeneous() {
+		t.Error("class spec not heterogeneous")
+	}
+	if got := s.TotalNodes(); got != 5 {
+		t.Errorf("TotalNodes = %d, want 5", got)
+	}
+	// Default containers: map 4096MB/2vc, reduce 4096MB/4vc.
+	// fast: 32768/4096=8 maps, min(8, 32/4=8)=8 reduces.
+	// slow: 16384/4096=4 maps, min(4, 16/4=4)=4 reduces.
+	if got := s.MaxMapsOf(s.Classes[0]); got != 8 {
+		t.Errorf("fast MaxMapsOf = %d, want 8", got)
+	}
+	if got := s.MaxMapsOf(s.Classes[1]); got != 4 {
+		t.Errorf("slow MaxMapsOf = %d, want 4", got)
+	}
+	if got := s.MaxMapsPerNode(); got != 8 {
+		t.Errorf("MaxMapsPerNode = %d, want 8 (max across classes)", got)
+	}
+	if got := s.TotalMapSlots(); got != 2*8+3*4 {
+		t.Errorf("TotalMapSlots = %d, want 28", got)
+	}
+	if got := s.TotalReduceSlots(); got != 2*8+3*4 {
+		t.Errorf("TotalReduceSlots = %d, want 28", got)
+	}
+	// Node layout: class by class.
+	for node, wantCls := range []int{0, 0, 1, 1, 1} {
+		if got := s.ClassOfNode(node); got != wantCls {
+			t.Errorf("ClassOfNode(%d) = %d, want %d", node, got, wantCls)
+		}
+	}
+	if got := s.NodeCapacityOf(4); got != (Resource{MemoryMB: 16384, VCores: 16}) {
+		t.Errorf("NodeCapacityOf(4) = %v", got)
+	}
+	if got := s.Classes[1].SpeedFactor(); got != 1 {
+		t.Errorf("zero Speed should default to 1, got %v", got)
+	}
+	// ClassView of a flat spec synthesizes one matching class.
+	flat := Default(4)
+	view := flat.ClassView()
+	if len(view) != 1 || view[0].Count != 4 || view[0].DiskMBps != flat.DiskMBps || view[0].SpeedFactor() != 1 {
+		t.Errorf("flat ClassView = %+v", view)
+	}
+}
+
+func TestClassSpecValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"unnamed class", func(s *Spec) { s.Classes[0].Name = "" }},
+		{"duplicate class name", func(s *Spec) { s.Classes[1].Name = "fast" }},
+		{"zero count", func(s *Spec) { s.Classes[0].Count = 0 }},
+		{"zero capacity", func(s *Spec) { s.Classes[1].Capacity = Resource{} }},
+		{"zero cpus", func(s *Spec) { s.Classes[0].CPUs = 0 }},
+		{"zero disks", func(s *Spec) { s.Classes[0].Disks = 0 }},
+		{"zero disk bw", func(s *Spec) { s.Classes[1].DiskMBps = 0 }},
+		{"zero net bw", func(s *Spec) { s.Classes[1].NetworkMBps = 0 }},
+		{"negative speed", func(s *Spec) { s.Classes[0].Speed = -1 }},
+		{"container exceeds class", func(s *Spec) { s.Classes[1].Capacity = Resource{MemoryMB: 2048, VCores: 2} }},
+		{"numNodes disagrees", func(s *Spec) { s.NumNodes = 4 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := twoClass()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+	// NumNodes matching the class sum is accepted (redundant but consistent).
+	s := twoClass()
+	s.NumNodes = 5
+	if err := s.Validate(); err != nil {
+		t.Errorf("consistent NumNodes rejected: %v", err)
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	// Flat legacy form.
+	flat := Default(4)
+	b, err := json.Marshal(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flatBack Spec
+	if err := json.Unmarshal(b, &flatBack); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flat, flatBack) {
+		t.Errorf("flat round trip: %+v != %+v", flatBack, flat)
+	}
+	if bytesContains(b, `"classes"`) {
+		t.Errorf("flat form leaked a classes key: %s", b)
+	}
+
+	// Class form: flat per-node fields omitted, classes preserved.
+	het := twoClass()
+	b, err = json.Marshal(het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hetBack Spec
+	if err := json.Unmarshal(b, &hetBack); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(het, hetBack) {
+		t.Errorf("class round trip: %+v != %+v", hetBack, het)
+	}
+	if err := hetBack.Validate(); err != nil {
+		t.Errorf("round-tripped class spec invalid: %v", err)
+	}
+	for _, key := range []string{`"numNodes"`, `"cpuPerNode"`, `"diskPerNode"`} {
+		if bytesContains(b, key) {
+			t.Errorf("class form leaked flat key %s: %s", key, b)
+		}
+	}
+
+	// A legacy payload without any class key still parses to a valid flat spec.
+	legacy := `{"numNodes":2,"nodeCapacity":{"memoryMB":8192,"vcores":8},
+		"mapContainer":{"memoryMB":2048,"vcores":1},"reduceContainer":{"memoryMB":2048,"vcores":2},
+		"cpuPerNode":4,"diskPerNode":1,"diskMBps":100,"networkMBps":100}`
+	var fromLegacy Spec
+	if err := json.Unmarshal([]byte(legacy), &fromLegacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := fromLegacy.Validate(); err != nil {
+		t.Errorf("legacy payload invalid: %v", err)
+	}
+	if fromLegacy.Heterogeneous() || fromLegacy.TotalNodes() != 2 {
+		t.Errorf("legacy payload misparsed: %+v", fromLegacy)
+	}
+
+	// Mixed/invalid payloads parse but fail validation: a class table plus a
+	// contradicting numNodes, and a class missing its bandwidths.
+	for name, payload := range map[string]string{
+		"contradicting numNodes": `{"numNodes":9,"mapContainer":{"memoryMB":2048,"vcores":1},
+			"reduceContainer":{"memoryMB":2048,"vcores":2},
+			"classes":[{"name":"a","count":2,"capacity":{"memoryMB":8192,"vcores":8},
+				"cpus":4,"disks":1,"diskMBps":100,"networkMBps":100}]}`,
+		"class missing bandwidth": `{"mapContainer":{"memoryMB":2048,"vcores":1},
+			"reduceContainer":{"memoryMB":2048,"vcores":2},
+			"classes":[{"name":"a","count":2,"capacity":{"memoryMB":8192,"vcores":8},"cpus":4,"disks":1}]}`,
+	} {
+		var s Spec
+		if err := json.Unmarshal([]byte(payload), &s); err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+}
+
+func bytesContains(b []byte, sub string) bool { return strings.Contains(string(b), sub) }

@@ -207,23 +207,134 @@ func (c *classData) demandTotal() float64 { return c.demCPU + c.demDisk + c.demN
 type Predictor struct {
 	solver mva.OverlapSolver
 
+	// hw is the hardware-class view of the current prediction's cluster.
+	hw hwView
+
 	// Overlap-factor matrices: 2 (alpha, beta) × numCenters layers of n×n,
-	// views over one flat backing array, rebuilt only when n changes.
+	// views over one flat backing array, rebuilt only when the task count or
+	// the center count changes.
 	ovFlat      []float64
 	alpha, beta [][][]float64
-	ovN         int
+	ovN, ovC    int
 
-	// Per-task MVA demands, flat-backed.
+	// Per-task MVA demands, flat-backed with a numCenters stride.
 	demands []mva.TaskDemand
 	demFlat []float64
+	demC    int
 
 	// Algorithm-1 inputs (timeline.Build copies them; safe to reuse).
-	maps    []timeline.MapTask
-	reduces []timeline.ReduceTask
+	maps       []timeline.MapTask
+	reduces    []timeline.ReduceTask
+	mapSlotsBy []int
+	redSlotsBy []int
+	mapScale   []float64
+	redScale   []float64
+
+	// Center service multiplicities, rebuilt per prediction.
+	servers []float64
 
 	// Per-iteration lookup tables, cleared instead of reallocated.
 	lanes  map[laneKey]laneWindow
 	respOf map[classTask]float64
+}
+
+// hwView is the per-prediction hardware resolution of a cluster spec: the
+// class table, the node→class map, per-class container capacities, the
+// co-location weights of the inter-job overlap factors and the service
+// centers of the queueing network. Heterogeneous clusters get one CPU and
+// one Disk center *per hardware class* (each modeling a representative node
+// of that class, the way the paper's single CPU&Memory center models one of
+// N identical nodes) plus the shared Network center; a flat spec reduces to
+// the paper's three centers.
+type hwView struct {
+	classes []cluster.NodeClass
+	nodes   int
+	// Per-class container capacities (pMaxMapsPerNode / pMaxReducePerNode of
+	// §4.3, undivided by the job count).
+	mapsPer, redsPer []int
+	// classOf maps a node ID to its class index.
+	classOf []int
+	// invWMap / invWRed are the inverse co-location weights of the beta
+	// matrices: totalPoolSlots / classPoolSlotsPerNode. The paper's uniform
+	// 1/NumNodes co-location probability generalizes to class-proportional
+	// placement — a node hosting a larger share of the container pool
+	// receives proportionally more of the other job's tasks. For a flat spec
+	// both reduce exactly to NumNodes.
+	invWMap, invWRed []float64
+	// avgDisk / avgNet are count-weighted harmonic-mean bandwidths and
+	// avgInvSpeed the count-weighted mean inverse compute speed, used to seed
+	// the class-aggregate working state. For a single class they are exactly
+	// the class values.
+	avgDisk, avgNet, avgInvSpeed float64
+	// nc is the center count: 2 per class + the shared network.
+	nc int
+}
+
+func (h *hwView) cpuCenter(cls int) int  { return 2 * cls }
+func (h *hwView) diskCenter(cls int) int { return 2*cls + 1 }
+func (h *hwView) netCenter() int         { return 2 * len(h.classes) }
+
+// init resolves the spec into the view, reusing slice capacity.
+func (h *hwView) init(spec cluster.Spec) {
+	h.classes = spec.ClassView()
+	h.nodes = spec.TotalNodes()
+	k := len(h.classes)
+	h.nc = 2*k + 1
+	h.mapsPer = resizeInts(h.mapsPer, k)
+	h.redsPer = resizeInts(h.redsPer, k)
+	h.invWMap = resizeFloats(h.invWMap, k)
+	h.invWRed = resizeFloats(h.invWRed, k)
+	h.classOf = resizeInts(h.classOf, h.nodes)
+
+	totalMaps, totalReds := 0, 0
+	node := 0
+	for i, c := range h.classes {
+		h.mapsPer[i] = spec.MaxMapsOf(c)
+		h.redsPer[i] = spec.MaxReducesOf(c)
+		totalMaps += c.Count * h.mapsPer[i]
+		totalReds += c.Count * h.redsPer[i]
+		for n := 0; n < c.Count; n++ {
+			h.classOf[node] = i
+			node++
+		}
+	}
+	for i := range h.classes {
+		h.invWMap[i] = float64(totalMaps) / float64(h.mapsPer[i])
+		h.invWRed[i] = float64(totalReds) / float64(h.redsPer[i])
+	}
+
+	h.avgDisk = spec.MeanDiskMBps()
+	h.avgNet = spec.MeanNetworkMBps()
+	h.avgInvSpeed = spec.MeanInvSpeed()
+}
+
+// servers fills buf with the center multiplicities: cores and disks of a
+// node per class, then the network fabric width (bisection grows with the
+// total node count, matching the cluster substrate).
+func (h *hwView) servers(buf []float64) []float64 {
+	buf = buf[:0]
+	for _, c := range h.classes {
+		buf = append(buf, float64(c.CPUs), float64(c.Disks))
+	}
+	fabric := float64(h.nodes) / 2
+	if fabric < 1 {
+		fabric = 1
+	}
+	return append(buf, fabric)
+}
+
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
 }
 
 // NewPredictor returns an empty Predictor; buffers grow on first use.
@@ -266,7 +377,8 @@ func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 		return Prediction{}, errors.New("core: job has no map tasks")
 	}
 
-	classes := initialize(cfg)
+	p.hw.init(cfg.Spec)
+	classes := initialize(cfg, &p.hw)
 
 	prevTotal := math.Inf(1)
 	var (
@@ -288,14 +400,15 @@ func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 			return Prediction{}, err
 		}
 		// A4: overlap factors.
-		alpha, beta := p.overlapFactors(cfg, tl)
+		alpha, beta := p.overlapFactors(tl)
 		// A5: overlap-weighted MVA step.
 		taskDemands := p.demandsFor(cfg, tl, classes)
+		p.servers = p.hw.servers(p.servers)
 		step, err := p.solver.Step(mva.OverlapInput{
 			Tasks:     taskDemands,
 			Alpha:     alpha,
 			Beta:      beta,
-			Servers:   centerServers(cfg.Spec),
+			Servers:   p.servers,
 			OtherJobs: cfg.NumJobs - 1,
 		})
 		if err != nil {
@@ -342,14 +455,17 @@ const schedulingLatency = 0.5
 // initialize implements A1: class demands from the workload's cost functions
 // (or history), and initial responses from the Herodotou-style static view
 // (all resources to maps, then to reduces ⇒ response = uncontended demand).
-func initialize(cfg Config) map[timeline.Class]*classData {
-	md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, cfg.Spec.DiskMBps)
-	ss := cfg.Job.ShuffleSortDemands(cfg.Spec.NetworkMBps, cfg.Spec.DiskMBps)
-	mg := cfg.Job.MergeDemands(cfg.Spec.DiskMBps)
+// Heterogeneous clusters seed the class aggregates with the count-weighted
+// average hardware; the MVA step then re-prices each placed task against its
+// node's actual class (demandsFor).
+func initialize(cfg Config, h *hwView) map[timeline.Class]*classData {
+	md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, h.avgDisk)
+	ss := cfg.Job.ShuffleSortDemands(h.avgNet, h.avgDisk)
+	mg := cfg.Job.MergeDemands(h.avgDisk)
 	classes := map[timeline.Class]*classData{
-		timeline.ClassMap:         {demCPU: md.CPU + schedulingLatency, demDisk: md.Disk, demNetwork: md.Network},
-		timeline.ClassShuffleSort: {demCPU: ss.CPU + schedulingLatency, demDisk: ss.Disk, demNetwork: ss.Network},
-		timeline.ClassMerge:       {demCPU: mg.CPU, demDisk: mg.Disk, demNetwork: mg.Network},
+		timeline.ClassMap:         {demCPU: md.CPU*h.avgInvSpeed + schedulingLatency, demDisk: md.Disk, demNetwork: md.Network},
+		timeline.ClassShuffleSort: {demCPU: ss.CPU*h.avgInvSpeed + schedulingLatency, demDisk: ss.Disk, demNetwork: ss.Network},
+		timeline.ClassMerge:       {demCPU: mg.CPU * h.avgInvSpeed, demDisk: mg.Disk, demNetwork: mg.Network},
 	}
 	for cls, cd := range classes {
 		if h, ok := cfg.History[cls]; ok {
@@ -413,14 +529,23 @@ func (p *Predictor) buildTimeline(cfg Config, classes map[timeline.Class]*classD
 
 	// With N identical concurrent jobs the root queue's fair ordering gives
 	// each job ~1/N of the container capacity; the per-job timeline is built
-	// over that share (at least one lane per node).
-	mapSlots := cfg.Spec.MaxMapsPerNode() / cfg.NumJobs
-	if mapSlots < 1 {
-		mapSlots = 1
-	}
-	redSlots := cfg.Spec.MaxReducesPerNode() / cfg.NumJobs
-	if redSlots < 1 {
-		redSlots = 1
+	// over that share (at least one lane per node). Each node's lane count
+	// comes from its hardware class — bigger nodes host more lanes.
+	hw := &p.hw
+	p.mapSlotsBy = resizeInts(p.mapSlotsBy, hw.nodes)
+	p.redSlotsBy = resizeInts(p.redSlotsBy, hw.nodes)
+	for n := 0; n < hw.nodes; n++ {
+		cls := hw.classOf[n]
+		ms := hw.mapsPer[cls] / cfg.NumJobs
+		if ms < 1 {
+			ms = 1
+		}
+		rs := hw.redsPer[cls] / cfg.NumJobs
+		if rs < 1 {
+			rs = 1
+		}
+		p.mapSlotsBy[n] = ms
+		p.redSlotsBy[n] = rs
 	}
 	p.maps = p.maps[:0]
 	p.reduces = p.reduces[:0]
@@ -433,53 +558,98 @@ func (p *Predictor) buildTimeline(cfg Config, classes map[timeline.Class]*classD
 		})
 	}
 	in := timeline.Input{
-		NumNodes:           cfg.Spec.NumNodes,
-		MapSlotsPerNode:    mapSlots,
-		ReduceSlotsPerNode: redSlots,
-		Maps:               p.maps,
-		Reduces:            p.reduces,
-		SlowStart:          cfg.Job.SlowStart,
+		NumNodes:          hw.nodes,
+		MapSlotsByNode:    p.mapSlotsBy,
+		ReduceSlotsByNode: p.redSlotsBy,
+		Maps:              p.maps,
+		Reduces:           p.reduces,
+		SlowStart:         cfg.Job.SlowStart,
 	}
+	in.MapDurationScaleByNode, in.ReduceDurationScaleByNode = p.durationScales(cfg, classes)
 	return timeline.Build(in)
+}
+
+// durationScales derives Algorithm 1's per-node duration-scale vectors for
+// heterogeneous clusters: the class-aggregate durations the timeline places
+// are stretched (or shrunk) on each node by the ratio of that node's class
+// demand to the cluster-average demand, so faster nodes free containers
+// earlier and absorb more tasks — the placement feedback the simulator's
+// YARN scheduler exhibits. The reduce scale covers the node-local shuffle
+// base and the merge; remote-shuffle shares ride the shared network
+// unscaled. Homogeneous clusters (and history-backed demands, which apply
+// uniformly) return nil vectors.
+func (p *Predictor) durationScales(cfg Config, classes map[timeline.Class]*classData) (mapScales, redScales []float64) {
+	hw := &p.hw
+	if cfg.History != nil || len(hw.classes) <= 1 {
+		return nil, nil
+	}
+	mapCD := classes[timeline.ClassMap]
+	ssCD := classes[timeline.ClassShuffleSort]
+	mgCD := classes[timeline.ClassMerge]
+	mapAvg := mapCD.demandTotal()
+	redAvg := ssCD.demCPU + ssCD.demDisk + mgCD.demCPU + mgCD.demDisk // node-local parts
+	p.mapScale = resizeFloats(p.mapScale, hw.nodes)
+	p.redScale = resizeFloats(p.redScale, hw.nodes)
+	lastCls := -1
+	var sm, sr float64
+	for n := 0; n < hw.nodes; n++ {
+		if cls := hw.classOf[n]; cls != lastCls {
+			lastCls = cls
+			c := hw.classes[cls]
+			sp := c.SpeedFactor()
+			md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, c.DiskMBps)
+			ss := cfg.Job.ShuffleSortDemands(c.NetworkMBps, c.DiskMBps)
+			mg := cfg.Job.MergeDemands(c.DiskMBps)
+			mTot := md.CPU/sp + schedulingLatency + md.Disk + md.Network
+			rLocal := ss.CPU/sp + schedulingLatency + ss.Disk + mg.CPU/sp + mg.Disk
+			sm, sr = mTot/mapAvg, rLocal/redAvg
+		}
+		p.mapScale[n] = sm
+		p.redScale[n] = sr
+	}
+	return p.mapScale, p.redScale
 }
 
 // Centers of the queueing network. The paper groups CPU and disk into one
 // "CPU&Memory" center but lists cpuPerNode and diskPerNode separately in
 // Table 2; we keep CPU and Disk as distinct node-local multi-server centers
-// plus the shared Network center.
+// plus the shared Network center. Heterogeneous clusters carry one CPU/Disk
+// center pair per hardware class (hwView.cpuCenter/diskCenter/netCenter); a
+// flat spec has exactly the paper's three centers in this order.
 const (
 	centerCPU     = 0
 	centerDisk    = 1
 	centerNetwork = 2
-	numCenters    = 3
 )
 
 // numClasses is the paper's C = 3 (map, shuffle-sort, merge); the timeline
 // class constants index arrays of this size.
 const numClasses = 3
 
-// overlapMatrices returns zeroed alpha/beta matrices for n tasks, views
-// over one predictor-owned flat backing so repeated iterations of the same
-// shape allocate nothing.
-func (p *Predictor) overlapMatrices(n int) (alpha, beta [][][]float64) {
-	need := 2 * numCenters * n * n
-	if p.ovN != n {
-		p.ovN = n
+// overlapMatrices returns zeroed alpha/beta matrices for n tasks over nc
+// centers, views over one predictor-owned flat backing so repeated
+// iterations of the same shape allocate nothing.
+func (p *Predictor) overlapMatrices(n, nc int) (alpha, beta [][][]float64) {
+	need := 2 * nc * n * n
+	if p.ovN != n || p.ovC != nc {
+		p.ovN, p.ovC = n, nc
 		if cap(p.ovFlat) < need {
 			p.ovFlat = make([]float64, need)
 		}
 		p.ovFlat = p.ovFlat[:need]
-		if p.alpha == nil {
-			p.alpha = make([][][]float64, numCenters)
-			p.beta = make([][][]float64, numCenters)
+		if cap(p.alpha) < nc {
+			p.alpha = make([][][]float64, nc)
+			p.beta = make([][][]float64, nc)
 		}
+		p.alpha = p.alpha[:nc]
+		p.beta = p.beta[:nc]
 		off := 0
 		row := func() []float64 {
 			r := p.ovFlat[off : off+n : off+n]
 			off += n
 			return r
 		}
-		for k := 0; k < numCenters; k++ {
+		for k := 0; k < nc; k++ {
 			if cap(p.alpha[k]) < n {
 				p.alpha[k] = make([][]float64, n)
 				p.beta[k] = make([][]float64, n)
@@ -509,14 +679,20 @@ func (p *Predictor) overlapMatrices(n int) (alpha, beta [][][]float64) {
 // another job's copy of task j is active exactly when task j is (its
 // timeline is a replica of this job's). β is therefore the same time-overlap
 // as α — including j = i, whose twin in the other job fully overlaps — with
-// node co-location probability 1/numNodes for the per-node centers (the
-// other job's tasks spread uniformly over nodes).
-func (p *Predictor) overlapFactors(cfg Config, tl *timeline.Timeline) (alpha, beta [][][]float64) {
+// class-proportional node co-location weights for the per-node centers: the
+// other job's tasks spread over nodes in proportion to their share of the
+// container pool, which for a flat spec reduces to the paper's uniform
+// 1/numNodes.
+func (p *Predictor) overlapFactors(tl *timeline.Timeline) (alpha, beta [][][]float64) {
+	hw := &p.hw
 	n := len(tl.Tasks)
-	alpha, beta = p.overlapMatrices(n)
+	alpha, beta = p.overlapMatrices(n, hw.nc)
 	windows := p.laneWindows(tl)
+	netC := hw.netCenter()
 	for i := 0; i < n; i++ {
 		ti := tl.Tasks[i]
+		ci := hw.classOf[ti.Node]
+		cpuC, diskC := hw.cpuCenter(ci), hw.diskCenter(ci)
 		di := ti.Duration()
 		for j := 0; j < n; j++ {
 			if i == j {
@@ -528,18 +704,19 @@ func (p *Predictor) overlapFactors(cfg Config, tl *timeline.Timeline) (alpha, be
 				ov = timeline.Overlap(ti, tj) / di
 			}
 			// Network: global center, pairwise transfer overlap.
-			alpha[centerNetwork][i][j] = ov
-			// CPU and Disk: per-node centers. Contention is assessed against
-			// the *lane* hosting task j rather than j's exact interval: on
-			// the real cluster a freed container is backfilled immediately,
-			// so a lane stays busy wall-to-wall while work remains. Each
-			// lane counts once, with its contention spread over its tasks in
-			// proportion to their durations; same-lane tasks serialize and
-			// never contend.
+			alpha[netC][i][j] = ov
+			// CPU and Disk: per-node centers (task i contends at its own
+			// class's center pair). Contention is assessed against the *lane*
+			// hosting task j rather than j's exact interval: on the real
+			// cluster a freed container is backfilled immediately, so a lane
+			// stays busy wall-to-wall while work remains. Each lane counts
+			// once, with its contention spread over its tasks in proportion
+			// to their durations; same-lane tasks serialize and never
+			// contend.
 			if ti.Node == tj.Node {
 				lov := laneOverlap(ti, tj, windows, ov)
-				alpha[centerCPU][i][j] = lov
-				alpha[centerDisk][i][j] = lov
+				alpha[cpuC][i][j] = lov
+				alpha[diskC][i][j] = lov
 			}
 		}
 		for j := 0; j < n; j++ {
@@ -551,9 +728,15 @@ func (p *Predictor) overlapFactors(cfg Config, tl *timeline.Timeline) (alpha, be
 					ov = timeline.Overlap(ti, tj) / di
 				}
 			}
-			beta[centerNetwork][i][j] = ov
-			beta[centerCPU][i][j] = ov / float64(cfg.Spec.NumNodes)
-			beta[centerDisk][i][j] = ov / float64(cfg.Spec.NumNodes)
+			// The twin of task j draws its node from j's container pool;
+			// node(i) hosts a pool share of slots(class(i))/totalSlots.
+			invW := hw.invWMap[ci]
+			if tj.Class != timeline.ClassMap {
+				invW = hw.invWRed[ci]
+			}
+			beta[netC][i][j] = ov
+			beta[cpuC][i][j] = ov / invW
+			beta[diskC][i][j] = ov / invW
 		}
 	}
 	return alpha, beta
@@ -615,45 +798,64 @@ func laneOverlap(ti, tj timeline.Placed, windows map[laneKey]laneWindow, pairwis
 	return timeline.Overlap(ti, w.placed) / ti.Duration() * (tj.Duration() / w.total)
 }
 
-// demandsFor maps placed tasks to center demands. Map demands use the
-// task's actual split size (the final split may be short). The returned
-// slice is predictor-owned scratch, valid until the next call.
+// taskDemandOn prices one placed task against its node's hardware class:
+// I/O demands use the class bandwidths and the CPU demand divides by the
+// class compute speed. Map demands use the task's actual split size (the
+// final split may be short). History-backed demands apply uniformly — a
+// trace already embodies the hardware mix it was measured on.
+func taskDemandOn(cfg Config, h *hwView, t timeline.Placed, classes map[timeline.Class]*classData) (cpu, disk, net float64) {
+	if cfg.History != nil {
+		cd := classes[t.Class]
+		return cd.demCPU, cd.demDisk, cd.demNetwork
+	}
+	c := h.classes[h.classOf[t.Node]]
+	sp := c.SpeedFactor()
+	switch t.Class {
+	case timeline.ClassMap:
+		d := cfg.Job.MapDemands(cfg.Job.SplitMB(t.ID), c.DiskMBps)
+		return d.CPU/sp + schedulingLatency, d.Disk, d.Network
+	case timeline.ClassShuffleSort:
+		d := cfg.Job.ShuffleSortDemands(c.NetworkMBps, c.DiskMBps)
+		return d.CPU/sp + schedulingLatency, d.Disk, d.Network
+	default:
+		d := cfg.Job.MergeDemands(c.DiskMBps)
+		return d.CPU / sp, d.Disk, d.Network
+	}
+}
+
+// demandsFor maps placed tasks to center demands: each task's demand vector
+// is zero except at its own class's CPU/Disk centers and the shared Network
+// center. The returned slice is predictor-owned scratch, valid until the
+// next call.
 func (p *Predictor) demandsFor(cfg Config, tl *timeline.Timeline, classes map[timeline.Class]*classData) []mva.TaskDemand {
+	hw := &p.hw
 	n := len(tl.Tasks)
-	if cap(p.demands) < n {
-		p.demands = make([]mva.TaskDemand, n)
-		p.demFlat = make([]float64, n*numCenters)
-		for i := 0; i < n; i++ {
-			p.demands[i].Demands = p.demFlat[i*numCenters : (i+1)*numCenters : (i+1)*numCenters]
+	nc := hw.nc
+	if cap(p.demands) < n || cap(p.demFlat) < n*nc || p.demC != nc {
+		if cap(p.demands) < n {
+			p.demands = make([]mva.TaskDemand, n)
+		}
+		p.demands = p.demands[:cap(p.demands)]
+		if cap(p.demFlat) < len(p.demands)*nc {
+			p.demFlat = make([]float64, len(p.demands)*nc)
+		}
+		p.demC = nc
+		for i := range p.demands {
+			p.demands[i].Demands = p.demFlat[i*nc : (i+1)*nc : (i+1)*nc]
 		}
 	}
 	out := p.demands[:n]
+	netC := hw.netCenter()
 	for i, t := range tl.Tasks {
-		var cpu, disk, net float64
-		switch {
-		case t.Class == timeline.ClassMap && cfg.History == nil:
-			d := cfg.Job.MapDemands(cfg.Job.SplitMB(t.ID), cfg.Spec.DiskMBps)
-			cpu, disk, net = d.CPU+schedulingLatency, d.Disk, d.Network
-		default:
-			cd := classes[t.Class]
-			cpu, disk, net = cd.demCPU, cd.demDisk, cd.demNetwork
-		}
-		out[i].Demands[centerCPU] = cpu
-		out[i].Demands[centerDisk] = disk
-		out[i].Demands[centerNetwork] = net
+		cpu, disk, net := taskDemandOn(cfg, hw, t, classes)
+		d := out[i].Demands
+		clear(d)
+		ci := hw.classOf[t.Node]
+		d[hw.cpuCenter(ci)] = cpu
+		d[hw.diskCenter(ci)] = disk
+		d[netC] = net
 	}
 	return out
-}
-
-// centerServers returns the service multiplicities: cores per node, disks
-// per node, and the network fabric width (bisection grows with node count,
-// matching the cluster substrate).
-func centerServers(spec cluster.Spec) []float64 {
-	fabric := float64(spec.NumNodes) / 2
-	if fabric < 1 {
-		fabric = 1
-	}
-	return []float64{float64(spec.CPUPerNode), float64(spec.DiskPerNode), fabric}
 }
 
 // classMeans averages per-task responses back into class responses,

@@ -51,24 +51,27 @@ func EstimateResources(cfg Config) (ResourceEstimate, Prediction, error) {
 		return ResourceEstimate{}, Prediction{}, errors.New("core: non-positive predicted response")
 	}
 	est := ResourceEstimate{PerClass: map[timeline.Class]ResourceUse{}}
-	classes := initialize(cfg)
+	var h hwView
+	h.init(cfg.Spec)
+	classes := initialize(cfg, &h)
 	for _, t := range pred.Timeline.Tasks {
-		var cpu, disk, net float64
-		switch {
-		case t.Class == timeline.ClassMap && cfg.History == nil:
-			d := cfg.Job.MapDemands(cfg.Job.SplitMB(t.ID), cfg.Spec.DiskMBps)
-			cpu, disk, net = d.CPU+schedulingLatency, d.Disk, d.Network
-		default:
-			cd := classes[t.Class]
-			cpu, disk, net = cd.demCPU, cd.demDisk, cd.demNetwork
-		}
+		cpu, disk, net := taskDemandOn(cfg, &h, t, classes)
 		est.PerClass[t.Class] = est.PerClass[t.Class].add(cpu, disk, net)
 		est.Total = est.Total.add(cpu, disk, net)
 	}
-	servers := centerServers(cfg.Spec)
-	nodes := float64(cfg.Spec.NumNodes)
-	est.CPUUtilization = est.Total.CPUSeconds / (pred.ResponseTime * servers[centerCPU] * nodes)
-	est.DiskUtilization = est.Total.DiskSeconds / (pred.ResponseTime * servers[centerDisk] * nodes)
-	est.NetworkUtilization = est.Total.NetworkSeconds / (pred.ResponseTime * servers[centerNetwork])
+	// Capacity denominators: all cores and spindles across classes, and the
+	// shared network fabric width.
+	var totalCPUs, totalDisks float64
+	for _, c := range h.classes {
+		totalCPUs += float64(c.Count) * float64(c.CPUs)
+		totalDisks += float64(c.Count) * float64(c.Disks)
+	}
+	fabric := float64(h.nodes) / 2
+	if fabric < 1 {
+		fabric = 1
+	}
+	est.CPUUtilization = est.Total.CPUSeconds / (pred.ResponseTime * totalCPUs)
+	est.DiskUtilization = est.Total.DiskSeconds / (pred.ResponseTime * totalDisks)
+	est.NetworkUtilization = est.Total.NetworkSeconds / (pred.ResponseTime * fabric)
 	return est, pred, nil
 }

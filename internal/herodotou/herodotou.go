@@ -52,13 +52,17 @@ func Costs(job workload.Job, spec cluster.Spec) (TaskCosts, error) {
 	if err := spec.Validate(); err != nil {
 		return TaskCosts{}, err
 	}
-	md := job.MapDemands(job.BlockSizeMB, spec.DiskMBps)
-	ss := job.ShuffleSortDemands(spec.NetworkMBps, spec.DiskMBps)
-	mg := job.MergeDemands(spec.DiskMBps)
+	// Cluster-average hardware (exactly the flat values for homogeneous
+	// specs): Herodotou's static view has no placement, so heterogeneous
+	// classes contribute by their node-count weight.
+	disk, net, inv := spec.MeanDiskMBps(), spec.MeanNetworkMBps(), spec.MeanInvSpeed()
+	md := job.MapDemands(job.BlockSizeMB, disk)
+	ss := job.ShuffleSortDemands(net, disk)
+	mg := job.MergeDemands(disk)
 	return TaskCosts{
-		Map:         md.Total(),
-		ShuffleSort: ss.Total(),
-		Merge:       mg.Total(),
+		Map:         md.TotalScaled(inv),
+		ShuffleSort: ss.TotalScaled(inv),
+		Merge:       mg.TotalScaled(inv),
 	}, nil
 }
 

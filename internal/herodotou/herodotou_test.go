@@ -104,3 +104,34 @@ func TestPredictStaticIgnoresContention(t *testing.T) {
 		t.Error("static prediction not deterministic")
 	}
 }
+
+// Class-form specs feed the static model through cluster-average hardware
+// and class-aware slot totals.
+func TestPredictHeterogeneousSpec(t *testing.T) {
+	job, err := workload.NewJob(0, 1024, 128, 2, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	het := cluster.Default(0)
+	het.NumNodes = 0
+	het.Classes = []cluster.NodeClass{
+		{Name: "fast", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110, Speed: 1},
+		{Name: "slow", Count: 2, Capacity: cluster.Resource{MemoryMB: 16384, VCores: 16},
+			CPUs: 4, Disks: 1, DiskMBps: 120, NetworkMBps: 110, Speed: 0.5},
+	}
+	est, err := Predict(job, het)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total <= 0 || est.MapWaves <= 0 {
+		t.Fatalf("degenerate estimate: %+v", est)
+	}
+	fast, err := Predict(job, cluster.Default(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Total <= fast.Total {
+		t.Errorf("mixed cluster should be slower: het %v vs fast %v", est.Total, fast.Total)
+	}
+}

@@ -172,14 +172,21 @@ func Run(cfg Config) (Result, error) {
 
 // sim is the mutable simulation state.
 type sim struct {
-	cfg  Config
-	eng  *simevent.Engine
-	rm   *yarn.RM
-	cpu  []*simevent.PSResource // per node
-	disk []*simevent.PSResource // per node
-	net  *simevent.PSResource   // shared cluster fabric
-	rng  *rand.Rand
-	jobs []*jobRun
+	cfg      Config
+	eng      *simevent.Engine
+	rm       *yarn.RM
+	numNodes int
+	cpu      []*simevent.PSResource // per node
+	disk     []*simevent.PSResource // per node
+	net      *simevent.PSResource   // shared cluster fabric
+	// Per-node hardware, resolved once from the spec's class table: service
+	// demands of a task are computed with the bandwidths and compute speed of
+	// the node its container landed on.
+	diskMBps []float64
+	netMBps  []float64
+	speed    []float64
+	rng      *rand.Rand
+	jobs     []*jobRun
 }
 
 func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
@@ -189,18 +196,27 @@ func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
 	}
 	rm.Policy = cfg.Scheduler
 	s := &sim{
-		cfg: cfg,
-		eng: eng,
-		rm:  rm,
-		rng: rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg,
+		eng:      eng,
+		rm:       rm,
+		numNodes: cfg.Spec.TotalNodes(),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
 	}
-	for i := 0; i < cfg.Spec.NumNodes; i++ {
-		s.cpu = append(s.cpu, simevent.NewPSResource(eng, fmt.Sprintf("cpu%d", i), float64(cfg.Spec.CPUPerNode)))
-		s.disk = append(s.disk, simevent.NewPSResource(eng, fmt.Sprintf("disk%d", i), float64(cfg.Spec.DiskPerNode)))
+	i := 0
+	for _, class := range cfg.Spec.ClassView() {
+		sp := class.SpeedFactor()
+		for n := 0; n < class.Count; n++ {
+			s.cpu = append(s.cpu, simevent.NewPSResource(eng, fmt.Sprintf("cpu%d", i), float64(class.CPUs)))
+			s.disk = append(s.disk, simevent.NewPSResource(eng, fmt.Sprintf("disk%d", i), float64(class.Disks)))
+			s.diskMBps = append(s.diskMBps, class.DiskMBps)
+			s.netMBps = append(s.netMBps, class.NetworkMBps)
+			s.speed = append(s.speed, sp)
+			i++
+		}
 	}
 	// Cluster fabric bisection: capacity grows with node count, at least one
 	// full link's worth.
-	fabric := float64(cfg.Spec.NumNodes) / 2
+	fabric := float64(s.numNodes) / 2
 	if fabric < 1 {
 		fabric = 1
 	}
@@ -212,7 +228,7 @@ func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
 			submit = cfg.SubmitTimes[i]
 		}
 		file, err := hdfs.Place(fmt.Sprintf("job%d-input", job.ID), job.InputMB, job.BlockSizeMB,
-			cfg.Spec.NumNodes, hdfs.DefaultReplication)
+			s.numNodes, hdfs.DefaultReplication)
 		if err != nil {
 			return nil, err
 		}
@@ -277,7 +293,7 @@ func (j *jobRun) startJob() {
 		for i := range j.pendingMaps {
 			j.pendingMaps[i] = i
 		}
-		j.mapDoneOnNode = make([][]int, s.cfg.Spec.NumNodes)
+		j.mapDoneOnNode = make([][]int, s.numNodes)
 		// Group map requests by primary-replica node (Table 1 shape).
 		perNode := map[int]int{}
 		for _, b := range j.file.Blocks {
@@ -363,7 +379,9 @@ func (j *jobRun) pickMapFor(node int) (int, bool) {
 }
 
 // runMap executes one map task in the granted container: disk read+spill and
-// CPU work on the container's node, then completion bookkeeping.
+// CPU work on the container's node, then completion bookkeeping. Demands are
+// computed against the assigned node's class hardware — disk bandwidth sets
+// the I/O demand, and the class compute speed divides the CPU demand.
 func (j *jobRun) runMap(c *yarn.Container) {
 	s := j.sim
 	split, ok := j.pickMapFor(c.Node)
@@ -373,15 +391,16 @@ func (j *jobRun) runMap(c *yarn.Container) {
 		return
 	}
 	j.assignedMaps++
-	d := j.job.MapDemands(j.job.SplitMB(split), s.cfg.Spec.DiskMBps)
+	d := j.job.MapDemands(j.job.SplitMB(split), s.diskMBps[c.Node])
+	sp := s.speed[c.Node]
 	f := s.jitter(j.job.Profile.TaskJitterCV)
-	cpuWork := d.CPU * f
+	cpuWork := d.CPU / sp * f
 	diskWork := d.Disk * f
 	local := j.file.Blocks[split].HasReplicaOn(c.Node)
 	start := s.eng.Now()
 	rec := TaskRecord{
 		JobID: j.job.ID, Class: ClassMap, TaskID: split, Node: c.Node,
-		Start: start, CPU: d.CPU, Disk: d.Disk, Local: local,
+		Start: start, CPU: d.CPU / sp, Disk: d.Disk, Local: local,
 	}
 	finish := func() {
 		rec.End = s.eng.Now()
@@ -399,7 +418,13 @@ func (j *jobRun) runMap(c *yarn.Container) {
 	if local {
 		s.disk[c.Node].Submit(diskWork, func() { s.cpu[c.Node].Submit(cpuWork, finish) })
 	} else {
-		// Remote read pulls the split across the network instead of local disk.
+		// Remote read pulls the split across the network instead of local
+		// disk. The same disk-priced seconds of work are charged to the
+		// fabric — a deliberate simplification kept for equivalence with the
+		// homogeneous model. Caveat for extreme classes: a node whose disks
+		// are much faster than its NIC understates fabric time here; remote
+		// maps are rare under replica-preferred scheduling, so the skew
+		// stays second-order.
 		s.net.Submit(diskWork, func() { s.cpu[c.Node].Submit(cpuWork, finish) })
 	}
 }
@@ -470,8 +495,8 @@ func (r *reducerRun) start() {
 		JobID: r.job.job.ID, Class: ClassShuffleSort, TaskID: r.id, Node: r.node,
 		Start: s.eng.Now(),
 	}
-	ss := r.job.job.ShuffleSortDemands(s.cfg.Spec.NetworkMBps, s.cfg.Spec.DiskMBps)
-	r.shuffleRec.CPU = ss.CPU
+	ss := r.job.job.ShuffleSortDemands(s.netMBps[r.node], s.diskMBps[r.node])
+	r.shuffleRec.CPU = ss.CPU / s.speed[r.node]
 	r.shuffleRec.Disk = ss.Disk
 	r.shuffleRec.Network = ss.Network
 	// Fetch everything already finished (in node order — deterministic);
@@ -493,7 +518,8 @@ func (r *reducerRun) mapCompleted(split, node int) {
 }
 
 // fetch copies one map's partition: network transfer (skipped for co-located
-// map output), then local disk write plus shuffle/sort CPU.
+// map output), then local disk write plus shuffle/sort CPU. The receiving
+// node's class hardware prices the transfer, the spill and the sort.
 func (r *reducerRun) fetch(split, node int) {
 	if r.fetched[split] {
 		return
@@ -505,9 +531,9 @@ func (r *reducerRun) fetch(split, node int) {
 	job := r.job.job
 	partMB := job.SplitMB(split) * job.Profile.MapOutputRatio / float64(job.NumReduces)
 	f := s.jitter(job.Profile.TaskJitterCV)
-	netWork := partMB / s.cfg.Spec.NetworkMBps * f
-	diskWork := partMB / s.cfg.Spec.DiskMBps * f
-	cpuWork := partMB * (job.Profile.ShuffleCPUPerMB + job.Profile.SortCPUPerMB) * f
+	netWork := partMB / s.netMBps[r.node] * f
+	diskWork := partMB / s.diskMBps[r.node] * f
+	cpuWork := partMB * (job.Profile.ShuffleCPUPerMB + job.Profile.SortCPUPerMB) / s.speed[r.node] * f
 
 	afterNet := func() {
 		s.disk[r.node].Submit(diskWork, func() {
@@ -543,13 +569,14 @@ func (r *reducerRun) maybeFinishShuffle() {
 func (r *reducerRun) runMerge() {
 	s := r.job.sim
 	job := r.job.job
-	d := job.MergeDemands(s.cfg.Spec.DiskMBps)
+	d := job.MergeDemands(s.diskMBps[r.node])
+	sp := s.speed[r.node]
 	f := s.jitter(job.Profile.TaskJitterCV)
-	cpuWork := d.CPU * f
+	cpuWork := d.CPU / sp * f
 	diskWork := d.Disk * f
 	rec := TaskRecord{
 		JobID: job.ID, Class: ClassMerge, TaskID: r.id, Node: r.node,
-		Start: s.eng.Now(), CPU: d.CPU, Disk: d.Disk,
+		Start: s.eng.Now(), CPU: d.CPU / sp, Disk: d.Disk,
 	}
 	s.cpu[r.node].Submit(cpuWork, func() {
 		s.disk[r.node].Submit(diskWork, func() {

@@ -31,7 +31,8 @@ const (
 // NewHandler builds the mrserved HTTP API over a Service:
 //
 //	GET  /healthz     — liveness
-//	GET  /v1/metrics  — service counters (requests, cache hit rate, in-flight sims)
+//	GET  /v1/metrics  — service counters: Prometheus text exposition by
+//	                    default, JSON under Accept: application/json
 //	POST /v1/predict  — analytic model prediction
 //	POST /v1/simulate — discrete-event simulator run (median of seeds)
 //	POST /v1/compare  — model vs. simulator validation
@@ -48,7 +49,14 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Metrics())
+		m := s.Metrics()
+		if wantsJSON(r.Header.Get("Accept")) {
+			writeJSON(w, http.StatusOK, m)
+			return
+		}
+		w.Header().Set("Content-Type", prometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = writePrometheus(w, m)
 	})
 	mux.HandleFunc("POST /v1/predict", jsonEndpoint(cfg, func(ctx context.Context, req predictWire) (any, error) {
 		pr, err := req.toRequest()
@@ -156,19 +164,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// clusterWire selects a cluster: the calibrated default scaled to "nodes",
-// or a fully custom spec.
+// clusterWire selects a cluster: the calibrated default scaled to "nodes", a
+// heterogeneous class table riding the default container sizing, or a fully
+// custom spec (whose JSON form also accepts "classes" — see cluster.Spec).
 type clusterWire struct {
 	Nodes  int           `json:"nodes,omitempty"`
 	Custom *cluster.Spec `json:"custom,omitempty"`
+	// Classes builds a heterogeneous cluster from the calibrated default's
+	// container configuration plus the given hardware classes.
+	Classes []cluster.NodeClass `json:"classes,omitempty"`
 }
 
 func (c clusterWire) spec() (cluster.Spec, error) {
 	if c.Custom != nil {
 		return *c.Custom, nil
 	}
+	if len(c.Classes) > 0 {
+		if c.Nodes > 0 {
+			return cluster.Spec{}, validationError{errors.New("cluster.nodes and cluster.classes are mutually exclusive")}
+		}
+		spec := cluster.Default(0)
+		spec.Classes = c.Classes
+		return spec, nil
+	}
 	if c.Nodes <= 0 {
-		return cluster.Spec{}, validationError{errors.New("cluster.nodes must be positive (or supply cluster.custom)")}
+		return cluster.Spec{}, validationError{errors.New("cluster.nodes must be positive (or supply cluster.classes or cluster.custom)")}
 	}
 	return cluster.Default(c.Nodes), nil
 }
@@ -313,6 +333,7 @@ type planWire struct {
 	NumJobs      int            `json:"numJobs,omitempty"`
 	Estimator    core.Estimator `json:"estimator,omitempty"`
 	Nodes        []int          `json:"nodes,omitempty"`
+	ClassCounts  [][]int        `json:"classCounts,omitempty"`
 	BlockSizesMB []float64      `json:"blockSizesMB,omitempty"`
 	Reducers     []int          `json:"reducers,omitempty"`
 	Policies     []yarn.Policy  `json:"policies,omitempty"`
@@ -334,8 +355,8 @@ func (p planWire) toRequest() (PlanRequest, error) {
 	}
 	return PlanRequest{
 		Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator,
-		Nodes: p.Nodes, BlockSizesMB: p.BlockSizesMB, Reducers: p.Reducers,
-		Policies: p.Policies, DeadlineSec: p.DeadlineSec, Exhaustive: p.Exhaustive,
-		UseSimulator: p.UseSimulator, Seed: p.Seed, Reps: p.Reps,
+		Nodes: p.Nodes, ClassCounts: p.ClassCounts, BlockSizesMB: p.BlockSizesMB,
+		Reducers: p.Reducers, Policies: p.Policies, DeadlineSec: p.DeadlineSec,
+		Exhaustive: p.Exhaustive, UseSimulator: p.UseSimulator, Seed: p.Seed, Reps: p.Reps,
 	}, nil
 }

@@ -88,12 +88,22 @@ func TestPredictRoundTrip(t *testing.T) {
 		t.Errorf("cached responseTime drifted: %v vs %v", got, rt)
 	}
 
-	// The hit is visible in the metrics endpoint.
-	resp, err := http.Get(ts.URL + "/v1/metrics")
+	// The hit is visible in the metrics endpoint (JSON body under Accept:
+	// application/json; the bare-GET default is Prometheus text, covered by
+	// TestMetricsPrometheus).
+	mreq, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mreq.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(mreq)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("JSON metrics content type = %q", ct)
+	}
 	var m Metrics
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)

@@ -12,7 +12,8 @@ import (
 
 // keyVersion is folded into every cache key; bump it whenever the canonical
 // encoding below changes shape so stale entries can never alias new ones.
-const keyVersion = 2
+// v3: specs encode their node-class table (heterogeneous clusters).
+const keyVersion = 3
 
 // keyWriter streams a canonical, order-stable binary encoding of a request
 // into a hash. Floats are encoded by their IEEE-754 bits (so +0/-0 and NaN
@@ -61,6 +62,20 @@ func (w *keyWriter) putSpec(s cluster.Spec) {
 	w.putInt(s.DiskPerNode)
 	w.putF64(s.DiskMBps)
 	w.putF64(s.NetworkMBps)
+	// Node-class table: length-prefixed so a flat spec (0 classes) can never
+	// alias a class-form spec, and every class field is order-stable.
+	w.putInt(len(s.Classes))
+	for _, c := range s.Classes {
+		w.putString(c.Name)
+		w.putInt(c.Count)
+		w.putInt(c.Capacity.MemoryMB)
+		w.putInt(c.Capacity.VCores)
+		w.putInt(c.CPUs)
+		w.putInt(c.Disks)
+		w.putF64(c.DiskMBps)
+		w.putF64(c.NetworkMBps)
+		w.putF64(c.Speed)
+	}
 }
 
 func (w *keyWriter) putProfile(p workload.Profile) {

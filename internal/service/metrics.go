@@ -1,0 +1,63 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// prometheusContentType is the Prometheus text exposition format version
+// this package emits.
+const prometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// wantsJSON reports whether an Accept header asks for the JSON metrics body
+// rather than the Prometheus text default.
+func wantsJSON(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mt) == "application/json" {
+			return true
+		}
+	}
+	return false
+}
+
+// writePrometheus renders a metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4): request counts by kind, cache
+// hits/misses and population, and simulator execution counters including the
+// in-flight gauge.
+func writePrometheus(w io.Writer, m Metrics) error {
+	type metric struct {
+		name, help, kind string
+		labels           string
+		value            float64
+	}
+	metrics := []metric{
+		{"mrserved_requests_total", "Accepted API calls by kind.", "counter", `kind="predict"`, float64(m.PredictRequests)},
+		{"mrserved_requests_total", "", "", `kind="simulate"`, float64(m.SimulateRequests)},
+		{"mrserved_requests_total", "", "", `kind="compare"`, float64(m.CompareRequests)},
+		{"mrserved_requests_total", "", "", `kind="plan"`, float64(m.PlanRequests)},
+		{"mrserved_cache_hits_total", "Requests served without computing (LRU hit or shared in-flight result).", "counter", "", float64(m.CacheHits)},
+		{"mrserved_cache_misses_total", "Requests that ran a fresh computation.", "counter", "", float64(m.CacheMisses)},
+		{"mrserved_cache_entries", "Current LRU cache population.", "gauge", "", float64(m.CacheEntries)},
+		{"mrserved_inflight_sims", "Simulator executions running right now (in-flight workers).", "gauge", "", float64(m.InFlightSims)},
+		{"mrserved_sim_runs_total", "Completed simulator executions.", "counter", "", float64(m.SimRuns)},
+	}
+	seen := ""
+	for _, mt := range metrics {
+		if mt.name != seen {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", mt.name, mt.help, mt.name, mt.kind); err != nil {
+				return err
+			}
+			seen = mt.name
+		}
+		name := mt.name
+		if mt.labels != "" {
+			name += "{" + mt.labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s %g\n", name, mt.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -38,6 +39,12 @@ type PlanRequest struct {
 	Nodes        []int
 	BlockSizesMB []float64
 	Reducers     []int
+	// ClassCounts sweeps heterogeneous class *mixes* instead of the flat
+	// Nodes axis: each entry is a per-class node-count vector over
+	// Spec.Classes (same order; zero drops the class from that candidate,
+	// e.g. {4,0} and {2,2} sweep "4 fast" vs "2 fast + 2 slow"). Requires a
+	// class-form Spec and is mutually exclusive with Nodes.
+	ClassCounts [][]int
 	// Policies only differentiates candidates when UseSimulator is set: the
 	// analytic model has no scheduler-policy input, so model-backed
 	// candidates that differ only in policy share one cached prediction.
@@ -87,6 +94,36 @@ func (r *PlanRequest) validate() error {
 			return fmt.Errorf("service: plan node count %d must be positive", n)
 		}
 	}
+	if len(r.Nodes) > 0 && r.Spec.Heterogeneous() {
+		// A bare node count is ambiguous over a class table; silently keeping
+		// the template would mislabel every candidate.
+		return errors.New("service: Nodes axis requires a flat cluster spec; sweep class-form specs with ClassCounts")
+	}
+	if len(r.ClassCounts) > 0 {
+		if len(r.Nodes) > 0 {
+			return errors.New("service: ClassCounts and Nodes axes are mutually exclusive")
+		}
+		if !r.Spec.Heterogeneous() {
+			return errors.New("service: ClassCounts requires a class-form cluster spec")
+		}
+		for mi, mix := range r.ClassCounts {
+			if len(mix) != len(r.Spec.Classes) {
+				return fmt.Errorf("service: class mix %d has %d counts, want %d (one per spec class)",
+					mi, len(mix), len(r.Spec.Classes))
+			}
+			total := 0
+			for ci, n := range mix {
+				if n < 0 {
+					return fmt.Errorf("service: class mix %d: count for class %q must be nonnegative",
+						mi, r.Spec.Classes[ci].Name)
+				}
+				total += n
+			}
+			if total <= 0 {
+				return fmt.Errorf("service: class mix %d has no nodes", mi)
+			}
+		}
+	}
 	for _, b := range r.BlockSizesMB {
 		if b <= 0 {
 			return fmt.Errorf("service: plan block size %v must be positive", b)
@@ -110,7 +147,11 @@ func (r *PlanRequest) validate() error {
 
 // PlanCandidate is one evaluated grid point.
 type PlanCandidate struct {
-	Nodes       int         `json:"nodes"`
+	Nodes int `json:"nodes"`
+	// ClassCounts is the per-class node-count vector of a heterogeneous mix
+	// candidate (ordered like the template's Classes); nil on the flat node
+	// axis. Nodes always carries the total.
+	ClassCounts []int       `json:"classCounts,omitempty"`
 	BlockSizeMB float64     `json:"blockSizeMB"`
 	Reducers    int         `json:"reducers"`
 	Policy      yarn.Policy `json:"policy"`
@@ -180,6 +221,36 @@ func axisPolicies(vals []yarn.Policy) []yarn.Policy {
 	return vals
 }
 
+// nodeChoice is one point of the cluster-size axis: either a flat node count
+// or a heterogeneous class mix (counts non-nil, nodes = total).
+type nodeChoice struct {
+	nodes  int
+	counts []int
+}
+
+// nodeChoices expands the request's cluster-size axis. ClassCounts wins over
+// Nodes (they are mutually exclusive after validation); with neither, the
+// template's own size is the single choice.
+func nodeChoices(req *PlanRequest) []nodeChoice {
+	if len(req.ClassCounts) > 0 {
+		out := make([]nodeChoice, len(req.ClassCounts))
+		for i, mix := range req.ClassCounts {
+			total := 0
+			for _, n := range mix {
+				total += n
+			}
+			out[i] = nodeChoice{nodes: total, counts: mix}
+		}
+		return out
+	}
+	ns := axisInts(req.Nodes, req.Spec.TotalNodes())
+	out := make([]nodeChoice, len(ns))
+	for i, n := range ns {
+		out[i] = nodeChoice{nodes: n}
+	}
+	return out
+}
+
 // Plan evaluates the what-if request and ranks the outcomes. Deadline
 // queries backed by the analytic model run the bisection + pruning search
 // (search.go); everything else evaluates the full grid in parallel. Each
@@ -191,28 +262,29 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 		return PlanResponse{}, invalid(err)
 	}
 
-	nodes := axisInts(req.Nodes, req.Spec.NumNodes)
+	choices := nodeChoices(&req)
 	blocks := axisFloats(req.BlockSizesMB, req.Job.BlockSizeMB)
 	reducers := axisInts(req.Reducers, req.Job.NumReduces)
 	policies := axisPolicies(req.Policies)
 
-	total := len(nodes) * len(blocks) * len(reducers) * len(policies)
+	total := len(choices) * len(blocks) * len(reducers) * len(policies)
 	if total > maxPlanCandidates {
 		return PlanResponse{}, invalid(fmt.Errorf("service: plan grid has %d candidates (max %d); split the sweep",
 			total, maxPlanCandidates))
 	}
 
-	if useSearch(&req, nodes) {
-		return s.planSearch(ctx, req, nodes, blocks, reducers, policies)
+	if useSearch(&req, choices) {
+		return s.planSearch(ctx, req, choices, blocks, reducers, policies)
 	}
 
 	cands := make([]PlanCandidate, 0, total)
-	for _, n := range nodes {
+	for _, ch := range choices {
 		for _, b := range blocks {
 			for _, red := range reducers {
 				for _, pol := range policies {
 					cands = append(cands, PlanCandidate{
-						Nodes: n, BlockSizeMB: b, Reducers: red, Policy: pol,
+						Nodes: ch.nodes, ClassCounts: ch.counts,
+						BlockSizeMB: b, Reducers: red, Policy: pol,
 					})
 				}
 			}
@@ -240,23 +312,49 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 	return resp, nil
 }
 
+// candidateSpec derives one grid point's cluster: a class mix rebuilds the
+// template's class table with the mix's counts (zero-count classes drop
+// out); the flat node axis overrides only NumNodes, keeping per-node
+// capacities and bandwidths; and a class-form template without a mix axis is
+// used as-is.
+func candidateSpec(req *PlanRequest, ch nodeChoice) cluster.Spec {
+	spec := req.Spec
+	if ch.counts != nil {
+		classes := make([]cluster.NodeClass, 0, len(ch.counts))
+		for i, n := range ch.counts {
+			if n == 0 {
+				continue
+			}
+			cl := req.Spec.Classes[i]
+			cl.Count = n
+			classes = append(classes, cl)
+		}
+		spec.Classes = classes
+		spec.NumNodes = 0
+		return spec
+	}
+	if !spec.Heterogeneous() {
+		spec.NumNodes = ch.nodes
+	}
+	return spec
+}
+
 // candidatePredictRequest derives the model request of one grid point from
 // the plan template — the single definition of what a candidate means,
 // shared by the grid and search strategies.
-func candidatePredictRequest(req PlanRequest, nodes int, blockMB float64, reducers int) PredictRequest {
-	spec := req.Spec
-	spec.NumNodes = nodes
+func candidatePredictRequest(req PlanRequest, ch nodeChoice, blockMB float64, reducers int) PredictRequest {
 	job := req.Job
 	job.BlockSizeMB = blockMB
 	job.NumReduces = reducers
-	return PredictRequest{Spec: spec, Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator}
+	return PredictRequest{Spec: candidateSpec(&req, ch), Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator}
 }
 
 // evalCandidate fills in one grid point via the cached Predict/Simulate
 // paths.
 func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCandidate) {
+	ch := nodeChoice{nodes: c.Nodes, counts: c.ClassCounts}
 	if !req.UseSimulator {
-		pr, err := s.predict(ctx, candidatePredictRequest(req, c.Nodes, c.BlockSizeMB, c.Reducers))
+		pr, err := s.predict(ctx, candidatePredictRequest(req, ch, c.BlockSizeMB, c.Reducers))
 		if err != nil {
 			c.Err = err.Error()
 			return
@@ -268,7 +366,7 @@ func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCan
 
 	// Same candidate derivation as the model branch; the simulator runs
 	// NumJobs identical copies of the derived job.
-	pr := candidatePredictRequest(req, c.Nodes, c.BlockSizeMB, c.Reducers)
+	pr := candidatePredictRequest(req, ch, c.BlockSizeMB, c.Reducers)
 	jobs := make([]workload.Job, req.NumJobs)
 	for i := range jobs {
 		j := pr.Job

@@ -46,15 +46,42 @@ const monoTol = 1e-9
 
 // useSearch reports whether the deadline fast path applies: a deadline
 // objective, model-backed evaluation (simulator results are noisy and
-// policy-dependent), a node axis worth bisecting, and no explicit opt-out.
-func useSearch(req *PlanRequest, nodes []int) bool {
-	return req.DeadlineSec > 0 && !req.UseSimulator && !req.Exhaustive && len(nodes) >= minSearchAxis
+// policy-dependent), a cluster-size axis worth bisecting, and no explicit
+// opt-out. Class-mix axes enter the fast path only when they form a
+// hardware chain (chainOrdered): bisection's pruning assumes rt is
+// non-increasing along the axis, which the runtime verifier can only check
+// at *evaluated* points — an axis of incomparable mixes (trade-offs like
+// {4 fast} vs {2 fast + 2 slow}) has no such ordering to assume, so it is
+// evaluated exhaustively inside the same response instead.
+func useSearch(req *PlanRequest, choices []nodeChoice) bool {
+	return req.DeadlineSec > 0 && !req.UseSimulator && !req.Exhaustive && len(choices) >= minSearchAxis
+}
+
+// chainOrdered reports whether the total-node-sorted axis forms a hardware
+// chain: every successive mix contains the previous one componentwise, so
+// each step only *adds* nodes — the same "more hardware does not slow the
+// job" premise the flat node axis bisects on. A plain node axis (no counts)
+// is trivially a chain.
+func chainOrdered(sorted []nodeChoice) bool {
+	for i := 1; i < len(sorted); i++ {
+		prev, cur := sorted[i-1].counts, sorted[i].counts
+		if prev == nil {
+			continue
+		}
+		for c := range cur {
+			if cur[c] < prev[c] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // axisOutcome is the result of searching one node axis (one combo of the
 // non-node grid dimensions).
 type axisOutcome struct {
 	cands  []PlanCandidate // evaluated candidates only
+	idxs   []int           // axis index of each candidate (class-mix lookup)
 	pruned int             // grid points skipped by bisection/dominance
 	exact  bool            // false when the axis fell back to exhaustive
 }
@@ -115,6 +142,7 @@ func searchNodeAxis(nodes []int, deadline float64, eval axisEval) axisOutcome {
 				out.cands = append(out.cands, PlanCandidate{
 					Nodes: nodes[i], ResponseTime: rt[i], Cached: cached[i],
 				})
+				out.idxs = append(out.idxs, i)
 			} else {
 				out.pruned++
 			}
@@ -199,7 +227,11 @@ func searchNodeAxis(nodes []int, deadline float64, eval axisEval) axisOutcome {
 // the cache collapses duplicates) and evaluation errors are recorded per
 // candidate while the rest of the axis still completes.
 func exhaustiveAxis(nodes []int, eval axisEval) axisOutcome {
-	out := axisOutcome{exact: false, cands: make([]PlanCandidate, len(nodes))}
+	out := axisOutcome{
+		exact: false,
+		cands: make([]PlanCandidate, len(nodes)),
+		idxs:  make([]int, len(nodes)),
+	}
 	var wg sync.WaitGroup
 	for i := range nodes {
 		wg.Add(1)
@@ -207,6 +239,7 @@ func exhaustiveAxis(nodes []int, eval axisEval) axisOutcome {
 			defer wg.Done()
 			c := &out.cands[i]
 			c.Nodes = nodes[i]
+			out.idxs[i] = i
 			if v, cached, err := eval(i); err != nil {
 				c.Err = err.Error()
 			} else {
@@ -218,15 +251,22 @@ func exhaustiveAxis(nodes []int, eval axisEval) axisOutcome {
 	return out
 }
 
-// planSearch answers a deadline query through per-combo node-axis searches
-// run concurrently (the per-candidate predictions inside each combo are
-// bounded by the service worker pool, like the grid path). Single-reducer
-// combos ride the bisection fast path; multi-reducer combos — whose
-// response curves are not reliably monotone in cluster size — are evaluated
-// exhaustively.
-func (s *Service) planSearch(ctx context.Context, req PlanRequest, nodes []int, blocks []float64, reducers []int, policies []yarn.Policy) (PlanResponse, error) {
-	sortedNodes := append([]int(nil), nodes...)
-	sort.Ints(sortedNodes)
+// planSearch answers a deadline query through per-combo cluster-size-axis
+// searches run concurrently (the per-candidate predictions inside each combo
+// are bounded by the service worker pool, like the grid path). Single-reducer
+// combos on a chain-ordered axis ride the bisection fast path; multi-reducer
+// combos — whose response curves are not reliably monotone in cluster size —
+// and non-chain mix axes are evaluated exhaustively. On top of the chain
+// premise, the bisection verifies monotonicity over every pair of points it
+// actually evaluates and falls back to exhaustive on any violation.
+func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nodeChoice, blocks []float64, reducers []int, policies []yarn.Policy) (PlanResponse, error) {
+	sorted := append([]nodeChoice(nil), choices...)
+	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].nodes < sorted[b].nodes })
+	totals := make([]int, len(sorted))
+	for i, ch := range sorted {
+		totals[i] = ch.nodes
+	}
+	chain := chainOrdered(sorted)
 
 	type combo struct {
 		block  float64
@@ -250,16 +290,16 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, nodes []int, 
 			defer wg.Done()
 			cb := combos[ci]
 			eval := func(i int) (float64, bool, error) {
-				pr, err := s.predict(ctx, candidatePredictRequest(req, sortedNodes[i], cb.block, cb.red))
+				pr, err := s.predict(ctx, candidatePredictRequest(req, sorted[i], cb.block, cb.red))
 				if err != nil {
 					return 0, false, err
 				}
 				return pr.Prediction.ResponseTime, pr.Cached, nil
 			}
-			if cb.red == 1 {
-				outcomes[ci] = searchNodeAxis(sortedNodes, req.DeadlineSec, eval)
+			if cb.red == 1 && chain {
+				outcomes[ci] = searchNodeAxis(totals, req.DeadlineSec, eval)
 			} else {
-				outcomes[ci] = exhaustiveAxis(sortedNodes, eval)
+				outcomes[ci] = exhaustiveAxis(totals, eval)
 			}
 		}(ci)
 	}
@@ -271,7 +311,8 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, nodes []int, 
 	resp := PlanResponse{Strategy: StrategySearch}
 	for ci, out := range outcomes {
 		cb := combos[ci]
-		for _, c := range out.cands {
+		for k, c := range out.cands {
+			c.ClassCounts = sorted[out.idxs[k]].counts
 			c.BlockSizeMB = cb.block
 			c.Reducers = cb.red
 			c.Policy = cb.policy

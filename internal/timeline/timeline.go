@@ -69,25 +69,88 @@ type ReduceTask struct {
 // Input configures one timeline construction.
 type Input struct {
 	NumNodes           int
-	MapSlotsPerNode    int // pMaxMapsPerNode
-	ReduceSlotsPerNode int // pMaxReducePerNode
-	Maps               []MapTask
-	Reduces            []ReduceTask
+	MapSlotsPerNode    int // pMaxMapsPerNode (uniform clusters)
+	ReduceSlotsPerNode int // pMaxReducePerNode (uniform clusters)
+	// MapSlotsByNode / ReduceSlotsByNode give per-node lane counts for
+	// heterogeneous clusters. When non-nil they override the scalar fields
+	// and must hold one positive entry per node.
+	MapSlotsByNode    []int
+	ReduceSlotsByNode []int
+	// MapDurationScaleByNode / ReduceDurationScaleByNode scale task
+	// durations by the hosting node's relative slowness (heterogeneous
+	// clusters): a map placed on node n occupies its lane for
+	// Duration×MapDurationScaleByNode[n], so faster nodes free their
+	// containers sooner and greedily absorb more tasks — the placement
+	// feedback a real YARN cluster exhibits. Remote-shuffle contributions
+	// travel the shared network and are not scaled. nil means uniform
+	// hardware (scale 1 everywhere).
+	MapDurationScaleByNode    []float64
+	ReduceDurationScaleByNode []float64
+	Maps                      []MapTask
+	Reduces                   []ReduceTask
 	// SlowStart selects the border rule: true = shuffles may start at the end
 	// of the first map; false = after the last map.
 	SlowStart bool
 }
 
+// validateSlots checks one container pool's configuration: a positive
+// uniform per-node count, or a full per-node vector of positive counts. A
+// non-positive count would silently build an empty (or short) lane pool, and
+// placement over a starved pool hangs or misprices the timeline — so it is
+// rejected here rather than tolerated downstream.
+func validateSlots(pool string, nodes, perNode int, byNode []int) error {
+	if byNode == nil {
+		if perNode <= 0 {
+			return fmt.Errorf("timeline: %sSlotsPerNode must be positive", pool)
+		}
+		return nil
+	}
+	if len(byNode) != nodes {
+		return fmt.Errorf("timeline: %sSlotsByNode has %d entries, want %d (one per node)", pool, len(byNode), nodes)
+	}
+	for n, c := range byNode {
+		if c <= 0 {
+			return fmt.Errorf("timeline: %sSlotsByNode[%d] must be positive (got %d)", pool, n, c)
+		}
+	}
+	return nil
+}
+
+// validateScales checks a per-node duration-scale vector: nil, or one
+// positive finite factor per node.
+func validateScales(pool string, nodes int, scales []float64) error {
+	if scales == nil {
+		return nil
+	}
+	if len(scales) != nodes {
+		return fmt.Errorf("timeline: %sDurationScaleByNode has %d entries, want %d (one per node)", pool, len(scales), nodes)
+	}
+	for n, s := range scales {
+		if !(s > 0) || math.IsInf(s, 1) {
+			return fmt.Errorf("timeline: %sDurationScaleByNode[%d] must be positive and finite (got %g)", pool, n, s)
+		}
+	}
+	return nil
+}
+
 // Validate reports configuration errors.
 func (in Input) Validate() error {
-	switch {
-	case in.NumNodes <= 0:
+	if in.NumNodes <= 0 {
 		return errors.New("timeline: NumNodes must be positive")
-	case in.MapSlotsPerNode <= 0:
-		return errors.New("timeline: MapSlotsPerNode must be positive")
-	case in.ReduceSlotsPerNode <= 0:
-		return errors.New("timeline: ReduceSlotsPerNode must be positive")
-	case len(in.Maps) == 0:
+	}
+	if err := validateSlots("Map", in.NumNodes, in.MapSlotsPerNode, in.MapSlotsByNode); err != nil {
+		return err
+	}
+	if err := validateSlots("Reduce", in.NumNodes, in.ReduceSlotsPerNode, in.ReduceSlotsByNode); err != nil {
+		return err
+	}
+	if err := validateScales("Map", in.NumNodes, in.MapDurationScaleByNode); err != nil {
+		return err
+	}
+	if err := validateScales("Reduce", in.NumNodes, in.ReduceDurationScaleByNode); err != nil {
+		return err
+	}
+	if len(in.Maps) == 0 {
 		return errors.New("timeline: need at least one map task")
 	}
 	for _, m := range in.Maps {
@@ -176,13 +239,19 @@ func Build(in Input) (*Timeline, error) {
 	tl := &Timeline{}
 
 	// Map container lanes (priority 20: placed first).
-	mapSlots := makeSlots(in.NumNodes, in.MapSlotsPerNode)
+	mapSlots := makeSlots(in.NumNodes, in.MapSlotsPerNode, in.MapSlotsByNode)
 	nodeOfMap := make(map[int]int, len(in.Maps))
 	firstMapEnd := math.Inf(1)
+	scaleOn := func(scales []float64, node int) float64 {
+		if scales == nil {
+			return 1
+		}
+		return scales[node]
+	}
 	for _, m := range in.Maps {
 		s := mapSlots.earliest()
 		start := s.free
-		end := start + m.Duration
+		end := start + m.Duration*scaleOn(in.MapDurationScaleByNode, s.node)
 		s.free = end
 		nodeOfMap[m.ID] = s.node
 		tl.Tasks = append(tl.Tasks, Placed{
@@ -205,14 +274,16 @@ func Build(in Input) (*Timeline, error) {
 	}
 
 	// Reduce container lanes (priority 10: placed after all maps).
-	redSlots := makeSlots(in.NumNodes, in.ReduceSlotsPerNode)
+	redSlots := makeSlots(in.NumNodes, in.ReduceSlotsPerNode, in.ReduceSlotsByNode)
 	nR := len(in.Reduces)
 	for _, r := range in.Reduces {
 		s := redSlots.earliest()
 		start := math.Max(s.free, tl.Border)
+		redScale := scaleOn(in.ReduceDurationScaleByNode, s.node)
 		// Remote-shuffle inflation (lines 14-18): every map on a different
-		// node contributes sd/|R|.
-		ssDur := r.ShuffleSortBase
+		// node contributes sd/|R|. The node-local base scales with the
+		// hosting node; the remote shares ride the shared network and do not.
+		ssDur := r.ShuffleSortBase * redScale
 		for _, m := range in.Maps {
 			if nodeOfMap[m.ID] != s.node {
 				ssDur += m.ShuffleDuration / float64(nR)
@@ -223,7 +294,7 @@ func Build(in Input) (*Timeline, error) {
 		if ssEnd < tl.LastMapEnd {
 			ssEnd = tl.LastMapEnd
 		}
-		mergeEnd := ssEnd + r.MergeDuration
+		mergeEnd := ssEnd + r.MergeDuration*redScale
 		s.free = mergeEnd
 		tl.Tasks = append(tl.Tasks, Placed{
 			Class: ClassShuffleSort, ID: r.ID, Node: s.node, Slot: s.lane, Start: start, End: ssEnd,
@@ -251,11 +322,31 @@ func Build(in Input) (*Timeline, error) {
 	return tl, nil
 }
 
-func makeSlots(nodes, perNode int) *slotPool {
+// makeSlots builds the lane pool: perNode lanes on every node, or byNode[n]
+// lanes on node n when a per-node vector is given. Lanes are interleaved
+// lane-major (lane 0 of every node, then lane 1, ...) so that for a uniform
+// vector the pool is identical to the homogeneous layout — placement, and
+// therefore predictions, stay bit-for-bit reproducible.
+func makeSlots(nodes, perNode int, byNode []int) *slotPool {
 	p := &slotPool{assigned: make([]int, nodes)}
-	for lane := 0; lane < perNode; lane++ {
+	maxLanes := perNode
+	if byNode != nil {
+		maxLanes = 0
+		for _, c := range byNode {
+			if c > maxLanes {
+				maxLanes = c
+			}
+		}
+	}
+	for lane := 0; lane < maxLanes; lane++ {
 		for n := 0; n < nodes; n++ {
-			p.slots = append(p.slots, &slot{node: n, lane: lane})
+			lanes := perNode
+			if byNode != nil {
+				lanes = byNode[n]
+			}
+			if lane < lanes {
+				p.slots = append(p.slots, &slot{node: n, lane: lane})
+			}
 		}
 	}
 	return p

@@ -311,3 +311,147 @@ func TestMakespanProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Regression: non-positive slot configuration must be rejected up front —
+// a zero or negative count would silently build an empty (or starved) lane
+// pool and Build would hang or misprice the placement.
+func TestValidateRejectsNonPositiveSlots(t *testing.T) {
+	base := func() Input {
+		return Input{
+			NumNodes:           2,
+			MapSlotsPerNode:    2,
+			ReduceSlotsPerNode: 1,
+			Maps:               []MapTask{{ID: 0, Duration: 1}},
+			Reduces:            []ReduceTask{{ID: 0, ShuffleSortBase: 1, MergeDuration: 1}},
+		}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Input)
+	}{
+		{"negative map slots", func(in *Input) { in.MapSlotsPerNode = -1 }},
+		{"zero map slots", func(in *Input) { in.MapSlotsPerNode = 0 }},
+		{"negative reduce slots", func(in *Input) { in.ReduceSlotsPerNode = -3 }},
+		{"zero reduce slots", func(in *Input) { in.ReduceSlotsPerNode = 0 }},
+		{"zero entry in map vector", func(in *Input) { in.MapSlotsByNode = []int{2, 0} }},
+		{"negative entry in reduce vector", func(in *Input) { in.ReduceSlotsByNode = []int{1, -1} }},
+		{"short map vector", func(in *Input) { in.MapSlotsByNode = []int{2} }},
+		{"long reduce vector", func(in *Input) { in.ReduceSlotsByNode = []int{1, 1, 1} }},
+		{"zero map scale", func(in *Input) { in.MapDurationScaleByNode = []float64{1, 0} }},
+		{"negative reduce scale", func(in *Input) { in.ReduceDurationScaleByNode = []float64{-1, 1} }},
+		{"NaN map scale", func(in *Input) { in.MapDurationScaleByNode = []float64{1, math.NaN()} }},
+		{"short scale vector", func(in *Input) { in.MapDurationScaleByNode = []float64{1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			in := base()
+			tt.mutate(&in)
+			if err := in.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+			if _, err := Build(in); err == nil {
+				t.Error("Build accepted the invalid input")
+			}
+		})
+	}
+	// The valid base still builds.
+	if _, err := Build(base()); err != nil {
+		t.Fatalf("valid base rejected: %v", err)
+	}
+}
+
+// A uniform per-node slot vector must reproduce the scalar layout exactly —
+// the heterogeneous path degenerates to the homogeneous one.
+func TestPerNodeSlotsUniformEquivalence(t *testing.T) {
+	mk := func(byNode bool) *Timeline {
+		in := Input{
+			NumNodes: 3, SlowStart: true,
+			Maps:    []MapTask{{0, 10, 1}, {1, 10, 1}, {2, 10, 1}, {3, 10, 1}, {4, 10, 1}, {5, 10, 1}, {6, 10, 1}},
+			Reduces: []ReduceTask{{0, 5, 8}, {1, 5, 8}},
+		}
+		if byNode {
+			in.MapSlotsByNode = []int{2, 2, 2}
+			in.ReduceSlotsByNode = []int{1, 1, 1}
+			in.MapDurationScaleByNode = []float64{1, 1, 1}
+			in.ReduceDurationScaleByNode = []float64{1, 1, 1}
+		} else {
+			in.MapSlotsPerNode = 2
+			in.ReduceSlotsPerNode = 1
+		}
+		tl, err := Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tl
+	}
+	scalar, vector := mk(false), mk(true)
+	if len(scalar.Tasks) != len(vector.Tasks) {
+		t.Fatalf("task counts differ: %d vs %d", len(scalar.Tasks), len(vector.Tasks))
+	}
+	for i := range scalar.Tasks {
+		if scalar.Tasks[i] != vector.Tasks[i] {
+			t.Errorf("task %d differs: %+v vs %+v", i, scalar.Tasks[i], vector.Tasks[i])
+		}
+	}
+	if scalar.Makespan != vector.Makespan || scalar.Border != vector.Border {
+		t.Errorf("envelope differs: makespan %v/%v border %v/%v",
+			scalar.Makespan, vector.Makespan, scalar.Border, vector.Border)
+	}
+}
+
+// Heterogeneous placement: nodes with more lanes host more maps, and
+// duration scaling shifts load toward fast nodes while slowing the tasks
+// that do land on slow ones.
+func TestPerNodeSlotsAndScalesSkewPlacement(t *testing.T) {
+	maps := make([]MapTask, 12)
+	for i := range maps {
+		maps[i] = MapTask{ID: i, Duration: 10}
+	}
+	in := Input{
+		NumNodes:          2,
+		MapSlotsByNode:    []int{3, 1}, // node 0 is thrice as wide
+		ReduceSlotsByNode: []int{1, 1},
+		Maps:              maps,
+		Reduces:           []ReduceTask{{0, 5, 8}},
+		SlowStart:         true,
+	}
+	tl, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[int]int{}
+	for _, task := range tl.Tasks {
+		if task.Class == ClassMap {
+			perNode[task.Node]++
+		}
+	}
+	if perNode[0] != 9 || perNode[1] != 3 {
+		t.Errorf("lane-proportional split = %v, want 9/3", perNode)
+	}
+
+	// Now scale node 1 to be 4x slower: it should receive fewer maps, and
+	// each of its maps should run 4x longer.
+	in.MapDurationScaleByNode = []float64{1, 4}
+	in.ReduceDurationScaleByNode = []float64{1, 4}
+	tl, err = Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowMaps := 0
+	for _, task := range tl.Tasks {
+		if task.Class != ClassMap {
+			continue
+		}
+		if task.Node == 1 {
+			slowMaps++
+			if task.Duration() != 40 {
+				t.Errorf("slow-node map duration = %v, want 40", task.Duration())
+			}
+		} else if task.Duration() != 10 {
+			t.Errorf("fast-node map duration = %v, want 10", task.Duration())
+		}
+	}
+	if slowMaps >= perNode[1] {
+		t.Errorf("slow node still hosts %d maps (unscaled run: %d); want fewer", slowMaps, perNode[1])
+	}
+}

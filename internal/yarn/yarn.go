@@ -206,18 +206,28 @@ type RM struct {
 	rrCursor       int
 }
 
-// NewRM creates a ResourceManager over the cluster.
+// NewRM creates a ResourceManager over the cluster. Node capacities come
+// from the spec's class table: heterogeneous clusters register one
+// NodeManager per node at its class's capacity, laid out class by class; a
+// flat spec degenerates to NumNodes identical registrations. The
+// least-loaded pick stays deterministic — occupancy is a capacity-relative
+// fraction, so mixed node sizes compare on equal footing, with the node-ID
+// tiebreak unchanged.
 func NewRM(eng *simevent.Engine, spec cluster.Spec) (*RM, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	rm := &RM{eng: eng, spec: spec, HeartbeatDelay: 0.25}
-	for i := 0; i < spec.NumNodes; i++ {
-		rm.nodes = append(rm.nodes, &nodeState{
-			id:        i,
-			available: spec.NodeCapacity,
-			capacity:  spec.NodeCapacity,
-		})
+	id := 0
+	for _, class := range spec.ClassView() {
+		for i := 0; i < class.Count; i++ {
+			rm.nodes = append(rm.nodes, &nodeState{
+				id:        id,
+				available: class.Capacity,
+				capacity:  class.Capacity,
+			})
+			id++
+		}
 	}
 	return rm, nil
 }

@@ -311,3 +311,54 @@ func TestTaskTypeString(t *testing.T) {
 		t.Error("task type strings wrong")
 	}
 }
+
+// TestRMHeterogeneousCapacities checks the RM builds per-node capacities
+// from the class table: big nodes absorb more containers, and allocation
+// stops exactly at the summed class capacity.
+func TestRMHeterogeneousCapacities(t *testing.T) {
+	eng := simevent.NewEngine()
+	spec := cluster.Spec{
+		MapContainer:    cluster.Resource{MemoryMB: 1024, VCores: 1},
+		ReduceContainer: cluster.Resource{MemoryMB: 1024, VCores: 1},
+		Classes: []cluster.NodeClass{
+			{Name: "big", Count: 1, Capacity: cluster.Resource{MemoryMB: 4096, VCores: 8},
+				CPUs: 4, Disks: 1, DiskMBps: 100, NetworkMBps: 100},
+			{Name: "small", Count: 2, Capacity: cluster.Resource{MemoryMB: 1024, VCores: 2},
+				CPUs: 2, Disks: 1, DiskMBps: 100, NetworkMBps: 100},
+		},
+	}
+	rm, err := NewRM(eng, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rm.AvailableOn(0); got != spec.Classes[0].Capacity {
+		t.Errorf("node 0 capacity = %v, want big class %v", got, spec.Classes[0].Capacity)
+	}
+	if got := rm.AvailableOn(2); got != spec.Classes[1].Capacity {
+		t.Errorf("node 2 capacity = %v, want small class %v", got, spec.Classes[1].Capacity)
+	}
+
+	var got []*Container
+	app := &App{ID: 1, OnAllocate: func(c *Container) { got = append(got, c) }}
+	if err := rm.Register(app); err != nil {
+		t.Fatal(err)
+	}
+	// Ask for more containers than the cluster holds: 4 (big) + 1 + 1 (small).
+	if err := rm.Submit(app, &Request{Priority: PriorityMap, Count: 10,
+		Size: cluster.Resource{MemoryMB: 1024, VCores: 1}, Type: TypeMap}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("allocated %d containers, want 6 (cluster capacity)", len(got))
+	}
+	perNode := map[int]int{}
+	for _, c := range got {
+		perNode[c.Node]++
+	}
+	if perNode[0] != 4 || perNode[1] != 1 || perNode[2] != 1 {
+		t.Errorf("per-node allocation = %v, want map[0:4 1:1 2:1]", perNode)
+	}
+}
