@@ -4,13 +4,19 @@
 // Usage:
 //
 //	mrpredict -nodes 4 -input-gb 1 -block-mb 128 -reduces 4 -jobs 1 \
-//	          -estimator forkjoin -workload wordcount [-baselines] [-v]
+//	          -estimator forkjoin -workload wordcount [-baselines] [-v] \
+//	          [-trace history.json [-trace-trim 0.02]]
+//
+// With -trace, the model is initialized from the per-class statistics fitted
+// out of a job-history trace (the §4.2.1 first approach; write traces with
+// `mrsim -trace`) instead of the Herodotou static model.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"hadoop2perf"
 	"hadoop2perf/internal/timeline"
@@ -29,6 +35,8 @@ func main() {
 		wl        = flag.String("workload", "wordcount", "wordcount | grep | terasort")
 		baselines = flag.Bool("baselines", false, "also print ARIA and Herodotou baselines")
 		verbose   = flag.Bool("v", false, "print per-class responses and the precedence tree")
+		traceFile = flag.String("trace", "", "job-history trace (JSON) to calibrate the model from")
+		traceTrim = flag.Float64("trace-trim", 0, "fraction trimmed from each duration tail when fitting the trace")
 	)
 	flag.Parse()
 
@@ -63,9 +71,26 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pred, err := hadoop2perf.Predict(hadoop2perf.ModelConfig{
-		Spec: spec, Job: job, NumJobs: *jobs, Estimator: est,
-	})
+	cfg := hadoop2perf.ModelConfig{Spec: spec, Job: job, NumJobs: *jobs, Estimator: est}
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := hadoop2perf.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fit, err := hadoop2perf.FitTrace(res, hadoop2perf.FitOptions{TrimFraction: *traceTrim})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.History = fit.History
+		fmt.Printf("calibrated from %s: %d jobs, %d task samples, %d classes\n",
+			*traceFile, fit.Jobs, fit.Tasks, len(fit.History))
+	}
+	pred, err := hadoop2perf.Predict(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

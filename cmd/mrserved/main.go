@@ -3,15 +3,18 @@
 // singleflight cache, and a parallel what-if planner for capacity-planning
 // and deadline queries.
 //
-// Endpoints (all bodies JSON; see README.md for curl examples):
+// Endpoints (all bodies JSON; docs/API.md is the complete wire reference):
 //
-//	GET  /healthz     liveness probe
-//	GET  /v1/metrics  request counts, cache hit rate, in-flight simulations
-//	POST /v1/predict  analytic model prediction
-//	POST /v1/simulate discrete-event simulation (median of seeds)
-//	POST /v1/compare  model vs. simulator validation
-//	POST /v1/plan     what-if search (nodes × block size × reducers × policy;
-//	                  deadline queries bisect the node axis)
+//	GET  /healthz      liveness probe
+//	GET  /v1/metrics   request counts, cache hit rate, in-flight simulations
+//	GET  /v1/profiles  live calibrated profiles (name, version, expiry)
+//	POST /v1/predict   analytic model prediction
+//	POST /v1/simulate  discrete-event simulation (median of seeds)
+//	POST /v1/compare   model vs. simulator validation
+//	POST /v1/plan      what-if search (nodes × block size × reducers × policy;
+//	                   deadline queries bisect the node axis)
+//	POST /v1/calibrate fit a named profile from a job-history trace; requests
+//	                   reference it with "profile": "<name>"
 //
 // Runtime profiles of the serving process are exposed on a separate
 // loopback-only listener (-pprof-addr, default 127.0.0.1:6060) so the
@@ -39,19 +42,21 @@ func main() {
 	log.SetPrefix("mrserved: ")
 
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (model/simulator executions in flight)")
-		cacheSize = flag.Int("cache-size", service.DefaultCacheSize, "LRU cache entries")
-		simReps   = flag.Int("sim-reps", service.DefaultSimReps, "default median-of-seeds repetitions")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
-		pprofAddr = flag.String("pprof-addr", "127.0.0.1:6060", "loopback /debug/pprof listener (empty = disabled)")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (model/simulator executions in flight)")
+		cacheSize  = flag.Int("cache-size", service.DefaultCacheSize, "LRU cache entries")
+		simReps    = flag.Int("sim-reps", service.DefaultSimReps, "default median-of-seeds repetitions")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+		profileTTL = flag.Duration("profile-ttl", service.DefaultProfileTTL, "default calibrated-profile lifetime")
+		pprofAddr  = flag.String("pprof-addr", "127.0.0.1:6060", "loopback /debug/pprof listener (empty = disabled)")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Options{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		SimReps:   *simReps,
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		SimReps:    *simReps,
+		ProfileTTL: *profileTTL,
 	})
 	if *pprofAddr != "" {
 		// Profile the live process under real traffic, on its own listener:

@@ -1,0 +1,121 @@
+// Trace-driven calibration: the paper's first initialization approach
+// (§4.2.1) seeds the model from the history of real job executions. This
+// example closes that loop end to end:
+//
+//  1. a workload is executed on the simulated cluster (standing in for a
+//     real Hadoop deployment) and its job-history trace is written out;
+//  2. the trace is read back and calibrated into a named profile on the
+//     prediction service (/v1/calibrate in the HTTP API);
+//  3. the same prediction is made twice — statically initialized
+//     (Herodotou-style, the second approach) and profile-backed — and both
+//     are judged against the simulated ground truth;
+//  4. the profile is recalibrated from a fresh trace, demonstrating that
+//     every cached prediction keyed on the old calibration is invalidated.
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"hadoop2perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	ctx := context.Background()
+	spec := hadoop2perf.DefaultCluster(4)
+	job, err := hadoop2perf.NewJob(0, 2*1024, 128, 4, hadoop2perf.WordCount())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1: "production" execution — a median-of-seeds simulation whose trace
+	// plays the role of the MapReduce JobHistory export.
+	res, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 7,
+	}, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	measured := res.MeanResponse()
+
+	var traceDoc bytes.Buffer
+	if err := hadoop2perf.WriteTrace(&traceDoc, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2 GB wordcount on 4 nodes: simulated response %.1f s, trace %d bytes\n",
+		measured, traceDoc.Len())
+
+	// 2: calibrate the trace into a named profile. A light trim guards the
+	// fit against stragglers; the CV floor keeps variability alive when the
+	// trace is small.
+	parsed, err := hadoop2perf.ReadTrace(&traceDoc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc := hadoop2perf.NewService(hadoop2perf.ServiceOptions{})
+	cal, err := svc.Calibrate(ctx, hadoop2perf.CalibrateRequest{
+		Name:   "prod-wordcount",
+		Result: parsed,
+		Fit:    hadoop2perf.FitOptions{TrimFraction: 0.02, CVFloor: 0.05},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated %q v%d from %d jobs / %d samples (hash %.12s…)\n",
+		cal.Profile.Name, cal.Profile.Version, cal.Profile.Jobs, cal.Profile.Samples, cal.Profile.Hash)
+
+	// 3: the two initialization approaches of §4.2.1, head to head on the
+	// same spec, judged against the simulated truth.
+	static, err := svc.Predict(ctx, hadoop2perf.PredictRequest{Spec: spec, Job: job})
+	if err != nil {
+		log.Fatal(err)
+	}
+	calibrated, err := svc.Predict(ctx, hadoop2perf.PredictRequest{
+		Spec: spec, Job: job, Profile: "prod-wordcount",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	relErr := func(est float64) float64 { return 100 * (est - measured) / measured }
+	fmt.Println("\ninitialization       estimate     vs. simulated")
+	fmt.Printf("herodotou (static) %8.1f s   %+8.1f%%\n",
+		static.Prediction.ResponseTime, relErr(static.Prediction.ResponseTime))
+	fmt.Printf("trace-calibrated   %8.1f s   %+8.1f%%\n",
+		calibrated.Prediction.ResponseTime, relErr(calibrated.Prediction.ResponseTime))
+	if calibrated.Prediction.ResponseTime == static.Prediction.ResponseTime {
+		log.Fatal("calibration had no effect — the two initializations should differ")
+	}
+	if math.Abs(relErr(calibrated.Prediction.ResponseTime)) < math.Abs(relErr(static.Prediction.ResponseTime)) {
+		fmt.Println("the measured history brings the model closer to this cluster's truth")
+	}
+
+	// 4: recalibration invalidates. Warm the cache, refit the profile from a
+	// fresh trace (a different seed stands in for "yesterday's jobs"), and
+	// watch the same request compute anew against the new content.
+	warm, err := svc.Predict(ctx, hadoop2perf.PredictRequest{Spec: spec, Job: job, Profile: "prod-wordcount"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 99,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := svc.Calibrate(ctx, hadoop2perf.CalibrateRequest{Name: "prod-wordcount", Result: res2}); err != nil {
+		log.Fatal(err)
+	}
+	fresh, err := svc.Predict(ctx, hadoop2perf.PredictRequest{Spec: spec, Job: job, Profile: "prod-wordcount"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrecalibration: warmed cache hit=%v, after refit hit=%v (profile v%d → v%d)\n",
+		warm.Cached, fresh.Cached, warm.ProfileVersion, fresh.ProfileVersion)
+	if fresh.Cached {
+		log.Fatal("stale cached prediction served after recalibration")
+	}
+}

@@ -23,6 +23,7 @@
 package hadoop2perf
 
 import (
+	"io"
 	"net/http"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"hadoop2perf/internal/mrsim"
 	"hadoop2perf/internal/service"
 	"hadoop2perf/internal/stats"
+	"hadoop2perf/internal/trace"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
@@ -86,6 +88,20 @@ type (
 	PlanRequest     = service.PlanRequest
 	PlanResponse    = service.PlanResponse
 	PlanCandidate   = service.PlanCandidate
+	// CalibrateRequest / CalibrateResponse fit a named profile from a
+	// job-history trace into the service's versioned registry; ProfileInfo
+	// is the registry's public view of one stored profile.
+	CalibrateRequest  = service.CalibrateRequest
+	CalibrateResponse = service.CalibrateResponse
+	ProfileInfo       = service.ProfileInfo
+	// ClassStats carries one task class's model-initialization statistics
+	// (ModelConfig.History values).
+	ClassStats = core.ClassStats
+	// FitOptions / FitResult / FittedClass drive trace-profile fitting (the
+	// §4.2.1 history initialization); see FitTrace.
+	FitOptions  = trace.FitOptions
+	FitResult   = trace.FitResult
+	FittedClass = trace.FittedClass
 )
 
 // Estimators (paper §4.2.4).
@@ -150,6 +166,20 @@ func Simulate(cfg SimConfig) (SimResult, error) { return mrsim.Run(cfg) }
 func SimulateMedian(cfg SimConfig, reps int) (SimResult, error) {
 	return mrsim.RunMedianOfSeeds(cfg, reps)
 }
+
+// WriteTrace serializes a simulated execution as a job-history trace
+// document (JSON), the format ReadTrace and the service's /v1/calibrate
+// endpoint ingest.
+func WriteTrace(w io.Writer, res SimResult) error { return trace.Write(w, res) }
+
+// ReadTrace parses and validates a job-history trace document.
+func ReadTrace(r io.Reader) (SimResult, error) { return trace.Read(r) }
+
+// FitTrace distills a trace into per-class model-initialization statistics
+// (§4.2.1, first approach): assign the returned FitResult.History to
+// ModelConfig.History to seed predictions from measured executions instead
+// of the Herodotou static model.
+func FitTrace(res SimResult, opts FitOptions) (FitResult, error) { return trace.Fit(res, opts) }
 
 // NewService builds the concurrent prediction engine: cached Predict /
 // Simulate / Compare plus the parallel what-if Plan. The zero ServiceOptions

@@ -16,8 +16,8 @@ import (
 // Resource is a YARN-style resource vector (memory in MB, virtual cores).
 // JSON tags give the wire API (cmd/mrserved) camelCase field names.
 type Resource struct {
-	MemoryMB int `json:"memoryMB"`
-	VCores   int `json:"vcores"`
+	MemoryMB int `json:"memoryMB"` // schedulable memory, MB
+	VCores   int `json:"vcores"`   // schedulable virtual cores
 }
 
 // Add returns r + o componentwise.
@@ -38,6 +38,7 @@ func (r Resource) Fits(o Resource) bool {
 // IsZeroOrNegative reports whether any component is <= 0.
 func (r Resource) IsZeroOrNegative() bool { return r.MemoryMB <= 0 || r.VCores <= 0 }
 
+// String renders the vector for logs and error messages.
 func (r Resource) String() string {
 	return fmt.Sprintf("<%d MB, %d vcores>", r.MemoryMB, r.VCores)
 }
@@ -56,11 +57,11 @@ type NodeClass struct {
 	// CPUs and Disks are the contended hardware units per node (cores sharing
 	// CPU work, spindles sharing disk bandwidth).
 	CPUs  int `json:"cpus"`
-	Disks int `json:"disks"`
+	Disks int `json:"disks"` // spindles per node (see CPUs)
 	// DiskMBps and NetworkMBps convert bytes into service demands for tasks
 	// placed on this class.
 	DiskMBps    float64 `json:"diskMBps"`
-	NetworkMBps float64 `json:"networkMBps"`
+	NetworkMBps float64 `json:"networkMBps"` // per-NIC bandwidth (see DiskMBps)
 	// Speed is the relative per-core compute speed of the class: CPU service
 	// demands divide by it (1 = the calibrated baseline generation; 2 = twice
 	// as fast). Zero means 1.
@@ -114,16 +115,16 @@ type Spec struct {
 	// MapContainer and ReduceContainer are the container sizes requested by
 	// the MapReduce ApplicationMaster for map and reduce tasks.
 	MapContainer    Resource `json:"mapContainer"`
-	ReduceContainer Resource `json:"reduceContainer"`
+	ReduceContainer Resource `json:"reduceContainer"` // reduce-task container size (see MapContainer)
 	// CPUPerNode and DiskPerNode describe the node hardware used by the
 	// contention model (number of cores sharing CPU work, number of disks) in
 	// the flat form.
 	CPUPerNode  int `json:"cpuPerNode,omitempty"`
-	DiskPerNode int `json:"diskPerNode,omitempty"`
+	DiskPerNode int `json:"diskPerNode,omitempty"` // disks per node (see CPUPerNode)
 	// DiskMBps and NetworkMBps are per-disk and per-NIC bandwidths used to
 	// convert bytes into service demands (flat form).
 	DiskMBps    float64 `json:"diskMBps,omitempty"`
-	NetworkMBps float64 `json:"networkMBps,omitempty"`
+	NetworkMBps float64 `json:"networkMBps,omitempty"` // per-NIC bandwidth, flat form (see DiskMBps)
 	// Classes, when non-empty, selects the heterogeneous class form: the
 	// cluster is the concatenation of the classes' node groups, in order.
 	Classes []NodeClass `json:"classes,omitempty"`

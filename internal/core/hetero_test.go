@@ -6,6 +6,7 @@ import (
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/timeline"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
@@ -141,6 +142,56 @@ func TestPredictTwoClassAgreement(t *testing.T) {
 // TestPredictHeterogeneousSanity checks directional behavior of the 2-class
 // model: upgrading part of the cluster must not slow the job down, and a mix
 // must land between its all-slow and all-fast bookends.
+// TestPartialHistoryKeepsClassScaling: a calibrated profile covering only
+// some classes must not disable heterogeneous per-node scaling and class
+// pricing for the classes it does not cover. The reduce side of a map-only
+// history stays class-aware: the prediction must keep responding to the
+// slow class's reduce-side hardware, exactly as it does with no history.
+func TestPartialHistoryKeepsClassScaling(t *testing.T) {
+	j, err := workload.NewJob(0, 2048, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := twoClassSpec(4, 4)
+	md := j.MapDemands(j.BlockSizeMB, spec.MeanDiskMBps())
+	mapOnly := map[timeline.Class]ClassStats{
+		timeline.ClassMap: {MeanCPU: md.CPU, MeanDisk: md.Disk, MeanResponse: md.Total()},
+	}
+
+	// Degrading the slow class's disk must slow the reduce-side class
+	// responses of a map-only-history prediction (class pricing still active
+	// for the uncovered classes), while the history-pinned map class stays
+	// put.
+	degraded := twoClassSpec(4, 4)
+	degraded.Classes[1].DiskMBps = 40
+	base := predict(t, Config{Spec: spec, Job: j, History: mapOnly})
+	slow := predict(t, Config{Spec: degraded, Job: j, History: mapOnly})
+	for _, cls := range []timeline.Class{timeline.ClassShuffleSort, timeline.ClassMerge} {
+		if slow.ClassResponse[cls] <= base.ClassResponse[cls] {
+			t.Errorf("map-only history froze %s class pricing: degraded %v <= base %v",
+				cls, slow.ClassResponse[cls], base.ClassResponse[cls])
+		}
+	}
+	if slow.ClassResponse[timeline.ClassMap] != base.ClassResponse[timeline.ClassMap] {
+		t.Errorf("history-pinned map class moved with disk bandwidth: %v vs %v",
+			slow.ClassResponse[timeline.ClassMap], base.ClassResponse[timeline.ClassMap])
+	}
+
+	// A full history pins every class to its measured demands: the same
+	// hardware degradation must leave the whole prediction untouched.
+	full := map[timeline.Class]ClassStats{
+		timeline.ClassMap:         mapOnly[timeline.ClassMap],
+		timeline.ClassShuffleSort: {MeanCPU: 4, MeanDisk: 1, MeanNetwork: 2, MeanResponse: 7},
+		timeline.ClassMerge:       {MeanCPU: 6, MeanDisk: 1, MeanResponse: 7},
+	}
+	fullBase := predict(t, Config{Spec: spec, Job: j, History: full})
+	fullSlow := predict(t, Config{Spec: degraded, Job: j, History: full})
+	if fullSlow.ResponseTime != fullBase.ResponseTime {
+		t.Errorf("full history should be insensitive to bandwidth changes: %v vs %v",
+			fullSlow.ResponseTime, fullBase.ResponseTime)
+	}
+}
+
 func TestPredictHeterogeneousSanity(t *testing.T) {
 	job, err := workload.NewJob(0, 2048, 128, 1, workload.WordCount())
 	if err != nil {

@@ -576,11 +576,24 @@ func (p *Predictor) buildTimeline(cfg Config, classes map[timeline.Class]*classD
 // earlier and absorb more tasks — the placement feedback the simulator's
 // YARN scheduler exhibits. The reduce scale covers the node-local shuffle
 // base and the merge; remote-shuffle shares ride the shared network
-// unscaled. Homogeneous clusters (and history-backed demands, which apply
-// uniformly) return nil vectors.
+// unscaled.
+//
+// History-backed demands apply uniformly (a trace already embodies the
+// hardware mix it was measured on), so history-covered phases carry scale
+// 1; the gate is per phase group, so a partial profile (e.g. a map-only
+// trace) keeps scaling the statically-initialized phases. Homogeneous
+// clusters — and full histories — return nil vectors (the exact pre-class
+// path).
 func (p *Predictor) durationScales(cfg Config, classes map[timeline.Class]*classData) (mapScales, redScales []float64) {
 	hw := &p.hw
-	if cfg.History != nil || len(hw.classes) <= 1 {
+	_, mapHist := cfg.History[timeline.ClassMap]
+	_, ssHist := cfg.History[timeline.ClassShuffleSort]
+	_, mgHist := cfg.History[timeline.ClassMerge]
+	// The single reduce scale spans shuffle-sort and merge together; it only
+	// applies when neither leg is pinned by measured history.
+	scaleMaps := !mapHist
+	scaleReds := !ssHist && !mgHist
+	if (!scaleMaps && !scaleReds) || len(hw.classes) <= 1 {
 		return nil, nil
 	}
 	mapCD := classes[timeline.ClassMap]
@@ -591,18 +604,21 @@ func (p *Predictor) durationScales(cfg Config, classes map[timeline.Class]*class
 	p.mapScale = resizeFloats(p.mapScale, hw.nodes)
 	p.redScale = resizeFloats(p.redScale, hw.nodes)
 	lastCls := -1
-	var sm, sr float64
+	sm, sr := 1.0, 1.0
 	for n := 0; n < hw.nodes; n++ {
 		if cls := hw.classOf[n]; cls != lastCls {
 			lastCls = cls
 			c := hw.classes[cls]
 			sp := c.SpeedFactor()
-			md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, c.DiskMBps)
-			ss := cfg.Job.ShuffleSortDemands(c.NetworkMBps, c.DiskMBps)
-			mg := cfg.Job.MergeDemands(c.DiskMBps)
-			mTot := md.CPU/sp + schedulingLatency + md.Disk + md.Network
-			rLocal := ss.CPU/sp + schedulingLatency + ss.Disk + mg.CPU/sp + mg.Disk
-			sm, sr = mTot/mapAvg, rLocal/redAvg
+			if scaleMaps {
+				md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, c.DiskMBps)
+				sm = (md.CPU/sp + schedulingLatency + md.Disk + md.Network) / mapAvg
+			}
+			if scaleReds {
+				ss := cfg.Job.ShuffleSortDemands(c.NetworkMBps, c.DiskMBps)
+				mg := cfg.Job.MergeDemands(c.DiskMBps)
+				sr = (ss.CPU/sp + schedulingLatency + ss.Disk + mg.CPU/sp + mg.Disk) / redAvg
+			}
 		}
 		p.mapScale[n] = sm
 		p.redScale[n] = sr
@@ -802,9 +818,11 @@ func laneOverlap(ti, tj timeline.Placed, windows map[laneKey]laneWindow, pairwis
 // I/O demands use the class bandwidths and the CPU demand divides by the
 // class compute speed. Map demands use the task's actual split size (the
 // final split may be short). History-backed demands apply uniformly — a
-// trace already embodies the hardware mix it was measured on.
+// trace already embodies the hardware mix it was measured on — gated per
+// class so a partial profile keeps class-pricing the phases it does not
+// cover.
 func taskDemandOn(cfg Config, h *hwView, t timeline.Placed, classes map[timeline.Class]*classData) (cpu, disk, net float64) {
-	if cfg.History != nil {
+	if _, ok := cfg.History[t.Class]; ok {
 		cd := classes[t.Class]
 		return cd.demCPU, cd.demDisk, cd.demNetwork
 	}

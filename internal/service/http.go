@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,8 @@ import (
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/timeline"
+	"hadoop2perf/internal/trace"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
@@ -21,22 +24,55 @@ type ServerConfig struct {
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
+	// CalibrateMaxBodyBytes bounds /v1/calibrate bodies separately (default
+	// 16 MiB): trace documents carry per-task records and outgrow the
+	// request-sized default long before they stop being reasonable inputs.
+	CalibrateMaxBodyBytes int64
 }
 
 const (
-	defaultHTTPTimeout  = 30 * time.Second
-	defaultMaxBodyBytes = 1 << 20
+	defaultHTTPTimeout           = 30 * time.Second
+	defaultMaxBodyBytes          = 1 << 20
+	defaultCalibrateMaxBodyBytes = 16 << 20
 )
+
+// Route patterns of the mrserved HTTP API, in registration order. NewHandler
+// registers exactly these; Routes exposes the list so docs-coverage tests
+// can hold docs/API.md to it.
+const (
+	routeHealthz   = "GET /healthz"
+	routeMetrics   = "GET /v1/metrics"
+	routeProfiles  = "GET /v1/profiles"
+	routePredict   = "POST /v1/predict"
+	routeSimulate  = "POST /v1/simulate"
+	routeCompare   = "POST /v1/compare"
+	routePlan      = "POST /v1/plan"
+	routeCalibrate = "POST /v1/calibrate"
+)
+
+// Routes returns the method+pattern of every endpoint NewHandler registers —
+// the single authoritative route list shared by the mux, docs/API.md and the
+// coverage tests binding the two.
+func Routes() []string {
+	return []string{
+		routeHealthz, routeMetrics, routeProfiles,
+		routePredict, routeSimulate, routeCompare, routePlan, routeCalibrate,
+	}
+}
 
 // NewHandler builds the mrserved HTTP API over a Service:
 //
-//	GET  /healthz     — liveness
-//	GET  /v1/metrics  — service counters: Prometheus text exposition by
-//	                    default, JSON under Accept: application/json
-//	POST /v1/predict  — analytic model prediction
-//	POST /v1/simulate — discrete-event simulator run (median of seeds)
-//	POST /v1/compare  — model vs. simulator validation
-//	POST /v1/plan     — parallel what-if grid search
+//	GET  /healthz      — liveness
+//	GET  /v1/metrics   — service counters: Prometheus text exposition by
+//	                     default, JSON under Accept: application/json
+//	GET  /v1/profiles  — live calibrated profiles (name, version, expiry)
+//	POST /v1/predict   — analytic model prediction
+//	POST /v1/simulate  — discrete-event simulator run (median of seeds)
+//	POST /v1/compare   — model vs. simulator validation
+//	POST /v1/plan      — parallel what-if grid search
+//	POST /v1/calibrate — fit a named profile from a job-history trace
+//
+// docs/API.md is the complete wire reference.
 func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = defaultHTTPTimeout
@@ -44,11 +80,14 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
+	if cfg.CalibrateMaxBodyBytes <= 0 {
+		cfg.CalibrateMaxBodyBytes = defaultCalibrateMaxBodyBytes
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc(routeHealthz, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc(routeMetrics, func(w http.ResponseWriter, r *http.Request) {
 		m := s.Metrics()
 		if wantsJSON(r.Header.Get("Accept")) {
 			writeJSON(w, http.StatusOK, m)
@@ -58,7 +97,10 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		_ = writePrometheus(w, m)
 	})
-	mux.HandleFunc("POST /v1/predict", jsonEndpoint(cfg, func(ctx context.Context, req predictWire) (any, error) {
+	mux.HandleFunc(routeProfiles, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, profilesWire{Profiles: s.Profiles()})
+	})
+	mux.HandleFunc(routePredict, jsonEndpoint(cfg, func(ctx context.Context, req predictWire) (any, error) {
 		pr, err := req.toRequest()
 		if err != nil {
 			return nil, err
@@ -68,14 +110,32 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 			return nil, err
 		}
 		return predictResultWire{
-			ResponseTime: resp.Prediction.ResponseTime,
-			Iterations:   resp.Prediction.Iterations,
-			Converged:    resp.Prediction.Converged,
-			Estimator:    pr.Estimator,
-			Cached:       resp.Cached,
+			ResponseTime:   resp.Prediction.ResponseTime,
+			Iterations:     resp.Prediction.Iterations,
+			Converged:      resp.Prediction.Converged,
+			Estimator:      pr.Estimator,
+			Cached:         resp.Cached,
+			Profile:        resp.Profile,
+			ProfileVersion: resp.ProfileVersion,
 		}, nil
 	}))
-	mux.HandleFunc("POST /v1/simulate", jsonEndpoint(cfg, func(ctx context.Context, req simulateWire) (any, error) {
+	calCfg := cfg
+	calCfg.MaxBodyBytes = cfg.CalibrateMaxBodyBytes
+	mux.HandleFunc(routeCalibrate, jsonEndpoint(calCfg, func(ctx context.Context, req calibrateWire) (any, error) {
+		cr, err := req.toRequest()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.Calibrate(ctx, cr)
+		if err != nil {
+			return nil, err
+		}
+		return calibrateResultWire{
+			Profile: resp.Profile,
+			Classes: classWire(resp.Classes),
+		}, nil
+	}))
+	mux.HandleFunc(routeSimulate, jsonEndpoint(cfg, func(ctx context.Context, req simulateWire) (any, error) {
 		sr, err := req.toRequest()
 		if err != nil {
 			return nil, err
@@ -95,14 +155,14 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 		}
 		return out, nil
 	}))
-	mux.HandleFunc("POST /v1/compare", jsonEndpoint(cfg, func(ctx context.Context, req compareWire) (any, error) {
+	mux.HandleFunc(routeCompare, jsonEndpoint(cfg, func(ctx context.Context, req compareWire) (any, error) {
 		cr, err := req.toRequest()
 		if err != nil {
 			return nil, err
 		}
 		return s.Compare(ctx, cr)
 	}))
-	mux.HandleFunc("POST /v1/plan", jsonEndpoint(cfg, func(ctx context.Context, req planWire) (any, error) {
+	mux.HandleFunc(routePlan, jsonEndpoint(cfg, func(ctx context.Context, req planWire) (any, error) {
 		pr, err := req.toRequest()
 		if err != nil {
 			return nil, err
@@ -236,6 +296,10 @@ type predictWire struct {
 	Job       jobWire        `json:"job"`
 	NumJobs   int            `json:"numJobs,omitempty"`
 	Estimator core.Estimator `json:"estimator,omitempty"`
+	// Profile references a calibrated profile by name (POST /v1/calibrate);
+	// its fitted statistics seed the model instead of the static
+	// initialization. Distinct from job.profile, which names a workload.
+	Profile string `json:"profile,omitempty"`
 }
 
 func (p predictWire) toRequest() (PredictRequest, error) {
@@ -247,7 +311,7 @@ func (p predictWire) toRequest() (PredictRequest, error) {
 	if err != nil {
 		return PredictRequest{}, err
 	}
-	return PredictRequest{Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator}, nil
+	return PredictRequest{Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator, Profile: p.Profile}, nil
 }
 
 type predictResultWire struct {
@@ -256,6 +320,10 @@ type predictResultWire struct {
 	Converged    bool           `json:"converged"`
 	Estimator    core.Estimator `json:"estimator"`
 	Cached       bool           `json:"cached"`
+	// Profile/ProfileVersion echo the calibrated profile snapshot that
+	// seeded this prediction (absent for profile-less requests).
+	Profile        string `json:"profile,omitempty"`
+	ProfileVersion int64  `json:"profileVersion,omitempty"`
 }
 
 type simulateWire struct {
@@ -266,9 +334,16 @@ type simulateWire struct {
 	Seed    int64       `json:"seed,omitempty"`
 	Reps    int         `json:"reps,omitempty"`
 	Policy  yarn.Policy `json:"policy,omitempty"`
+	// Profile is accepted for wire symmetry but rejected: calibrated
+	// profiles seed the analytic model's initialization, and a simulation
+	// has none — failing loudly beats silently ignoring the reference.
+	Profile string `json:"profile,omitempty"`
 }
 
 func (sw simulateWire) toRequest() (SimulateRequest, error) {
+	if sw.Profile != "" {
+		return SimulateRequest{}, validationError{errors.New("calibrated profiles seed the analytic model; /v1/simulate executes the job's workload profile directly")}
+	}
 	spec, err := sw.Cluster.spec()
 	if err != nil {
 		return SimulateRequest{}, err
@@ -313,6 +388,9 @@ type compareWire struct {
 	NumJobs int         `json:"numJobs,omitempty"`
 	Seed    int64       `json:"seed,omitempty"`
 	Reps    int         `json:"reps,omitempty"`
+	// Profile seeds the model side of the comparison from a calibrated
+	// profile (see predictWire.Profile); the simulated side is unaffected.
+	Profile string `json:"profile,omitempty"`
 }
 
 func (c compareWire) toRequest() (CompareRequest, error) {
@@ -324,7 +402,7 @@ func (c compareWire) toRequest() (CompareRequest, error) {
 	if err != nil {
 		return CompareRequest{}, err
 	}
-	return CompareRequest{Spec: spec, Job: job, NumJobs: c.NumJobs, Seed: c.Seed, Reps: c.Reps}, nil
+	return CompareRequest{Spec: spec, Job: job, NumJobs: c.NumJobs, Seed: c.Seed, Reps: c.Reps, Profile: c.Profile}, nil
 }
 
 type planWire struct {
@@ -342,6 +420,9 @@ type planWire struct {
 	UseSimulator bool           `json:"useSimulator,omitempty"`
 	Seed         int64          `json:"seed,omitempty"`
 	Reps         int            `json:"reps,omitempty"`
+	// Profile seeds every model-backed candidate from a calibrated profile;
+	// rejected when useSimulator is set.
+	Profile string `json:"profile,omitempty"`
 }
 
 func (p planWire) toRequest() (PlanRequest, error) {
@@ -358,5 +439,81 @@ func (p planWire) toRequest() (PlanRequest, error) {
 		Nodes: p.Nodes, ClassCounts: p.ClassCounts, BlockSizesMB: p.BlockSizesMB,
 		Reducers: p.Reducers, Policies: p.Policies, DeadlineSec: p.DeadlineSec,
 		Exhaustive: p.Exhaustive, UseSimulator: p.UseSimulator, Seed: p.Seed, Reps: p.Reps,
+		Profile: p.Profile,
 	}, nil
+}
+
+// calibrateWire is the POST /v1/calibrate body: a trace document plus fit
+// controls. The trace is decoded and validated by trace.Read, so a calibrate
+// body gets exactly the sanity checks a trace file does.
+type calibrateWire struct {
+	// Name registers (or replaces) the profile under this reference key.
+	Name string `json:"name"`
+	// Trace is a trace.Document: {"version": 1, "result": {...}}.
+	Trace json.RawMessage `json:"trace"`
+	// TTLSec overrides the service's default profile lifetime (seconds).
+	TTLSec float64 `json:"ttlSec,omitempty"`
+	// TrimFraction, MinSamples and CVFloor map onto trace.FitOptions.
+	TrimFraction float64 `json:"trimFraction,omitempty"`
+	MinSamples   int     `json:"minSamples,omitempty"`
+	CVFloor      float64 `json:"cvFloor,omitempty"`
+}
+
+func (c calibrateWire) toRequest() (CalibrateRequest, error) {
+	if len(c.Trace) == 0 {
+		return CalibrateRequest{}, validationError{errors.New("calibrate needs a trace document")}
+	}
+	res, err := trace.Read(bytes.NewReader(c.Trace))
+	if err != nil {
+		return CalibrateRequest{}, validationError{err}
+	}
+	if c.TTLSec < 0 {
+		return CalibrateRequest{}, validationError{errors.New("ttlSec must be nonnegative")}
+	}
+	return CalibrateRequest{
+		Name:   c.Name,
+		Result: res,
+		Fit:    trace.FitOptions{TrimFraction: c.TrimFraction, MinSamples: c.MinSamples, CVFloor: c.CVFloor},
+		TTL:    time.Duration(c.TTLSec * float64(time.Second)),
+	}, nil
+}
+
+// classStatsWire is one class's fitted statistics on the wire.
+type classStatsWire struct {
+	MeanResponse float64 `json:"meanResponse"`
+	CV           float64 `json:"cv"`
+	MeanCPU      float64 `json:"meanCPU"`
+	MeanDisk     float64 `json:"meanDisk"`
+	MeanNetwork  float64 `json:"meanNetwork"`
+	Samples      int     `json:"samples"`
+	Trimmed      int     `json:"trimmed,omitempty"`
+}
+
+// classWire renders fitted classes under their stable string names
+// ("map", "shuffle-sort", "merge").
+func classWire(classes map[timeline.Class]trace.FittedClass) map[string]classStatsWire {
+	out := make(map[string]classStatsWire, len(classes))
+	for cls, fc := range classes {
+		out[cls.String()] = classStatsWire{
+			MeanResponse: fc.Stats.MeanResponse,
+			CV:           fc.Stats.CV,
+			MeanCPU:      fc.Stats.MeanCPU,
+			MeanDisk:     fc.Stats.MeanDisk,
+			MeanNetwork:  fc.Stats.MeanNetwork,
+			Samples:      fc.Samples,
+			Trimmed:      fc.Trimmed,
+		}
+	}
+	return out
+}
+
+// calibrateResultWire is the POST /v1/calibrate response body.
+type calibrateResultWire struct {
+	Profile ProfileInfo               `json:"profile"`
+	Classes map[string]classStatsWire `json:"classes"`
+}
+
+// profilesWire is the GET /v1/profiles response body.
+type profilesWire struct {
+	Profiles []ProfileInfo `json:"profiles"`
 }

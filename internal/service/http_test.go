@@ -6,8 +6,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"hadoop2perf/internal/trace"
 )
 
 func newTestServer(t *testing.T) (*Service, *httptest.Server) {
@@ -226,6 +231,159 @@ func TestRequestTimeout(t *testing.T) {
 	status, body := postJSON(t, ts.URL+"/v1/predict", req)
 	if status != http.StatusGatewayTimeout {
 		t.Errorf("status = %d body = %v", status, body)
+	}
+}
+
+// calibrateBody builds a /v1/calibrate request body embedding a freshly
+// simulated trace document under the given profile name.
+func calibrateBody(t *testing.T, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, simTrace(t, 512, 1)); err != nil {
+		t.Fatal(err)
+	}
+	return `{"name":"` + name + `","trace":` + buf.String() + `}`
+}
+
+// TestCalibrateEndToEnd walks the tentpole loop over real HTTP: calibrate a
+// profile from a trace document, reference it from /v1/predict, watch the
+// registry on /v1/profiles, and observe recalibration invalidating the
+// cached profile-backed prediction.
+func TestCalibrateEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	status, body := postJSON(t, ts.URL+"/v1/calibrate", calibrateBody(t, "prod-wc"))
+	if status != http.StatusOK {
+		t.Fatalf("calibrate status = %d body = %v", status, body)
+	}
+	prof, _ := body["profile"].(map[string]any)
+	if prof == nil || prof["name"] != "prod-wc" || prof["version"] != float64(1) {
+		t.Fatalf("profile = %v", body["profile"])
+	}
+	classes, _ := body["classes"].(map[string]any)
+	for _, cls := range []string{"map", "shuffle-sort", "merge"} {
+		cw, _ := classes[cls].(map[string]any)
+		if cw == nil {
+			t.Fatalf("class %s missing from %v", cls, classes)
+		}
+		if mr, _ := cw["meanResponse"].(float64); mr <= 0 {
+			t.Errorf("%s meanResponse = %v", cls, cw["meanResponse"])
+		}
+	}
+
+	// Profile-backed prediction differs from the static one and echoes its
+	// profile snapshot.
+	plainReq := `{"cluster":{"nodes":2},"job":{"inputMB":512,"reduces":2}}`
+	profReq := `{"cluster":{"nodes":2},"job":{"inputMB":512,"reduces":2},"profile":"prod-wc"}`
+	_, plain := postJSON(t, ts.URL+"/v1/predict", plainReq)
+	status, withProf := postJSON(t, ts.URL+"/v1/predict", profReq)
+	if status != http.StatusOK {
+		t.Fatalf("profile predict status = %d body = %v", status, withProf)
+	}
+	if withProf["responseTime"] == plain["responseTime"] {
+		t.Error("calibrated prediction identical to static one over the wire")
+	}
+	if withProf["profile"] != "prod-wc" || withProf["profileVersion"] != float64(1) {
+		t.Errorf("profile echo = %v v%v", withProf["profile"], withProf["profileVersion"])
+	}
+
+	// The registry is visible.
+	resp, err := http.Get(ts.URL + "/v1/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Profiles []ProfileInfo `json:"profiles"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Profiles) != 1 || listing.Profiles[0].Name != "prod-wc" {
+		t.Fatalf("profiles = %+v", listing.Profiles)
+	}
+
+	// Warm the cache, recalibrate under the same name from a different
+	// trace, and verify the warmed entry is no longer served.
+	_, warm := postJSON(t, ts.URL+"/v1/predict", profReq)
+	if warm["cached"] != true {
+		t.Fatal("repeat profile predict not cached")
+	}
+	var buf bytes.Buffer
+	if err := trace.Write(&buf, simTrace(t, 2048, 7)); err != nil {
+		t.Fatal(err)
+	}
+	status, _ = postJSON(t, ts.URL+"/v1/calibrate", `{"name":"prod-wc","trace":`+buf.String()+`}`)
+	if status != http.StatusOK {
+		t.Fatalf("recalibrate status = %d", status)
+	}
+	_, after := postJSON(t, ts.URL+"/v1/predict", profReq)
+	if after["cached"] != false {
+		t.Error("stale cached prediction served after recalibration")
+	}
+	if after["profileVersion"] != float64(2) {
+		t.Errorf("profileVersion = %v", after["profileVersion"])
+	}
+}
+
+func TestCalibrateValidationOverWire(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct{ name, body string }{
+		{"no trace", `{"name":"wc"}`},
+		{"garbage trace", `{"name":"wc","trace":{"version":99,"result":{}}}`},
+		{"no name", calibrateBody(t, "")},
+		{"bad name", calibrateBody(t, "a b")},
+	}
+	for _, tc := range cases {
+		status, body := postJSON(t, ts.URL+"/v1/calibrate", tc.body)
+		if status != http.StatusBadRequest {
+			t.Errorf("%s: status = %d body = %v", tc.name, status, body)
+		}
+	}
+	// Unknown profile references and simulate-side references fail loudly.
+	status, _ := postJSON(t, ts.URL+"/v1/predict",
+		`{"cluster":{"nodes":2},"job":{"inputMB":512},"profile":"ghost"}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("unknown profile predict: status = %d", status)
+	}
+	status, body := postJSON(t, ts.URL+"/v1/simulate",
+		`{"cluster":{"nodes":2},"job":{"inputMB":512},"profile":"ghost"}`)
+	if status != http.StatusBadRequest {
+		t.Errorf("simulate with profile: status = %d body = %v", status, body)
+	}
+}
+
+// TestRoutesRegistered binds Routes() to the mux: every advertised pattern
+// must resolve to a registered handler under its own method and path.
+func TestRoutesRegistered(t *testing.T) {
+	mux, ok := NewHandler(New(Options{Workers: 1}), ServerConfig{}).(*http.ServeMux)
+	if !ok {
+		t.Fatal("NewHandler no longer returns a *http.ServeMux; update this test")
+	}
+	for _, route := range Routes() {
+		method, path, ok := strings.Cut(route, " ")
+		if !ok {
+			t.Fatalf("malformed route %q", route)
+		}
+		r := httptest.NewRequest(method, path, nil)
+		if _, pattern := mux.Handler(r); pattern != route {
+			t.Errorf("route %q resolves to pattern %q", route, pattern)
+		}
+	}
+}
+
+// TestRoutesDocumented holds docs/API.md to the registered route list: every
+// route the mux serves must appear verbatim in the API reference.
+func TestRoutesDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("docs/API.md unreadable: %v", err)
+	}
+	for _, route := range Routes() {
+		if !bytes.Contains(doc, []byte(route)) {
+			t.Errorf("route %q not documented in docs/API.md", route)
+		}
 	}
 }
 

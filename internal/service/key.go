@@ -7,13 +7,18 @@ import (
 	"math"
 
 	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/timeline"
 	"hadoop2perf/internal/workload"
 )
 
 // keyVersion is folded into every cache key; bump it whenever the canonical
 // encoding below changes shape so stale entries can never alias new ones.
 // v3: specs encode their node-class table (heterogeneous clusters).
-const keyVersion = 3
+// v4: model-backed keys append the resolved calibrated-profile content hash
+// (empty for profile-less requests), so recalibrating a name strands every
+// cache entry computed from the old fit.
+const keyVersion = 4
 
 // keyWriter streams a canonical, order-stable binary encoding of a request
 // into a hash. Floats are encoded by their IEEE-754 bits (so +0/-0 and NaN
@@ -113,12 +118,45 @@ func (w *keyWriter) sum() string {
 	return hex.EncodeToString(h[:])
 }
 
+// profileContentHash canonically hashes a fitted history — the payload a
+// calibrated profile contributes to a model run. Classes are encoded in
+// their fixed timeline order so map iteration cannot perturb the hash, and
+// absent classes are distinguished from zero-valued ones by a presence flag.
+func profileContentHash(history map[timeline.Class]core.ClassStats) string {
+	w := newKeyWriter("profile")
+	for _, cls := range [...]timeline.Class{timeline.ClassMap, timeline.ClassShuffleSort, timeline.ClassMerge} {
+		cs, ok := history[cls]
+		w.putBool(ok)
+		if !ok {
+			continue
+		}
+		w.putF64(cs.MeanCPU)
+		w.putF64(cs.MeanDisk)
+		w.putF64(cs.MeanNetwork)
+		w.putF64(cs.MeanResponse)
+		w.putF64(cs.CV)
+	}
+	return w.sum()
+}
+
+// putResolvedProfile encodes a request's resolved calibrated profile: the
+// content hash alone (not the name — two names calibrated from identical
+// traces share cache entries; one name recalibrated stops matching).
+func (w *keyWriter) putResolvedProfile(p *calibratedProfile) {
+	if p == nil {
+		w.putString("")
+		return
+	}
+	w.putString(p.info.Hash)
+}
+
 func predictKey(req PredictRequest) string {
 	w := newKeyWriter("predict")
 	w.putSpec(req.Spec)
 	w.putJob(req.Job)
 	w.putInt(req.NumJobs)
 	w.putInt(int(req.Estimator))
+	w.putResolvedProfile(req.resolved)
 	return w.sum()
 }
 
@@ -143,5 +181,6 @@ func compareKey(req CompareRequest) string {
 	w.putInt(req.NumJobs)
 	w.putI64(req.Seed)
 	w.putInt(req.Reps)
+	w.putResolvedProfile(req.resolved)
 	return w.sum()
 }

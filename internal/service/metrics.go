@@ -37,11 +37,13 @@ func writePrometheus(w io.Writer, m Metrics) error {
 		{"mrserved_requests_total", "", "", `kind="simulate"`, float64(m.SimulateRequests)},
 		{"mrserved_requests_total", "", "", `kind="compare"`, float64(m.CompareRequests)},
 		{"mrserved_requests_total", "", "", `kind="plan"`, float64(m.PlanRequests)},
+		{"mrserved_requests_total", "", "", `kind="calibrate"`, float64(m.CalibrateRequests)},
 		{"mrserved_cache_hits_total", "Requests served without computing (LRU hit or shared in-flight result).", "counter", "", float64(m.CacheHits)},
 		{"mrserved_cache_misses_total", "Requests that ran a fresh computation.", "counter", "", float64(m.CacheMisses)},
 		{"mrserved_cache_entries", "Current LRU cache population.", "gauge", "", float64(m.CacheEntries)},
 		{"mrserved_inflight_sims", "Simulator executions running right now (in-flight workers).", "gauge", "", float64(m.InFlightSims)},
 		{"mrserved_sim_runs_total", "Completed simulator executions.", "counter", "", float64(m.SimRuns)},
+		{"mrserved_profiles_active", "Live (unexpired) calibrated profiles in the registry.", "gauge", "", float64(m.ProfilesActive)},
 	}
 	seen := ""
 	for _, mt := range metrics {

@@ -34,11 +34,21 @@ type PlanRequest struct {
 	NumJobs int
 	// Estimator selects the analytic tree estimator (default fork/join).
 	Estimator core.Estimator
+	// Profile optionally names a calibrated profile seeding every
+	// model-backed candidate (see PredictRequest.Profile). The name resolves
+	// once per plan, so all candidates share one snapshot even if a
+	// concurrent Calibrate replaces it mid-plan. Rejected when UseSimulator
+	// is set: the simulator has no model initialization to seed, and
+	// silently ignoring the reference would mislabel every candidate.
+	Profile  string
+	resolved *calibratedProfile
 
-	// Grid axes. Empty slices keep the template's value.
+	// Nodes, BlockSizesMB and Reducers are grid axes over cluster size,
+	// HDFS block size and reducer count. Empty slices keep the template's
+	// value.
 	Nodes        []int
-	BlockSizesMB []float64
-	Reducers     []int
+	BlockSizesMB []float64 // see Nodes
+	Reducers     []int     // see Nodes
 	// ClassCounts sweeps heterogeneous class *mixes* instead of the flat
 	// Nodes axis: each entry is a per-class node-count vector over
 	// Spec.Classes (same order; zero drops the class from that candidate,
@@ -66,8 +76,8 @@ type PlanRequest struct {
 	// (median of Reps seeded runs from Seed) instead of the analytic model —
 	// slower, but scheduler-policy-aware.
 	UseSimulator bool
-	Seed         int64
-	Reps         int
+	Seed         int64 // see UseSimulator
+	Reps         int   // see UseSimulator
 }
 
 func (r *PlanRequest) validate() error {
@@ -142,19 +152,24 @@ func (r *PlanRequest) validate() error {
 	if r.DeadlineSec < 0 {
 		return fmt.Errorf("service: deadline %v must be nonnegative", r.DeadlineSec)
 	}
+	if r.UseSimulator && r.Profile != "" {
+		return errors.New("service: calibrated profiles seed the analytic model; simulator-backed plans cannot use one")
+	}
 	return nil
 }
 
 // PlanCandidate is one evaluated grid point.
 type PlanCandidate struct {
+	// Nodes is the candidate's total cluster size.
 	Nodes int `json:"nodes"`
 	// ClassCounts is the per-class node-count vector of a heterogeneous mix
 	// candidate (ordered like the template's Classes); nil on the flat node
 	// axis. Nodes always carries the total.
 	ClassCounts []int       `json:"classCounts,omitempty"`
-	BlockSizeMB float64     `json:"blockSizeMB"`
-	Reducers    int         `json:"reducers"`
-	Policy      yarn.Policy `json:"policy"`
+	BlockSizeMB float64     `json:"blockSizeMB"` // candidate HDFS block size
+	Reducers    int         `json:"reducers"`    // candidate reducer count
+	Policy      yarn.Policy `json:"policy"`      // candidate scheduler policy
+
 	// ResponseTime is the predicted (or simulated) mean job response time.
 	ResponseTime float64 `json:"responseTime"`
 	// NodeSeconds is the capacity cost proxy: ResponseTime × Nodes.
@@ -261,6 +276,9 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 	if err := req.validate(); err != nil {
 		return PlanResponse{}, invalid(err)
 	}
+	if err := s.resolveProfile(req.Profile, &req.resolved); err != nil {
+		return PlanResponse{}, err
+	}
 
 	choices := nodeChoices(&req)
 	blocks := axisFloats(req.BlockSizesMB, req.Job.BlockSizeMB)
@@ -346,7 +364,10 @@ func candidatePredictRequest(req PlanRequest, ch nodeChoice, blockMB float64, re
 	job := req.Job
 	job.BlockSizeMB = blockMB
 	job.NumReduces = reducers
-	return PredictRequest{Spec: candidateSpec(&req, ch), Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator}
+	return PredictRequest{
+		Spec: candidateSpec(&req, ch), Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator,
+		Profile: req.Profile, resolved: req.resolved,
+	}
 }
 
 // evalCandidate fills in one grid point via the cached Predict/Simulate

@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
@@ -66,6 +67,12 @@ type Options struct {
 	// SimReps is the default median-of-seeds repetition count for simulation
 	// requests that leave Reps zero (default 5, the paper's methodology).
 	SimReps int
+	// ProfileTTL is the default lifetime of calibrated profiles (default
+	// DefaultProfileTTL); per-request TTLs override it.
+	ProfileTTL time.Duration
+	// MaxProfiles bounds the calibrated-profile registry population
+	// (default DefaultMaxProfiles).
+	MaxProfiles int
 }
 
 func (o *Options) applyDefaults() {
@@ -77,6 +84,12 @@ func (o *Options) applyDefaults() {
 	}
 	if o.SimReps <= 0 {
 		o.SimReps = DefaultSimReps
+	}
+	if o.ProfileTTL <= 0 {
+		o.ProfileTTL = DefaultProfileTTL
+	}
+	if o.MaxProfiles <= 0 {
+		o.MaxProfiles = DefaultMaxProfiles
 	}
 }
 
@@ -104,15 +117,17 @@ func IsInvalidRequest(err error) bool {
 
 // Metrics is a point-in-time snapshot of service counters.
 type Metrics struct {
-	// Requests counts accepted API calls per kind.
-	PredictRequests  int64 `json:"predictRequests"`
-	SimulateRequests int64 `json:"simulateRequests"`
-	CompareRequests  int64 `json:"compareRequests"`
-	PlanRequests     int64 `json:"planRequests"`
+	// PredictRequests through CalibrateRequests count accepted API calls
+	// per kind.
+	PredictRequests   int64 `json:"predictRequests"`
+	SimulateRequests  int64 `json:"simulateRequests"`  // see PredictRequests
+	CompareRequests   int64 `json:"compareRequests"`   // see PredictRequests
+	PlanRequests      int64 `json:"planRequests"`      // see PredictRequests
+	CalibrateRequests int64 `json:"calibrateRequests"` // see PredictRequests
 	// CacheHits counts requests served without computing (LRU hit or a
 	// shared singleflight result); CacheMisses counts actual computations.
 	CacheHits   int64 `json:"cacheHits"`
-	CacheMisses int64 `json:"cacheMisses"`
+	CacheMisses int64 `json:"cacheMisses"` // see CacheHits
 	// HitRate is CacheHits / (CacheHits + CacheMisses), 0 when idle.
 	HitRate float64 `json:"hitRate"`
 	// InFlightSims is the number of simulator executions running right now.
@@ -121,6 +136,9 @@ type Metrics struct {
 	SimRuns int64 `json:"simRuns"`
 	// CacheEntries is the current LRU population.
 	CacheEntries int `json:"cacheEntries"`
+	// ProfilesActive is the current count of live (unexpired) calibrated
+	// profiles in the registry.
+	ProfilesActive int `json:"profilesActive"`
 }
 
 // Service is a concurrent prediction engine. It is safe for use from many
@@ -130,19 +148,23 @@ type Service struct {
 	sem    chan struct{}
 	cache  *lruCache
 	flight *flightGroup
+	// profiles is the versioned registry of calibrated (trace-fitted)
+	// per-class profiles referenced by request Profile fields.
+	profiles *profileRegistry
 	// predictors recycles allocation-lean model evaluators across requests:
 	// each worker borrows one for the duration of a model run, so steady
 	// traffic stops allocating the O(T²) overlap scaffolding per request.
 	predictors sync.Pool
 
-	predictReqs  atomic.Int64
-	simulateReqs atomic.Int64
-	compareReqs  atomic.Int64
-	planReqs     atomic.Int64
-	hits         atomic.Int64
-	misses       atomic.Int64
-	inFlightSims atomic.Int64
-	simRuns      atomic.Int64
+	predictReqs   atomic.Int64
+	simulateReqs  atomic.Int64
+	compareReqs   atomic.Int64
+	planReqs      atomic.Int64
+	calibrateReqs atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	inFlightSims  atomic.Int64
+	simRuns       atomic.Int64
 }
 
 // New builds a Service with the given options.
@@ -153,6 +175,7 @@ func New(opts Options) *Service {
 		sem:        make(chan struct{}, opts.Workers),
 		cache:      newLRUCache(opts.CacheSize),
 		flight:     newFlightGroup(),
+		profiles:   newProfileRegistry(opts.MaxProfiles, opts.ProfileTTL),
 		predictors: sync.Pool{New: func() any { return core.NewPredictor() }},
 	}
 }
@@ -160,15 +183,17 @@ func New(opts Options) *Service {
 // Metrics returns a snapshot of the service counters.
 func (s *Service) Metrics() Metrics {
 	m := Metrics{
-		PredictRequests:  s.predictReqs.Load(),
-		SimulateRequests: s.simulateReqs.Load(),
-		CompareRequests:  s.compareReqs.Load(),
-		PlanRequests:     s.planReqs.Load(),
-		CacheHits:        s.hits.Load(),
-		CacheMisses:      s.misses.Load(),
-		InFlightSims:     s.inFlightSims.Load(),
-		SimRuns:          s.simRuns.Load(),
-		CacheEntries:     s.cache.len(),
+		PredictRequests:   s.predictReqs.Load(),
+		SimulateRequests:  s.simulateReqs.Load(),
+		CompareRequests:   s.compareReqs.Load(),
+		PlanRequests:      s.planReqs.Load(),
+		CalibrateRequests: s.calibrateReqs.Load(),
+		CacheHits:         s.hits.Load(),
+		CacheMisses:       s.misses.Load(),
+		InFlightSims:      s.inFlightSims.Load(),
+		SimRuns:           s.simRuns.Load(),
+		CacheEntries:      s.cache.len(),
+		ProfilesActive:    s.profiles.liveCount(),
 	}
 	if tot := m.CacheHits + m.CacheMisses; tot > 0 {
 		m.HitRate = float64(m.CacheHits) / float64(tot)
@@ -227,12 +252,23 @@ func (s *Service) cachedCompute(ctx context.Context, key string, compute func() 
 
 // PredictRequest asks for one analytic model evaluation.
 type PredictRequest struct {
+	// Spec is the cluster to predict on.
 	Spec cluster.Spec
-	Job  workload.Job
+	// Job is the MapReduce job whose response time is estimated.
+	Job workload.Job
 	// NumJobs is the closed-network population (default 1).
 	NumJobs int
 	// Estimator selects the tree estimator (default fork/join).
 	Estimator core.Estimator
+	// Profile optionally names a calibrated profile (stored via Calibrate)
+	// whose fitted per-class statistics seed the model's A1 initialization
+	// (§4.2.1, first approach) instead of the Herodotou static model. The
+	// name resolves at evaluation time and the resolved *content* rides the
+	// cache key, so recalibration can never serve stale cached predictions.
+	Profile string
+	// resolved pins the profile snapshot for the lifetime of one request
+	// (and across every candidate of one plan); nil when Profile is empty.
+	resolved *calibratedProfile
 }
 
 func (r *PredictRequest) validate() error {
@@ -258,16 +294,37 @@ func (r *PredictRequest) validate() error {
 // embedded Prediction may be shared with other cache readers — treat it as
 // read-only.
 type PredictResponse struct {
+	// Prediction is the model output (response time, iterations, artifacts).
 	Prediction core.Prediction
 	// Cached reports whether the response was served without a fresh model
 	// run (LRU hit or shared in-flight computation).
 	Cached bool
+	// Profile and ProfileVersion identify the calibrated profile snapshot
+	// that seeded the model (empty/0 when the request named none).
+	Profile        string
+	ProfileVersion int64 // see Profile
 }
 
 // Predict runs (or recalls) one analytic model evaluation.
 func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
 	s.predictReqs.Add(1)
 	return s.predict(ctx, req)
+}
+
+// resolveProfile fills req's resolved snapshot from its Profile name. A
+// request that already carries a snapshot (a plan candidate) keeps it, so
+// one plan stays internally consistent even when a concurrent Calibrate
+// swaps the name mid-flight.
+func (s *Service) resolveProfile(name string, resolved **calibratedProfile) error {
+	if *resolved != nil || name == "" {
+		return nil
+	}
+	p, err := s.profiles.resolve(name)
+	if err != nil {
+		return invalid(err)
+	}
+	*resolved = p
+	return nil
 }
 
 // predict is Predict without the API-call counter — the planner evaluates
@@ -277,6 +334,9 @@ func (s *Service) predict(ctx context.Context, req PredictRequest) (PredictRespo
 	if err := req.validate(); err != nil {
 		return PredictResponse{}, invalid(err)
 	}
+	if err := s.resolveProfile(req.Profile, &req.resolved); err != nil {
+		return PredictResponse{}, err
+	}
 	v, cached, err := s.cachedCompute(ctx, predictKey(req), func() (any, error) {
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
@@ -284,19 +344,30 @@ func (s *Service) predict(ctx context.Context, req PredictRequest) (PredictRespo
 		defer s.release()
 		p := s.predictors.Get().(*core.Predictor)
 		defer s.predictors.Put(p)
-		return p.Predict(core.Config{
+		cfg := core.Config{
 			Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: req.Estimator,
-		})
+		}
+		if req.resolved != nil {
+			cfg.History = req.resolved.history
+		}
+		return p.Predict(cfg)
 	})
 	if err != nil {
 		return PredictResponse{}, err
 	}
-	return PredictResponse{Prediction: v.(core.Prediction), Cached: cached}, nil
+	out := PredictResponse{Prediction: v.(core.Prediction), Cached: cached}
+	if req.resolved != nil {
+		out.Profile = req.resolved.info.Name
+		out.ProfileVersion = req.resolved.info.Version
+	}
+	return out, nil
 }
 
 // SimulateRequest asks for a median-of-seeds simulator execution.
 type SimulateRequest struct {
+	// Spec is the cluster to simulate.
 	Spec cluster.Spec
+	// Jobs is the workload: every job is submitted at t = 0.
 	Jobs []workload.Job
 	// Seed anchors the consecutive-seed repetitions.
 	Seed int64
@@ -337,7 +408,9 @@ func (r *SimulateRequest) validate(defaultReps int) error {
 // embedded Result may be shared with other cache readers — treat it as
 // read-only.
 type SimulateResponse struct {
+	// Result is the median run of the seeded repetitions.
 	Result mrsim.Result
+	// Cached reports whether the response was served without a fresh run.
 	Cached bool
 }
 
@@ -407,11 +480,21 @@ func (s *Service) runSim(ctx context.Context, key string, req SimulateRequest) (
 // configuration: numJobs concurrent copies of Job (fair scheduling when
 // numJobs > 1, mirroring the paper's multi-job methodology).
 type CompareRequest struct {
-	Spec    cluster.Spec
-	Job     workload.Job
+	// Spec is the cluster both sides run on.
+	Spec cluster.Spec
+	// Job is the job template; NumJobs identical copies are executed.
+	Job workload.Job
+	// NumJobs is the concurrent-job population (default 1).
 	NumJobs int
-	Seed    int64
-	Reps    int
+	// Seed anchors the simulator's consecutive-seed repetitions.
+	Seed int64
+	// Reps is the median-of-seeds repetition count (default Options.SimReps).
+	Reps int
+	// Profile optionally names a calibrated profile seeding the model side
+	// of the comparison (see PredictRequest.Profile); the simulator side is
+	// unaffected — it executes the job's workload profile directly.
+	Profile  string
+	resolved *calibratedProfile
 }
 
 func (r *CompareRequest) validate(defaultReps int) error {
@@ -440,10 +523,15 @@ type CompareResponse struct {
 	// ForkJoin and Tripathi are the two model estimates; the *Err fields are
 	// signed relative errors vs. Simulated (positive = overestimate).
 	ForkJoin    float64
-	Tripathi    float64
-	ForkJoinErr float64
-	TripathiErr float64
-	Cached      bool
+	Tripathi    float64 // see ForkJoin
+	ForkJoinErr float64 // see ForkJoin
+	TripathiErr float64 // see ForkJoin
+	// Cached reports whether the comparison was served without computing.
+	Cached bool
+	// Profile and ProfileVersion identify the calibrated profile snapshot
+	// that seeded the model side (empty/0 when the request named none).
+	Profile        string
+	ProfileVersion int64 // see Profile
 }
 
 // Compare validates both model variants against a simulated execution.
@@ -451,6 +539,9 @@ func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareRespo
 	s.compareReqs.Add(1)
 	if err := req.validate(s.opts.SimReps); err != nil {
 		return CompareResponse{}, invalid(err)
+	}
+	if err := s.resolveProfile(req.Profile, &req.resolved); err != nil {
+		return CompareResponse{}, err
 	}
 	v, cached, err := s.cachedCompute(ctx, compareKey(req), func() (any, error) {
 		return s.runCompare(ctx, req)
@@ -460,6 +551,10 @@ func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareRespo
 	}
 	out := v.(CompareResponse)
 	out.Cached = cached
+	if req.resolved != nil {
+		out.Profile = req.resolved.info.Name
+		out.ProfileVersion = req.resolved.info.Version
+	}
 	return out, nil
 }
 
@@ -488,11 +583,16 @@ func (s *Service) runCompare(ctx context.Context, req CompareRequest) (CompareRe
 		return CompareResponse{}, err
 	}
 	defer s.release()
-	fj, err := core.Predict(core.Config{Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: core.EstimatorForkJoin})
+	cfg := core.Config{Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: core.EstimatorForkJoin}
+	if req.resolved != nil {
+		cfg.History = req.resolved.history
+	}
+	fj, err := core.Predict(cfg)
 	if err != nil {
 		return CompareResponse{}, err
 	}
-	tp, err := core.Predict(core.Config{Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: core.EstimatorTripathi})
+	cfg.Estimator = core.EstimatorTripathi
+	tp, err := core.Predict(cfg)
 	if err != nil {
 		return CompareResponse{}, err
 	}

@@ -8,12 +8,11 @@ package trace
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"hadoop2perf/internal/mrsim"
-	"hadoop2perf/internal/stats"
 )
 
 // FormatVersion guards against incompatible trace files.
@@ -21,8 +20,10 @@ const FormatVersion = 1
 
 // Document is the on-disk trace layout.
 type Document struct {
-	Version int          `json:"version"`
-	Result  mrsim.Result `json:"result"`
+	// Version is the trace format version (FormatVersion).
+	Version int `json:"version"`
+	// Result is the recorded execution.
+	Result mrsim.Result `json:"result"`
 }
 
 // Write serializes a simulation result as an indented JSON trace.
@@ -32,8 +33,10 @@ func Write(w io.Writer, res mrsim.Result) error {
 	return enc.Encode(Document{Version: FormatVersion, Result: res})
 }
 
-// Read parses a trace document and validates its version and basic sanity
-// (non-negative times, End >= Start for every task).
+// Read parses a trace document and validates its version and basic sanity:
+// every time and demand is finite, End >= Start for every task, and every
+// job carries at least one task record (a taskless job has nothing the
+// profile fitter could learn from and signals a truncated history export).
 func Read(r io.Reader) (mrsim.Result, error) {
 	var doc Document
 	dec := json.NewDecoder(r)
@@ -43,64 +46,93 @@ func Read(r io.Reader) (mrsim.Result, error) {
 	if doc.Version != FormatVersion {
 		return mrsim.Result{}, fmt.Errorf("trace: unsupported version %d (want %d)", doc.Version, FormatVersion)
 	}
-	for _, j := range doc.Result.Jobs {
-		if j.End < j.Start || j.Start < j.Submit {
-			return mrsim.Result{}, fmt.Errorf("trace: job %d has inconsistent times", j.JobID)
-		}
-		for _, t := range j.Tasks {
-			if t.End < t.Start || t.Start < 0 {
-				return mrsim.Result{}, fmt.Errorf("trace: job %d %s task %d has inconsistent times",
-					j.JobID, t.Class, t.TaskID)
-			}
-		}
+	if err := Validate(doc.Result); err != nil {
+		return mrsim.Result{}, err
 	}
 	return doc.Result, nil
 }
 
+// Validate checks a trace result's basic sanity independently of its wire
+// form — Read applies it after decoding, and consumers accepting
+// already-parsed results (the service's calibration API) apply it to inputs
+// that never passed through Read.
+func Validate(res mrsim.Result) error {
+	for _, j := range res.Jobs {
+		if !finite(j.Submit, j.Start, j.End, j.Response) {
+			return fmt.Errorf("trace: job %d has non-finite times", j.JobID)
+		}
+		if j.End < j.Start || j.Start < j.Submit {
+			return fmt.Errorf("trace: job %d has inconsistent times", j.JobID)
+		}
+		if len(j.Tasks) == 0 {
+			return fmt.Errorf("trace: job %d has no task records", j.JobID)
+		}
+		for _, t := range j.Tasks {
+			if !finite(t.Start, t.End, t.CPU, t.Disk, t.Network) {
+				return fmt.Errorf("trace: job %d %s task %d has non-finite values",
+					j.JobID, t.Class, t.TaskID)
+			}
+			if t.End < t.Start || t.Start < 0 {
+				return fmt.Errorf("trace: job %d %s task %d has inconsistent times",
+					j.JobID, t.Class, t.TaskID)
+			}
+			if t.CPU < 0 || t.Disk < 0 || t.Network < 0 {
+				// Negative service demands are physically impossible and would
+				// flow straight into the model's MVA step.
+				return fmt.Errorf("trace: job %d %s task %d has negative demands",
+					j.JobID, t.Class, t.TaskID)
+			}
+		}
+	}
+	return nil
+}
+
+// finite reports whether every value is a finite float (no NaN, no ±Inf).
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // ClassProfile aggregates observed statistics for one task class.
 type ClassProfile struct {
+	// Count is the number of observed tasks of the class.
 	Count int
 	// MeanResponse and CVResponse describe observed wall-clock durations.
 	MeanResponse float64
-	CVResponse   float64
+	CVResponse   float64 // see MeanResponse
 	// MeanCPU, MeanDisk and MeanNetwork are observed mean service demands at
 	// the model's centers (the residence-time initialization of §4.2.1).
 	MeanCPU     float64
-	MeanDisk    float64
-	MeanNetwork float64
+	MeanDisk    float64 // see MeanCPU
+	MeanNetwork float64 // see MeanCPU
 }
 
 // Profile is the per-class job profile extracted from a trace.
 type Profile struct {
+	// Classes maps each observed task class to its aggregate statistics.
 	Classes map[mrsim.TaskClass]ClassProfile
 }
 
-// Extract computes a Profile across all jobs of a trace.
+// Extract computes a Profile across all jobs of a trace: the untrimmed
+// special case of Fit, re-keyed by the trace's own class names.
 func Extract(res mrsim.Result) (Profile, error) {
-	if len(res.Jobs) == 0 {
-		return Profile{}, errors.New("trace: empty result")
+	fit, err := Fit(res, FitOptions{})
+	if err != nil {
+		return Profile{}, err
 	}
-	durations := map[mrsim.TaskClass][]float64{}
-	cpud := map[mrsim.TaskClass][]float64{}
-	diskd := map[mrsim.TaskClass][]float64{}
-	netd := map[mrsim.TaskClass][]float64{}
-	for _, j := range res.Jobs {
-		for _, t := range j.Tasks {
-			durations[t.Class] = append(durations[t.Class], t.Duration())
-			cpud[t.Class] = append(cpud[t.Class], t.CPU)
-			diskd[t.Class] = append(diskd[t.Class], t.Disk)
-			netd[t.Class] = append(netd[t.Class], t.Network)
-		}
-	}
-	p := Profile{Classes: map[mrsim.TaskClass]ClassProfile{}}
-	for class, ds := range durations {
-		p.Classes[class] = ClassProfile{
-			Count:        len(ds),
-			MeanResponse: stats.Mean(ds),
-			CVResponse:   stats.CV(ds),
-			MeanCPU:      stats.Mean(cpud[class]),
-			MeanDisk:     stats.Mean(diskd[class]),
-			MeanNetwork:  stats.Mean(netd[class]),
+	p := Profile{Classes: make(map[mrsim.TaskClass]ClassProfile, len(fit.Classes))}
+	for cls, fc := range fit.Classes {
+		p.Classes[taskClassOf(cls)] = ClassProfile{
+			Count:        fc.Samples,
+			MeanResponse: fc.Stats.MeanResponse,
+			CVResponse:   fc.Stats.CV,
+			MeanCPU:      fc.Stats.MeanCPU,
+			MeanDisk:     fc.Stats.MeanDisk,
+			MeanNetwork:  fc.Stats.MeanNetwork,
 		}
 	}
 	return p, nil

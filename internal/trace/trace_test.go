@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -79,6 +80,55 @@ func TestReadRejectsNegativeTimes(t *testing.T) {
 	doc2 := `{"version":1,"result":{"jobs":[{"job":0,"submit":4,"start":1,"end":9,"response":5,"tasks":[]}]}}`
 	if _, err := Read(strings.NewReader(doc2)); err == nil {
 		t.Error("start<submit accepted")
+	}
+}
+
+func TestReadRejectsTasklessJobs(t *testing.T) {
+	// A job without a single task record cannot seed a profile fit and
+	// signals a truncated history export.
+	doc := `{"version":1,"result":{"jobs":[{"job":0,"submit":0,"start":1,"end":9,"response":9,"tasks":[]}]}}`
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("taskless job accepted")
+	}
+}
+
+func TestReadRejectsNonFiniteValues(t *testing.T) {
+	// JSON itself cannot carry NaN/Inf literals, but out-of-range exponents
+	// must still fail loudly rather than decode to garbage.
+	doc := `{"version":1,"result":{"jobs":[{"job":0,"submit":0,"start":1,"end":9,"response":9,
+		"tasks":[{"job":0,"class":"map","task":0,"node":0,"start":0,"end":1e999}]}]}}`
+	if _, err := Read(strings.NewReader(doc)); err == nil {
+		t.Error("overflowing task end accepted")
+	}
+	// Validate guards results that never passed through JSON (library callers
+	// handing a constructed mrsim.Result to the calibration API).
+	bad := mrsim.Result{Jobs: []mrsim.JobResult{{
+		JobID: 0, End: 9, Response: 9,
+		Tasks: []mrsim.TaskRecord{{Class: mrsim.ClassMap, Start: 0, End: math.NaN()}},
+	}}}
+	if err := Validate(bad); err == nil {
+		t.Error("NaN task end accepted")
+	}
+	bad.Jobs[0].Tasks[0] = mrsim.TaskRecord{Class: mrsim.ClassMap, Start: 0, End: 1, CPU: math.Inf(1)}
+	if err := Validate(bad); err == nil {
+		t.Error("infinite CPU demand accepted")
+	}
+	bad.Jobs[0].Tasks[0] = mrsim.TaskRecord{Class: mrsim.ClassMap, Start: 0, End: 1, CPU: 1}
+	bad.Jobs[0].Submit = math.Inf(-1)
+	if err := Validate(bad); err == nil {
+		t.Error("infinite job submit accepted")
+	}
+}
+
+func TestValidateRejectsNegativeDemands(t *testing.T) {
+	// A finite but negative service demand would seed the MVA step with a
+	// physically impossible value.
+	bad := mrsim.Result{Jobs: []mrsim.JobResult{{
+		JobID: 0, End: 9, Response: 9,
+		Tasks: []mrsim.TaskRecord{{Class: mrsim.ClassMap, Start: 0, End: 1, CPU: 5, Disk: -3}},
+	}}}
+	if err := Validate(bad); err == nil {
+		t.Error("negative disk demand accepted")
 	}
 }
 
