@@ -7,9 +7,14 @@
 package hadoop2perf
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"hadoop2perf/internal/bench"
 	"hadoop2perf/internal/core"
@@ -149,7 +154,11 @@ func BenchmarkSimulatorLarge(b *testing.B) {
 
 // BenchmarkPredictBatch compares a cluster-size sweep evaluated through
 // one reusable Predictor (PredictBatch) against fresh per-config Predict
-// calls — the shape the planner produces.
+// calls — the shape the planner produces. The light sweep (1 reducer, 1
+// job) pins the allocation-lean fast path; the contended sweep (4 reducers,
+// 4 concurrent jobs — dozens of outer rounds per point cold) pins the
+// warm-start/acceleration win: outerIters/op and innerIters/op make the
+// convergence work visible, cold vs warm vs the AccelerateOuter opt-in.
 func BenchmarkPredictBatch(b *testing.B) {
 	job, err := workload.NewJob(0, 2*1024, 128, 1, workload.WordCount())
 	if err != nil {
@@ -177,71 +186,163 @@ func BenchmarkPredictBatch(b *testing.B) {
 			}
 		}
 	})
+
+	heavy, err := workload.NewJob(0, 5*1024, 128, 4, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var contended []ModelConfig
+	for n := 2; n <= 17; n++ {
+		contended = append(contended, ModelConfig{Spec: DefaultCluster(n), Job: heavy, NumJobs: 4})
+	}
+	runContended := func(b *testing.B, mutate func(*ModelConfig)) {
+		b.ReportAllocs()
+		var outer, inner int64
+		for i := 0; i < b.N; i++ {
+			cfgs := make([]ModelConfig, len(contended))
+			copy(cfgs, contended)
+			for j := range cfgs {
+				mutate(&cfgs[j])
+			}
+			preds, err := PredictBatch(cfgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, p := range preds {
+				outer += int64(p.Iterations)
+				inner += int64(p.InnerIterations)
+			}
+		}
+		b.ReportMetric(float64(outer)/float64(b.N), "outerIters/op")
+		b.ReportMetric(float64(inner)/float64(b.N), "innerIters/op")
+	}
+	b.Run("contended-cold", func(b *testing.B) {
+		runContended(b, func(c *ModelConfig) { c.ColdStart = true })
+	})
+	b.Run("contended-warm", func(b *testing.B) {
+		runContended(b, func(c *ModelConfig) {})
+	})
+	b.Run("contended-warm-accel", func(b *testing.B) {
+		runContended(b, func(c *ModelConfig) { c.AccelerateOuter = true })
+	})
+}
+
+// BenchmarkServiceParallel drives the HTTP handler with concurrent clients
+// mixing cache hits and misses — the contention profile of production
+// traffic. Before the N-way sharded cache, every request (hit or miss)
+// serialized on one LRU mutex; this benchmark (run under -race in CI) pins
+// the sharded layout and hunts data races in warm-start reuse.
+func BenchmarkServiceParallel(b *testing.B) {
+	svc := NewService(ServiceOptions{CacheSize: 4096})
+	h := NewServiceHandler(svc, 30*time.Second)
+
+	// 8 hot request bodies (hits after the first touch) + a per-iteration
+	// trickle of unique inputs (misses).
+	hot := make([][]byte, 8)
+	for i := range hot {
+		hot[i] = []byte(fmt.Sprintf(`{"cluster":{"nodes":%d},"job":{"inputMB":512}}`, 2+i))
+	}
+	var uniq atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			var body []byte
+			if i%8 == 0 { // 1-in-8 unique: a fresh model run
+				body = []byte(fmt.Sprintf(`{"cluster":{"nodes":4},"job":{"inputMB":%f}}`,
+					512+float64(uniq.Add(1))*1e-3))
+			} else {
+				body = hot[i%len(hot)]
+			}
+			i++
+			req := httptest.NewRequest(http.MethodPost, "/v1/predict", bytes.NewReader(body))
+			req.RemoteAddr = "10.0.0.1:1"
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+	m := svc.Metrics()
+	b.ReportMetric(m.HitRate, "hitRate")
 }
 
 // BenchmarkPlanDeadline is the headline planner comparison: one
 // representative deadline query — "how many nodes does this 1 GB job need
 // to finish in time?" over a 64-point node axis — answered by the
-// exhaustive grid vs. the monotone search (bisection + dominance pruning).
-// Each iteration uses a cold cache, so ns/op measures real model work; the
-// predicts/op metric counts actual model executions.
+// exhaustive grid vs. the monotone search (bisection + dominance pruning,
+// its sequential probes threading a warm-start chain). Each iteration uses
+// a cold cache, so ns/op measures real model work; the predicts/op metric
+// counts actual model executions. The -4jobs pair asks the same question
+// for 4 concurrent jobs — the contended regime where each model run spends
+// dozens of outer rounds and the warm chain's savings dominate.
 func BenchmarkPlanDeadline(b *testing.B) {
-	job, err := workload.NewJob(0, 1024, 128, 1, workload.WordCount())
-	if err != nil {
-		b.Fatal(err)
-	}
 	nodes := make([]int, 64)
 	for i := range nodes {
 		nodes[i] = 2 + i
 	}
-	base := PlanRequest{Spec: DefaultCluster(4), Job: job, Nodes: nodes}
+	for _, load := range []struct {
+		suffix  string
+		numJobs int
+	}{
+		{"", 1},
+		{"-4jobs", 4},
+	} {
+		job, err := workload.NewJob(0, 1024, 128, 1, workload.WordCount())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base := PlanRequest{Spec: DefaultCluster(4), Job: job, Nodes: nodes, NumJobs: load.numJobs}
 
-	// Mid-range deadline from one exhaustive pass.
-	setup := NewService(ServiceOptions{})
-	ex := base
-	ex.Exhaustive = true
-	ex.DeadlineSec = 1
-	ref, err := setup.Plan(context.Background(), ex)
-	if err != nil {
-		b.Fatal(err)
-	}
-	lo, hi := ref.Candidates[0].ResponseTime, ref.Candidates[0].ResponseTime
-	for _, c := range ref.Candidates {
-		if c.ResponseTime < lo {
-			lo = c.ResponseTime
+		// Mid-range deadline from one exhaustive pass.
+		setup := NewService(ServiceOptions{})
+		ex := base
+		ex.Exhaustive = true
+		ex.DeadlineSec = 1
+		ref, err := setup.Plan(context.Background(), ex)
+		if err != nil {
+			b.Fatal(err)
 		}
-		if c.ResponseTime > hi {
-			hi = c.ResponseTime
+		lo, hi := ref.Candidates[0].ResponseTime, ref.Candidates[0].ResponseTime
+		for _, c := range ref.Candidates {
+			if c.ResponseTime < lo {
+				lo = c.ResponseTime
+			}
+			if c.ResponseTime > hi {
+				hi = c.ResponseTime
+			}
 		}
-	}
-	deadline := (lo + hi) / 2
+		deadline := (lo + hi) / 2
 
-	run := func(b *testing.B, exhaustive bool) {
-		b.ReportAllocs()
-		var best *PlanCandidate
-		var predicts int64
-		for i := 0; i < b.N; i++ {
-			svc := NewService(ServiceOptions{}) // cold cache per query
-			req := base
-			req.DeadlineSec = deadline
-			req.Exhaustive = exhaustive
-			resp, err := svc.Plan(context.Background(), req)
-			if err != nil {
-				b.Fatal(err)
+		run := func(b *testing.B, exhaustive bool) {
+			b.ReportAllocs()
+			var best *PlanCandidate
+			var predicts int64
+			for i := 0; i < b.N; i++ {
+				svc := NewService(ServiceOptions{}) // cold cache per query
+				req := base
+				req.DeadlineSec = deadline
+				req.Exhaustive = exhaustive
+				resp, err := svc.Plan(context.Background(), req)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resp.Best == nil {
+					b.Fatal("no feasible plan")
+				}
+				best = resp.Best
+				predicts += svc.Metrics().CacheMisses
 			}
-			if resp.Best == nil {
-				b.Fatal("no feasible plan")
+			b.ReportMetric(float64(predicts)/float64(b.N), "predicts/op")
+			if best.Nodes <= 0 {
+				b.Fatal("bogus best")
 			}
-			best = resp.Best
-			predicts += svc.Metrics().CacheMisses
 		}
-		b.ReportMetric(float64(predicts)/float64(b.N), "predicts/op")
-		if best.Nodes <= 0 {
-			b.Fatal("bogus best")
-		}
+		b.Run("grid"+load.suffix, func(b *testing.B) { run(b, true) })
+		b.Run("search"+load.suffix, func(b *testing.B) { run(b, false) })
 	}
-	b.Run("grid", func(b *testing.B) { run(b, true) })
-	b.Run("search", func(b *testing.B) { run(b, false) })
 }
 
 // benchTwoClassSpec is the 2-class cluster of the heterogeneous benchmarks:

@@ -49,6 +49,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
 		profileTTL = flag.Duration("profile-ttl", service.DefaultProfileTTL, "default calibrated-profile lifetime")
 		pprofAddr  = flag.String("pprof-addr", "127.0.0.1:6060", "loopback /debug/pprof listener (empty = disabled)")
+		rateLimit  = flag.Float64("rate-limit", 0, "per-client request rate over /v1/* in req/s (429 + Retry-After past it; 0 = unlimited)")
+		rateBurst  = flag.Int("rate-burst", 0, "per-client burst depth (default 2x -rate-limit)")
 	)
 	flag.Parse()
 
@@ -76,8 +78,12 @@ func main() {
 		log.Printf("pprof on http://%s/debug/pprof/", *pprofAddr)
 	}
 	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           service.NewHandler(svc, service.ServerConfig{Timeout: *timeout}),
+		Addr: *addr,
+		Handler: service.NewHandler(svc, service.ServerConfig{
+			Timeout:   *timeout,
+			RateLimit: *rateLimit,
+			RateBurst: *rateBurst,
+		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		// WriteTimeout outlives the handler timeout so slow requests get a
 		// 504 body instead of a severed connection.

@@ -78,6 +78,9 @@ type (
 	Service = service.Service
 	// ServiceOptions configures a Service.
 	ServiceOptions = service.Options
+	// ServerConfig tunes the HTTP layer of NewServiceHandlerConfig:
+	// timeouts, body caps and per-client rate limits.
+	ServerConfig = service.ServerConfig
 	// ServiceMetrics is a snapshot of service counters.
 	ServiceMetrics = service.Metrics
 	// PredictRequest / SimulateRequest / CompareRequest / PlanRequest are
@@ -140,7 +143,9 @@ func NewJob(id int, inputMB, blockSizeMB float64, reduces int, p Profile) (Job, 
 func Predict(cfg ModelConfig) (Prediction, error) { return core.Predict(cfg) }
 
 // Predictor is a reusable, allocation-lean model evaluator (one goroutine
-// at a time); see NewPredictor.
+// at a time); see NewPredictor. Its PredictWarm method additionally retains
+// converged MVA state and seeds each evaluation from the nearest
+// already-solved neighbor.
 type Predictor = core.Predictor
 
 // NewPredictor returns a reusable model evaluator whose scratch buffers
@@ -149,7 +154,11 @@ type Predictor = core.Predictor
 func NewPredictor() *Predictor { return core.NewPredictor() }
 
 // PredictBatch evaluates many model configurations through one shared
-// evaluator, reusing the timeline/overlap scaffolding across entries.
+// evaluator, reusing the timeline/overlap scaffolding across entries and
+// warm-starting each entry from its nearest already-solved neighbor in the
+// batch. Results match per-config Predict calls within 1e-6 relative (the
+// property-tested warm-start contract), not bit-exactly; set
+// ModelConfig.ColdStart on an entry to force the bit-identical cold path.
 func PredictBatch(cfgs []ModelConfig) ([]Prediction, error) { return core.PredictBatch(cfgs) }
 
 // EstimateResources predicts per-class and total resource consumption and
@@ -192,6 +201,13 @@ func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 // timeout selects the 30-second default.
 func NewServiceHandler(s *Service, timeout time.Duration) http.Handler {
 	return service.NewHandler(s, service.ServerConfig{Timeout: timeout})
+}
+
+// NewServiceHandlerConfig is NewServiceHandler with full HTTP-layer tuning:
+// body caps and per-client token-bucket rate limiting (429 + Retry-After
+// past ServerConfig.RateLimit req/s per client IP).
+func NewServiceHandlerConfig(s *Service, cfg ServerConfig) http.Handler {
+	return service.NewHandler(s, cfg)
 }
 
 // PredictARIA computes the ARIA baseline bounds.

@@ -102,9 +102,9 @@ const (
 	// DefaultLeafCV is used when no history trace supplies per-class CVs; it
 	// reflects task-time dispersion of a lightly-jittered Hadoop task.
 	DefaultLeafCV = 0.12
-	// damping blends successive class-response estimates to stabilize the
-	// outer fixed point.
-	damping = 0.5
+	// DefaultDamping blends successive class-response estimates to stabilize
+	// the outer fixed point: next = Damping·prev + (1−Damping)·new.
+	DefaultDamping = 0.5
 )
 
 // ClassStats carries per-class initialization data.
@@ -129,10 +129,28 @@ type Config struct {
 	// Estimator selects the tree estimator; default fork/join.
 	Estimator Estimator
 	// Epsilon is the convergence threshold on the job response time
-	// (default 1e-7, the paper's recommended value).
+	// (default 1e-7, the paper's recommended value). Zero selects the
+	// default; negative values are rejected.
 	Epsilon float64
 	// MaxIterations bounds the outer loop (default 200).
 	MaxIterations int
+	// Damping is the weight of the *previous* iterate in the outer
+	// class-response update (next = Damping·prev + (1−Damping)·new). Zero
+	// selects DefaultDamping (0.5); values outside (0, 1] are rejected, so
+	// acceleration experiments can sweep it without recompiling.
+	Damping float64
+	// ColdStart forces the cold A1 initialization even on the warm-start
+	// paths (PredictWarm, PredictBatch): with it set, every evaluation is
+	// bit-identical to a plain Predict call.
+	ColdStart bool
+	// AccelerateOuter enables safeguarded Aitken Δ² extrapolation of the
+	// outer damped class-response iteration (on any path, cold or warm) —
+	// the contended regime's dozens of outer rounds collapse to a handful.
+	// The accelerated trajectory converges to the same fixed point but may
+	// stop within ~1e-5 relative of the plain path's answer (the ε-test's
+	// own resolution on slow tails), which is why it is an explicit opt-in
+	// rather than part of the 1e-6-contracted warm default.
+	AccelerateOuter bool
 	// TripathiCVFloor floors leaf CVs for the Tripathi estimator, which
 	// assumes exponential-family task times (default 0.15).
 	TripathiCVFloor float64
@@ -164,6 +182,21 @@ func (c *Config) applyDefaults() {
 	if c.PAttenuation <= 0 {
 		c.PAttenuation = DefaultPAttenuation
 	}
+	if c.Damping <= 0 {
+		c.Damping = DefaultDamping
+	}
+}
+
+// validateTuning rejects out-of-range convergence knobs before the zero
+// values are replaced by defaults.
+func (c *Config) validateTuning() error {
+	if c.Damping < 0 || c.Damping > 1 {
+		return fmt.Errorf("core: damping %v outside (0, 1]", c.Damping)
+	}
+	if c.Epsilon < 0 {
+		return fmt.Errorf("core: epsilon %v must be positive", c.Epsilon)
+	}
+	return nil
 }
 
 // Prediction is the model output.
@@ -175,6 +208,14 @@ type Prediction struct {
 	// ε-test passed before MaxIterations.
 	Iterations int
 	Converged  bool
+	// InnerIterations is the total number of MVA fixed-point sweeps across
+	// all outer iterations — with Iterations, the observable cost of the
+	// prediction (surfaced by the service's /v1/metrics).
+	InnerIterations int
+	// WarmStarted reports whether this prediction was seeded from a
+	// previously converged neighbor (PredictWarm) instead of the cold A1
+	// initialization.
+	WarmStarted bool
 	// ClassResponse is the final per-class mean task response time.
 	ClassResponse map[timeline.Class]float64
 	// Timeline and Tree are the final iteration's artifacts (inspection,
@@ -236,6 +277,14 @@ type Predictor struct {
 	// Per-iteration lookup tables, cleared instead of reallocated.
 	lanes  map[laneKey]laneWindow
 	respOf map[classTask]float64
+
+	// Warm-start state (warm.go): a small pool of converged solutions
+	// PredictWarm seeds from, scratch for viewing a pooled flat residence
+	// matrix as solver rows, and the final MVA step of the last prediction
+	// (aliases solver scratch; consumed by PredictWarm's recorder).
+	warm     warmPool
+	seedRows [][]float64
+	lastStep mva.OverlapResult
 }
 
 // hwView is the per-prediction hardware resolution of a cluster spec: the
@@ -347,15 +396,18 @@ func Predict(cfg Config) (Prediction, error) {
 }
 
 // PredictBatch evaluates a batch of configurations through one shared
-// evaluator, reusing the timeline/overlap scaffolding across entries. Same
-// results as calling Predict per config, with far fewer allocations for
-// batches whose entries share a task-count shape (e.g. a planner's
-// cluster-size sweep of one job). Stops at the first failing config.
+// evaluator, reusing the timeline/overlap scaffolding across entries and
+// warm-starting each entry from its nearest already-solved neighbor in the
+// batch (PredictWarm): contended sweeps spend several times fewer MVA
+// sweeps per point. Results match per-config Predict calls within the
+// warm-start tolerance (1e-6 relative, property-tested); set
+// Config.ColdStart for bit-identical cold runs. Stops at the first failing
+// config.
 func PredictBatch(cfgs []Config) ([]Prediction, error) {
 	p := NewPredictor()
 	out := make([]Prediction, len(cfgs))
 	for i, cfg := range cfgs {
-		pred, err := p.Predict(cfg)
+		pred, err := p.PredictWarm(cfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
 		}
@@ -364,8 +416,31 @@ func PredictBatch(cfgs []Config) ([]Prediction, error) {
 	return out, nil
 }
 
-// Predict runs the model to convergence.
+// Predict runs the model to convergence from the cold A1 initialization —
+// the paper's algorithm verbatim, bit-stable across releases (pinned by the
+// homogeneous-equivalence goldens). See PredictWarm for the accelerated
+// warm-start path.
 func (p *Predictor) Predict(cfg Config) (Prediction, error) {
+	return p.predict(cfg, nil, false)
+}
+
+// predict runs the model to convergence. A non-nil seed warm-starts the
+// first MVA step from a previously converged neighbor's residence matrix;
+// fast additionally chains the inner MVA state across outer iterations and
+// enables inner Aitken acceleration. The *outer* class-response trajectory
+// is deliberately never seeded from a neighbor: the timeline's discrete
+// placement gives the outer fixed point multiple self-consistent basins,
+// and seeding across a parity boundary was observed to land in the
+// neighbor's basin (tens of percent off the cold answer). Inner seeding is
+// basin-safe — the overlap fixed point is a smooth contraction solved to
+// 1e-10, so the outer trajectory tracks the cold one bit-for-bit up to
+// inner-tolerance noise. With seed == nil and fast == false the iteration
+// is exactly the historical cold path; cfg.AccelerateOuter opts either
+// path into outer Aitken extrapolation.
+func (p *Predictor) predict(cfg Config, seed *warmEntry, fast bool) (Prediction, error) {
+	if err := cfg.validateTuning(); err != nil {
+		return Prediction{}, err
+	}
 	cfg.applyDefaults()
 	if err := cfg.Spec.Validate(); err != nil {
 		return Prediction{}, err
@@ -385,6 +460,8 @@ func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 		tl   *timeline.Timeline
 		tree *ptree.Node
 		err  error
+		warm [][]float64 // inner warm seed for the next MVA step
+		acc  outerAccel
 	)
 	pred := Prediction{ClassResponse: map[timeline.Class]float64{}}
 
@@ -404,15 +481,32 @@ func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 		// A5: overlap-weighted MVA step.
 		taskDemands := p.demandsFor(cfg, tl, classes)
 		p.servers = p.hw.servers(p.servers)
+		if iter == 1 && seed != nil {
+			warm = p.warmResidenceRows(seed, len(tl.Tasks), p.hw.nc)
+			pred.WarmStarted = warm != nil
+		}
 		step, err := p.solver.Step(mva.OverlapInput{
-			Tasks:     taskDemands,
-			Alpha:     alpha,
-			Beta:      beta,
-			Servers:   p.servers,
-			OtherJobs: cfg.NumJobs - 1,
+			Tasks:      taskDemands,
+			Alpha:      alpha,
+			Beta:       beta,
+			Servers:    p.servers,
+			OtherJobs:  cfg.NumJobs - 1,
+			Warm:       warm,
+			Accelerate: fast,
 		})
 		if err != nil {
 			return Prediction{}, err
+		}
+		pred.InnerIterations += step.Iterations
+		// Retain the latest MVA state for warm-start recording (PredictWarm);
+		// the matrices alias solver scratch, valid until the next Step.
+		p.lastStep = step
+		if fast {
+			// Chain the inner fixed point: the next outer iteration's MVA
+			// step starts from this one's converged residence (the demands
+			// and overlaps move only as far as the damped class responses
+			// do, so the old solution is a near-answer).
+			warm = step.Residence
 		}
 		// Aggregate per class with damping.
 		var newResp [numClasses]float64
@@ -422,7 +516,7 @@ func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 			if nr <= 0 {
 				continue
 			}
-			cd.response = damping*cd.response + (1-damping)*nr
+			cd.response = cfg.Damping*cd.response + (1-cfg.Damping)*nr
 			classes[cls] = cd
 		}
 		// A6: job response from the tree + convergence test.
@@ -433,11 +527,14 @@ func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 		total += cfg.Job.Profile.AMStartup
 		pred.Iterations = iter
 		pred.ResponseTime = total
-		if math.Abs(total-prevTotal) <= cfg.Epsilon {
+		if math.Abs(total-prevTotal) <= cfg.Epsilon && !acc.justExtrapolated {
 			pred.Converged = true
 			break
 		}
 		prevTotal = total
+		if cfg.AccelerateOuter {
+			acc.observe(classes)
+		}
 	}
 	for cls, cd := range classes {
 		pred.ClassResponse[cls] = cd.response

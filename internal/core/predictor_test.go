@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"testing"
 
 	"hadoop2perf/internal/cluster"
@@ -56,6 +57,10 @@ func TestPredictorReuseMatchesFresh(t *testing.T) {
 	}
 }
 
+// PredictBatch warm-starts each entry from its already-solved neighbors, so
+// results match per-config cold Predict calls within the warm-start
+// tolerance (1e-6 relative, the contract of warm_test.go) rather than
+// bit-exactly; Config.ColdStart restores exact equality.
 func TestPredictBatchMatchesIndividual(t *testing.T) {
 	job, err := workload.NewJob(0, 2*1024, 128, 4, workload.WordCount())
 	if err != nil {
@@ -77,9 +82,33 @@ func TestPredictBatchMatchesIndividual(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if batch[i].ResponseTime != one.ResponseTime {
-			t.Errorf("config %d (n=%d): batch %v != individual %v",
-				i, cfg.Spec.NumNodes, batch[i].ResponseTime, one.ResponseTime)
+		if rel := math.Abs(batch[i].ResponseTime-one.ResponseTime) / one.ResponseTime; rel > 1e-6 {
+			t.Errorf("config %d (n=%d): batch %v vs individual %v (rel %.2e)",
+				i, cfg.Spec.NumNodes, batch[i].ResponseTime, one.ResponseTime, rel)
+		}
+	}
+
+	// The escape hatch: cold-started batches are bit-identical to Predict.
+	cold := make([]Config, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg.ColdStart = true
+		cold[i] = cfg
+	}
+	coldBatch, err := PredictBatch(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		one, err := Predict(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coldBatch[i].ResponseTime != one.ResponseTime {
+			t.Errorf("cold config %d (n=%d): batch %v != individual %v",
+				i, cfg.Spec.NumNodes, coldBatch[i].ResponseTime, one.ResponseTime)
+		}
+		if coldBatch[i].WarmStarted {
+			t.Errorf("cold config %d reported WarmStarted", i)
 		}
 	}
 }

@@ -101,10 +101,30 @@ type ApproxResult struct {
 	Iterations int
 }
 
+// SBOptions tunes the Schweitzer–Bard fixed point beyond the classic knobs.
+type SBOptions struct {
+	// Warm seeds the per-class queue lengths (one row of `centers` values per
+	// class) instead of the uniform spread — e.g. the QueueLen of a previous
+	// solve at a nearby population. Rows are renormalized to the class
+	// population (the iteration's invariant); a missing, misshapen or
+	// degenerate row falls back to the uniform cold start for that class.
+	Warm [][]float64
+	// Accelerate enables safeguarded Aitken Δ² extrapolation on the queue
+	// lengths: every third sweep the geometric tail is extrapolated, falling
+	// back to the plain iterate wherever the safeguards reject the step.
+	Accelerate bool
+}
+
 // SchweitzerBard runs the approximate multiclass MVA fixed point: the
 // arrival-instant queue length of class c at center k is approximated by
 // sum_j q_jk - q_ck/N_c. Iterates until queue lengths move less than tol.
 func SchweitzerBard(classes []ClassSpec, centers int, tol float64, maxIter int) (ApproxResult, error) {
+	return SchweitzerBardOpt(classes, centers, tol, maxIter, SBOptions{})
+}
+
+// SchweitzerBardOpt is SchweitzerBard with warm-start and acceleration
+// options; the zero SBOptions reproduces SchweitzerBard exactly.
+func SchweitzerBardOpt(classes []ClassSpec, centers int, tol float64, maxIter int, opts SBOptions) (ApproxResult, error) {
 	if len(classes) == 0 {
 		return ApproxResult{}, errors.New("mva: need at least one class")
 	}
@@ -129,13 +149,20 @@ func SchweitzerBard(classes []ClassSpec, centers int, tol float64, maxIter int) 
 	q := make([][]float64, nc)
 	for c := range q {
 		q[c] = make([]float64, centers)
-		// Spread the class population evenly as the starting point.
-		for k := 0; k < centers; k++ {
-			q[c][k] = float64(classes[c].Population) / float64(centers)
+		pop := float64(classes[c].Population)
+		if !warmRow(q[c], opts.Warm, c, pop) {
+			// Spread the class population evenly as the starting point.
+			for k := 0; k < centers; k++ {
+				q[c][k] = pop / float64(centers)
+			}
 		}
 	}
 	resp := make([]float64, nc)
 	thr := make([]float64, nc)
+	var acc Aitken
+	if opts.Accelerate {
+		acc.Init(nc * centers)
+	}
 	var it int
 	for it = 0; it < maxIter; it++ {
 		maxDelta := 0.0
@@ -168,8 +195,134 @@ func SchweitzerBard(classes []ClassSpec, centers int, tol float64, maxIter int) 
 		if maxDelta < tol {
 			break
 		}
+		if opts.Accelerate {
+			// Queue lengths are nonnegative; the renormalizing sweep above
+			// restores the per-class population invariant after any
+			// extrapolation, so the floor is the only safeguard needed here.
+			acc.ObserveRows(q, func(int) float64 { return 0 })
+		}
 	}
 	return ApproxResult{ResponseTime: resp, Throughput: thr, QueueLen: q, Iterations: it + 1}, nil
+}
+
+// warmRow seeds one class's queue-length row from a warm matrix, normalized
+// to the class population. It reports false (leaving dst untouched) when the
+// warm row is absent, misshapen or degenerate.
+func warmRow(dst []float64, warm [][]float64, c int, pop float64) bool {
+	if c >= len(warm) || len(warm[c]) != len(dst) {
+		return false
+	}
+	sum := 0.0
+	for _, v := range warm[c] {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return false
+	}
+	scale := pop / sum
+	for k, v := range warm[c] {
+		dst[k] = v * scale
+	}
+	return true
+}
+
+// Aitken is the shared safeguarded Δ² accelerator behind every
+// fixed-point loop in the model (the overlap solver, Schweitzer–Bard, and
+// core's outer class-response iteration): it records two plain iterates
+// (x0, x1), and on the third (x2) extrapolates each component's geometric
+// tail — x* = x2 − (Δx1)²/(Δ²x0) — wherever the safeguards hold: a
+// non-degenerate second difference, a bounded step (≤ 8·|Δx1|, so a
+// near-stalled denominator cannot fling the iterate), a finite result and a
+// caller-supplied component floor. Components failing any check keep the
+// plain iterate — the "safeguarded fallback to plain damping". Convergence
+// must always be declared on plain sweep deltas, never on an extrapolated
+// one: callers Observe *after* their tolerance check. The zero Aitken is
+// not ready; call Init first.
+type Aitken struct {
+	x0, x1 []float64
+	phase  int
+}
+
+// Init sizes the accelerator for n-component iterates and resets its phase.
+func (a *Aitken) Init(n int) {
+	a.x0 = make([]float64, n)
+	a.x1 = make([]float64, n)
+	a.phase = 0
+}
+
+// Observe feeds the current iterate (flat, same length as Init); on every
+// third call it writes the extrapolated components back into cur. floor(i)
+// is the smallest admissible value of component i. Extrapolated reports
+// whether this call changed cur.
+func (a *Aitken) Observe(cur []float64, floor func(int) float64) (extrapolated bool) {
+	switch a.phase {
+	case 0:
+		copy(a.x0, cur)
+		a.phase = 1
+	case 1:
+		copy(a.x1, cur)
+		a.phase = 2
+	default:
+		for i, x2 := range cur {
+			x0, x1 := a.x0[i], a.x1[i]
+			d1, d2 := x1-x0, x2-x1
+			den := d2 - d1
+			if math.Abs(den) <= 1e-12*(1+math.Abs(x2)) {
+				continue // stalled or already converged component
+			}
+			x := x2 - d2*d2/den
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < floor(i) || math.Abs(x-x2) > 8*math.Abs(d2) {
+				continue // safeguard: keep the plain iterate
+			}
+			cur[i] = x
+			extrapolated = true
+		}
+		a.phase = 0
+	}
+	return extrapolated
+}
+
+// ObserveRows is Observe over a row-matrix iterate (flattened view).
+func (a *Aitken) ObserveRows(rows [][]float64, floor func(int) float64) {
+	// Flatten through a scratch-free two-pass: copy into the phase buffers
+	// or extrapolate in place, reusing observe's logic per row segment.
+	off := 0
+	switch a.phase {
+	case 0:
+		for _, r := range rows {
+			copy(a.x0[off:off+len(r)], r)
+			off += len(r)
+		}
+		a.phase = 1
+	case 1:
+		for _, r := range rows {
+			copy(a.x1[off:off+len(r)], r)
+			off += len(r)
+		}
+		a.phase = 2
+	default:
+		for _, r := range rows {
+			for k, x2 := range r {
+				i := off + k
+				x0, x1 := a.x0[i], a.x1[i]
+				d1, d2 := x1-x0, x2-x1
+				den := d2 - d1
+				if math.Abs(den) <= 1e-12*(1+math.Abs(x2)) {
+					continue
+				}
+				x := x2 - d2*d2/den
+				if math.IsNaN(x) || math.IsInf(x, 0) || x < floor(i) || math.Abs(x-x2) > 8*math.Abs(d2) {
+					continue
+				}
+				r[k] = x
+			}
+			off += len(r)
+		}
+		a.phase = 0
+	}
 }
 
 // TaskDemand describes one task (a leaf of the precedence tree) to the
@@ -195,6 +348,20 @@ type OverlapInput struct {
 	// Tol and MaxIter bound the inner fixed point.
 	Tol     float64
 	MaxIter int
+	// Warm optionally seeds the fixed point with a prior residence matrix
+	// (one row of per-center residence times per task) instead of the cold
+	// residence=demand start — e.g. the previous outer iteration's converged
+	// Residence, or a neighboring configuration's. Entries are clamped from
+	// below by the task demand (a valid residence never undercuts it, since
+	// the slowdown factor is ≥ 1); a misshapen or non-finite row falls back
+	// to the cold start for that task. Warm may alias the solver's own
+	// previous result.
+	Warm [][]float64
+	// Accelerate enables safeguarded Aitken Δ² extrapolation of the
+	// residence iterates (every third sweep, component-wise, falling back to
+	// the plain damped iterate wherever the safeguards reject the step).
+	// Convergence is still only ever declared on a plain sweep's delta.
+	Accelerate bool
 }
 
 // OverlapResult holds per-task response and residence times.
@@ -224,6 +391,7 @@ type OverlapSolver struct {
 	resp     []float64
 	servers  []float64
 	rho      []float64 // n×k visit-probability matrix, rebuilt per sweep
+	acc      Aitken    // Δ² accelerator scratch (Accelerate inputs only)
 	n, k     int
 }
 
@@ -320,19 +488,41 @@ func (s *OverlapSolver) Step(in OverlapInput) (OverlapResult, error) {
 		maxIter = 500
 	}
 
-	// Initialize residence = demand.
+	// Initialize residence = demand, or from the warm matrix where it
+	// supplies a valid (≥ demand, finite) value. Note the warm rows may
+	// alias s.res itself (the previous Step's result): the element-wise
+	// max below is alias-safe because entry (i,c) only reads entry (i,c).
 	for i := 0; i < n; i++ {
-		tot := 0.0
-		for c, d := range in.Tasks[i].Demands {
-			s.res[i][c] = d
-			tot += d
+		var row []float64
+		if i < len(in.Warm) && len(in.Warm[i]) == k {
+			row = in.Warm[i]
 		}
-		if tot <= 0 {
+		tot, demTot := 0.0, 0.0
+		for c, d := range in.Tasks[i].Demands {
+			demTot += d
+			v := d
+			if row != nil && d > 0 && row[c] > d && !math.IsInf(row[c], 0) && !math.IsNaN(row[c]) {
+				v = row[c]
+			}
+			if d == 0 {
+				v = 0
+			}
+			s.res[i][c] = v
+			tot += v
+		}
+		if demTot <= 0 {
 			return OverlapResult{}, fmt.Errorf("mva: task %d has zero total demand", i)
 		}
 		s.resp[i] = tot
 	}
 
+	if in.Accelerate {
+		if len(s.acc.x0) != n*k {
+			s.acc.Init(n * k)
+		} else {
+			s.acc.phase = 0
+		}
+	}
 	otherJobs := float64(in.OtherJobs)
 	var it int
 	for it = 0; it < maxIter; it++ {
@@ -384,6 +574,19 @@ func (s *OverlapSolver) Step(in OverlapInput) (OverlapResult, error) {
 		s.resFlat, s.nextFlat = s.nextFlat, s.resFlat
 		if maxDelta < tol {
 			break
+		}
+		if in.Accelerate {
+			if s.acc.Observe(s.resFlat, func(idx int) float64 { return in.Tasks[idx/k].Demands[idx%k] }) {
+				// The extrapolated matrix changed the row sums the next
+				// sweep's visit probabilities divide by.
+				for i := 0; i < n; i++ {
+					tot := 0.0
+					for c := 0; c < k; c++ {
+						tot += s.res[i][c]
+					}
+					s.resp[i] = tot
+				}
+			}
 		}
 	}
 	return OverlapResult{Residence: s.res, Response: s.resp, Iterations: it + 1}, nil

@@ -317,3 +317,210 @@ func TestOverlapStepMonotonicityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// warmUp solves one input cold and returns a deep copy of its queue matrix
+// (the returned QueueLen is freshly allocated per solve, but copy anyway so
+// the test owns its seed).
+func warmUp(t *testing.T, classes []ClassSpec, centers int) ([][]float64, ApproxResult) {
+	t.Helper()
+	cold, err := SchweitzerBard(classes, centers, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := make([][]float64, len(cold.QueueLen))
+	for c, row := range cold.QueueLen {
+		warm[c] = append([]float64(nil), row...)
+	}
+	return warm, cold
+}
+
+func TestSchweitzerBardWarmMatchesCold(t *testing.T) {
+	classes := []ClassSpec{
+		{Name: "a", Population: 6, Demands: []float64{3, 1, 0.5}},
+		{Name: "b", Population: 3, Demands: []float64{0.5, 2, 1}},
+	}
+	warm, cold := warmUp(t, classes, 3)
+
+	// Perturb the populations slightly — the neighbor-seeding scenario.
+	near := []ClassSpec{
+		{Name: "a", Population: 7, Demands: classes[0].Demands},
+		{Name: "b", Population: 3, Demands: classes[1].Demands},
+	}
+	coldNear, err := SchweitzerBard(near, 3, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range []SBOptions{{Warm: warm}, {Warm: warm, Accelerate: true}} {
+		warmNear, err := SchweitzerBardOpt(near, 3, 1e-12, 0, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range warmNear.ResponseTime {
+			if !almostEq(warmNear.ResponseTime[c], coldNear.ResponseTime[c], 1e-8) {
+				t.Errorf("opts %+v class %d: warm response %v vs cold %v",
+					opts, c, warmNear.ResponseTime[c], coldNear.ResponseTime[c])
+			}
+		}
+		if warmNear.Iterations > coldNear.Iterations {
+			t.Errorf("opts %+v: warm start used %d iterations, cold %d",
+				opts, warmNear.Iterations, coldNear.Iterations)
+		}
+	}
+	_ = cold
+}
+
+func TestSchweitzerBardWarmRejectsDegenerate(t *testing.T) {
+	classes := []ClassSpec{{Name: "a", Population: 4, Demands: []float64{2, 1}}}
+	cold, err := SchweitzerBard(classes, 2, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, warm := range map[string][][]float64{
+		"misshapen": {{1, 2, 3}},
+		"negative":  {{-1, 2}},
+		"nan":       {{math.NaN(), 1}},
+		"zero":      {{0, 0}},
+		"short":     {},
+	} {
+		got, err := SchweitzerBardOpt(classes, 2, 1e-12, 0, SBOptions{Warm: warm})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !almostEq(got.ResponseTime[0], cold.ResponseTime[0], 1e-9) {
+			t.Errorf("%s warm row: response %v, want cold %v", name, got.ResponseTime[0], cold.ResponseTime[0])
+		}
+	}
+}
+
+// contendedInput builds a slowly-converging overlap fixed point: heavy
+// intra- and inter-job contention over two centers of unequal demand.
+func contendedInput(n int) OverlapInput {
+	tasks := make([]TaskDemand, n)
+	for i := range tasks {
+		tasks[i] = TaskDemand{Demands: []float64{10, 2}}
+	}
+	alpha := make([][][]float64, 2)
+	beta := make([][][]float64, 2)
+	for k := 0; k < 2; k++ {
+		alpha[k] = make([][]float64, n)
+		beta[k] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			alpha[k][i] = make([]float64, n)
+			beta[k][i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if i != j {
+					alpha[k][i][j] = 0.9
+				}
+				beta[k][i][j] = 0.4
+			}
+		}
+	}
+	return OverlapInput{Tasks: tasks, Alpha: alpha, Beta: beta, OtherJobs: 3, Tol: 1e-12}
+}
+
+func TestOverlapSolverWarmMatchesCold(t *testing.T) {
+	in := contendedInput(12)
+	var cold OverlapSolver
+	ref, err := cold.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refResp := append([]float64(nil), ref.Response...)
+	warmSeed := make([][]float64, len(ref.Residence))
+	for i, row := range ref.Residence {
+		warmSeed[i] = append([]float64(nil), row...)
+	}
+
+	// Same input warm-started from its own fixed point: near-instant, same
+	// answer.
+	var s OverlapSolver
+	warmIn := in
+	warmIn.Warm = warmSeed
+	got, err := s.Step(warmIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iterations >= ref.Iterations {
+		t.Errorf("warm restart used %d sweeps, cold %d", got.Iterations, ref.Iterations)
+	}
+	for i := range refResp {
+		if !almostEq(got.Response[i], refResp[i], 1e-9) {
+			t.Errorf("task %d: warm %v vs cold %v", i, got.Response[i], refResp[i])
+		}
+	}
+
+	// A perturbed input (one extra competing job) warm-started from the
+	// neighbor: same fixed point as its own cold solve.
+	pert := in
+	pert.OtherJobs = 4
+	var coldP OverlapSolver
+	refP, err := coldP.Step(pert)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refPResp := append([]float64(nil), refP.Response...)
+	pertWarm := pert
+	pertWarm.Warm = warmSeed
+	var sP OverlapSolver
+	gotP, err := sP.Step(pertWarm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refPResp {
+		if !almostEq(gotP.Response[i], refPResp[i], 1e-8) {
+			t.Errorf("perturbed task %d: warm %v vs cold %v", i, gotP.Response[i], refPResp[i])
+		}
+	}
+}
+
+func TestOverlapSolverAccelerateMatchesPlain(t *testing.T) {
+	in := contendedInput(16)
+	plain, err := OverlapStep(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainResp := append([]float64(nil), plain.Response...)
+	accIn := in
+	accIn.Accelerate = true
+	var s OverlapSolver
+	acc, err := s.Step(accIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plainResp {
+		if !almostEq(acc.Response[i], plainResp[i], 1e-8) {
+			t.Errorf("task %d: accelerated %v vs plain %v", i, acc.Response[i], plainResp[i])
+		}
+	}
+	if acc.Iterations > plain.Iterations {
+		t.Errorf("acceleration used %d sweeps, plain %d", acc.Iterations, plain.Iterations)
+	}
+	t.Logf("plain %d sweeps, accelerated %d", plain.Iterations, acc.Iterations)
+}
+
+// The solver's own previous result may be passed back as the warm seed
+// (aliasing its internal buffers) — the documented reuse pattern of the
+// model's outer loop.
+func TestOverlapSolverWarmAliasPrevious(t *testing.T) {
+	var s OverlapSolver
+	in := contendedInput(8)
+	first, err := s.Step(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstResp := append([]float64(nil), first.Response...)
+	again := in
+	again.Warm = first.Residence // aliases s's internal state
+	second, err := s.Step(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Iterations > 2 {
+		t.Errorf("restart from own fixed point took %d sweeps", second.Iterations)
+	}
+	for i := range firstResp {
+		if !almostEq(second.Response[i], firstResp[i], 1e-9) {
+			t.Errorf("task %d drifted: %v vs %v", i, second.Response[i], firstResp[i])
+		}
+	}
+}

@@ -7,10 +7,35 @@ import (
 	"sync"
 )
 
-// lruCache is a mutex-guarded LRU map from canonical request keys to
+// cacheShards is the shard count of the service cache and singleflight
+// table. Requests hash to a shard by key, so concurrent traffic contends on
+// 1/cacheShards of a lock instead of serializing on one global mutex — the
+// fix for the single-mutex LRU that every hit and miss used to funnel
+// through. A power of two keeps the modulo cheap.
+const cacheShards = 16
+
+// shardOf maps a canonical request key to its shard (FNV-1a over the key).
+// Keys are hex SHA-256 digests, so any stable hash spreads them evenly.
+func shardOf(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h % cacheShards
+}
+
+// shardedCache is an N-way sharded LRU map from canonical request keys to
 // completed responses. Values are treated as immutable once inserted: hits
 // return the stored value directly, so callers must not mutate results.
-type lruCache struct {
+// Each shard holds its own mutex, recency list and capacity slice; total
+// capacity is split evenly (rounded up, minimum one entry per shard).
+type shardedCache struct {
+	shards [cacheShards]lruShard
+}
+
+// lruShard is one independently locked LRU slice of the cache.
+type lruShard struct {
 	mu    sync.Mutex
 	max   int
 	order *list.List // front = most recently used
@@ -22,47 +47,82 @@ type lruEntry struct {
 	val any
 }
 
-func newLRUCache(max int) *lruCache {
-	return &lruCache{max: max, order: list.New(), items: make(map[string]*list.Element)}
+func newShardedCache(max int) *shardedCache {
+	perShard := (max + cacheShards - 1) / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &shardedCache{}
+	for i := range c.shards {
+		c.shards[i] = lruShard{max: perShard, order: list.New(), items: make(map[string]*list.Element)}
+	}
+	return c
 }
 
-func (c *lruCache) get(key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+func (c *shardedCache) get(key string) (any, bool) {
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return nil, false
 	}
-	c.order.MoveToFront(el)
+	s.order.MoveToFront(el)
 	return el.Value.(*lruEntry).val, true
 }
 
-func (c *lruCache) add(key string, val any) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.order.MoveToFront(el)
+func (c *shardedCache) add(key string, val any) {
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.order.MoveToFront(el)
 		el.Value.(*lruEntry).val = val
 		return
 	}
-	c.items[key] = c.order.PushFront(&lruEntry{key: key, val: val})
-	for c.order.Len() > c.max {
-		tail := c.order.Back()
-		c.order.Remove(tail)
-		delete(c.items, tail.Value.(*lruEntry).key)
+	s.items[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+	for s.order.Len() > s.max {
+		tail := s.order.Back()
+		s.order.Remove(tail)
+		delete(s.items, tail.Value.(*lruEntry).key)
 	}
 }
 
-func (c *lruCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+func (c *shardedCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// flightGroup deduplicates concurrent identical requests: the first caller
-// for a key computes, later callers for the same key wait for that result
-// instead of recomputing (the classic singleflight pattern, reimplemented
-// here because the module is dependency-free).
+// shardedFlight deduplicates concurrent identical requests shard by shard:
+// the first caller for a key computes, later callers for the same key wait
+// for that result instead of recomputing (the classic singleflight pattern,
+// reimplemented here because the module is dependency-free). Sharding by
+// the same key hash as the cache keeps unrelated keys off each other's
+// registration lock.
+type shardedFlight struct {
+	shards [cacheShards]flightGroup
+}
+
+func newShardedFlight() *shardedFlight {
+	g := &shardedFlight{}
+	for i := range g.shards {
+		g.shards[i].calls = make(map[string]*flightCall)
+	}
+	return g
+}
+
+// do runs fn once per key among concurrent callers (see flightGroup.do).
+func (g *shardedFlight) do(ctx context.Context, key string, fn func() (any, error)) (any, error, bool) {
+	return g.shards[shardOf(key)].do(ctx, key, fn)
+}
+
+// flightGroup is one shard's singleflight table.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -72,10 +132,6 @@ type flightCall struct {
 	done chan struct{}
 	val  any
 	err  error
-}
-
-func newFlightGroup() *flightGroup {
-	return &flightGroup{calls: make(map[string]*flightCall)}
 }
 
 // do runs fn once per key among concurrent callers. The returned bool

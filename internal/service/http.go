@@ -6,7 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"hadoop2perf/internal/cluster"
@@ -28,6 +31,16 @@ type ServerConfig struct {
 	// 16 MiB): trace documents carry per-task records and outgrow the
 	// request-sized default long before they stop being reasonable inputs.
 	CalibrateMaxBodyBytes int64
+	// RateLimit is the per-client sustained request rate over the /v1/*
+	// endpoints, in requests per second (token bucket keyed on the client
+	// IP). Zero disables rate limiting. Rejected requests get HTTP 429 with
+	// a Retry-After header and count into mrserved_rate_limited_total;
+	// /healthz is never limited so liveness probes cannot be starved.
+	RateLimit float64
+	// RateBurst is the token-bucket depth — how many requests a client may
+	// issue back to back before the sustained rate applies (default
+	// max(1, 2×RateLimit)).
+	RateBurst int
 }
 
 const (
@@ -110,13 +123,14 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 			return nil, err
 		}
 		return predictResultWire{
-			ResponseTime:   resp.Prediction.ResponseTime,
-			Iterations:     resp.Prediction.Iterations,
-			Converged:      resp.Prediction.Converged,
-			Estimator:      pr.Estimator,
-			Cached:         resp.Cached,
-			Profile:        resp.Profile,
-			ProfileVersion: resp.ProfileVersion,
+			ResponseTime:    resp.Prediction.ResponseTime,
+			Iterations:      resp.Prediction.Iterations,
+			InnerIterations: resp.Prediction.InnerIterations,
+			Converged:       resp.Prediction.Converged,
+			Estimator:       pr.Estimator,
+			Cached:          resp.Cached,
+			Profile:         resp.Profile,
+			ProfileVersion:  resp.ProfileVersion,
 		}, nil
 	}))
 	calCfg := cfg
@@ -169,7 +183,36 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 		}
 		return s.Plan(ctx, pr)
 	}))
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(math.Max(1, 2*cfg.RateLimit))
+		}
+		return rateLimitMiddleware(s, newRateLimiter(cfg.RateLimit, burst), mux)
+	}
 	return mux
+}
+
+// rateLimitMiddleware rejects over-limit /v1/* requests with 429 +
+// Retry-After before any body is read or pool slot taken. /healthz (and any
+// future non-/v1 path) bypasses the limiter: liveness probes must not
+// compete with traffic for tokens.
+func rateLimitMiddleware(s *Service, limiter *rateLimiter, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/v1/") {
+			if ok, retry := limiter.allow(clientKey(r.RemoteAddr)); !ok {
+				s.rateLimited.Add(1)
+				secs := int(math.Ceil(retry.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				writeError(w, http.StatusTooManyRequests, errors.New("rate limit exceeded; retry later"))
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // validationError marks client mistakes (HTTP 400, vs. 500 for the rest).
@@ -315,11 +358,14 @@ func (p predictWire) toRequest() (PredictRequest, error) {
 }
 
 type predictResultWire struct {
-	ResponseTime float64        `json:"responseTime"`
-	Iterations   int            `json:"iterations"`
-	Converged    bool           `json:"converged"`
-	Estimator    core.Estimator `json:"estimator"`
-	Cached       bool           `json:"cached"`
+	ResponseTime float64 `json:"responseTime"`
+	Iterations   int     `json:"iterations"`
+	// InnerIterations is the total MVA fixed-point sweeps across the outer
+	// rounds — with iterations, the convergence cost of this prediction.
+	InnerIterations int            `json:"innerIterations"`
+	Converged       bool           `json:"converged"`
+	Estimator       core.Estimator `json:"estimator"`
+	Cached          bool           `json:"cached"`
 	// Profile/ProfileVersion echo the calibrated profile snapshot that
 	// seeded this prediction (absent for profile-less requests).
 	Profile        string `json:"profile,omitempty"`

@@ -387,6 +387,35 @@ func TestRoutesDocumented(t *testing.T) {
 	}
 }
 
+// TestMetricsDocumented holds docs/API.md to the Prometheus exposition:
+// every metric family writePrometheus emits must appear in the reference,
+// so new counters cannot ship undocumented.
+func TestMetricsDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "API.md"))
+	if err != nil {
+		t.Fatalf("docs/API.md unreadable: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := writePrometheus(&buf, Metrics{}); err != nil {
+		t.Fatal(err)
+	}
+	families := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		name, ok := strings.CutPrefix(line, "# TYPE ")
+		if !ok {
+			continue
+		}
+		name, _, _ = strings.Cut(name, " ")
+		families++
+		if !bytes.Contains(doc, []byte(name)) {
+			t.Errorf("metric family %q not documented in docs/API.md", name)
+		}
+	}
+	if families < 8 {
+		t.Fatalf("only %d families parsed from the exposition; the checker is miswired", families)
+	}
+}
+
 // TestCustomClusterSpecCamelCase: custom specs follow the API's camelCase
 // convention like every other wire field.
 func TestCustomClusterSpecCamelCase(t *testing.T) {

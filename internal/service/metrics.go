@@ -44,6 +44,10 @@ func writePrometheus(w io.Writer, m Metrics) error {
 		{"mrserved_inflight_sims", "Simulator executions running right now (in-flight workers).", "gauge", "", float64(m.InFlightSims)},
 		{"mrserved_sim_runs_total", "Completed simulator executions.", "counter", "", float64(m.SimRuns)},
 		{"mrserved_profiles_active", "Live (unexpired) calibrated profiles in the registry.", "gauge", "", float64(m.ProfilesActive)},
+		{"mrserved_model_iterations_total", "Model fixed-point iterations spent by computed predictions, by loop (outer damped rounds vs inner MVA sweeps).", "counter", `loop="outer"`, float64(m.ModelOuterIterations)},
+		{"mrserved_model_iterations_total", "", "", `loop="inner"`, float64(m.ModelInnerIterations)},
+		{"mrserved_warm_predictions_total", "Computed predictions seeded from a retained warm-start neighbor.", "counter", "", float64(m.WarmPredictions)},
+		{"mrserved_rate_limited_total", "Requests rejected with 429 by the per-client token-bucket limiter.", "counter", "", float64(m.RateLimited)},
 	}
 	seen := ""
 	for _, mt := range metrics {

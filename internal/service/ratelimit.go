@@ -1,0 +1,94 @@
+package service
+
+import (
+	"math"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxRateClients bounds the limiter's per-client table: when an allow call
+// finds the table past this size, buckets that have fully refilled (idle
+// long enough to hold no history) are pruned inline, so an address-spraying
+// client cannot grow the map without bound.
+const maxRateClients = 4096
+
+// rateLimiter is a per-client token-bucket limiter: each client sustains
+// `rate` requests per second with bursts up to `burst`. It is the first
+// slice of the service-hardening item — protecting the worker pool from a
+// single hot client starving everyone else.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens added per second
+	burst   float64 // bucket depth
+	clients map[string]*tokenBucket
+	now     func() time.Time // injectable clock for tests
+}
+
+// tokenBucket is one client's bucket state under the limiter's lock.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter builds a limiter allowing rate requests/second with bursts
+// of burst (burst < 1 is raised to 1 so a full bucket always admits one
+// request).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		clients: make(map[string]*tokenBucket),
+		now:     time.Now,
+	}
+}
+
+// allow reports whether one request from client may proceed, consuming a
+// token if so. When denied, retryAfter is how long until the next token
+// accrues.
+func (l *rateLimiter) allow(client string) (ok bool, retryAfter time.Duration) {
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.clients[client]
+	if !exists {
+		if len(l.clients) >= maxRateClients {
+			l.prune(now)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / l.rate * float64(time.Second))
+}
+
+// prune drops clients whose buckets have refilled completely — they carry
+// no rate history, so forgetting them is free. Called under the lock.
+func (l *rateLimiter) prune(now time.Time) {
+	for c, b := range l.clients {
+		if math.Min(l.burst, b.tokens+l.rate*now.Sub(b.last).Seconds()) >= l.burst {
+			delete(l.clients, c)
+		}
+	}
+}
+
+// clientKey derives the rate-limit identity of a request's remote address:
+// the bare host/IP, so one client's connections (ephemeral ports) share a
+// bucket. Unparseable addresses fall back to the raw string rather than
+// collapsing into one shared bucket.
+func clientKey(remoteAddr string) string {
+	if host, _, err := net.SplitHostPort(remoteAddr); err == nil {
+		return host
+	}
+	return remoteAddr
+}

@@ -1,0 +1,197 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+// fakeClock is an adjustable time source for bucket math.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func withClock(l *rateLimiter, c *fakeClock) { l.now = c.now }
+
+func TestRateLimiterBucketMath(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(2, 4) // 2 req/s sustained, bursts of 4
+	withClock(l, clk)
+
+	// The full burst is admitted back to back...
+	for i := 0; i < 4; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	// ...then the bucket is dry: denial with a sensible retry hint.
+	ok, retry := l.allow("c")
+	if ok {
+		t.Fatal("5th immediate request admitted")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retryAfter = %v, want (0, 1s] at 2 req/s", retry)
+	}
+
+	// Refill at the sustained rate: 1s buys 2 tokens.
+	clk.advance(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.allow("c"); !ok {
+			t.Fatalf("post-refill request %d denied", i)
+		}
+	}
+	if ok, _ := l.allow("c"); ok {
+		t.Error("3rd post-refill request admitted at 2 req/s")
+	}
+
+	// Clients are independent buckets.
+	if ok, _ := l.allow("other"); !ok {
+		t.Error("fresh client denied by another client's exhaustion")
+	}
+
+	// Long idle caps the bucket at burst, not unbounded credit.
+	clk.advance(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.allow("c"); ok {
+			admitted++
+		}
+	}
+	if admitted != 4 {
+		t.Errorf("after long idle %d requests admitted, want burst=4", admitted)
+	}
+}
+
+func TestRateLimiterPrunesIdleClients(t *testing.T) {
+	clk := newFakeClock()
+	l := newRateLimiter(100, 1)
+	withClock(l, clk)
+	for i := 0; i < maxRateClients; i++ {
+		l.allow("c" + strconv.Itoa(i))
+	}
+	if len(l.clients) != maxRateClients {
+		t.Fatalf("table size %d", len(l.clients))
+	}
+	// All buckets refill within 10ms at 100 req/s; the next new client
+	// triggers a prune instead of unbounded growth.
+	clk.advance(time.Second)
+	l.allow("fresh")
+	if len(l.clients) >= maxRateClients {
+		t.Errorf("table not pruned: %d clients", len(l.clients))
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	for in, want := range map[string]string{
+		"10.1.2.3:5555":    "10.1.2.3",
+		"10.1.2.3:6666":    "10.1.2.3", // same host, other port: same bucket
+		"[2001:db8::1]:80": "2001:db8::1",
+		"garbage":          "garbage",
+	} {
+		if got := clientKey(in); got != want {
+			t.Errorf("clientKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// The middleware end to end: over-limit /v1/* requests get 429 with a
+// Retry-After header and count into the metric; /healthz is never limited.
+func TestRateLimitMiddleware(t *testing.T) {
+	svc := New(Options{Workers: 2, CacheSize: 8})
+	h := NewHandler(svc, ServerConfig{Timeout: 30 * time.Second, RateLimit: 1, RateBurst: 2})
+
+	job, err := workload.NewJob(0, 256, 128, 1, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Predict(context.Background(), PredictRequest{Spec: cluster.Default(2), Job: job}); err != nil {
+		t.Fatal(err) // warm the cache so limited requests would be cheap hits
+	}
+	body := `{"cluster":{"nodes":2},"job":{"inputMB":256}}`
+	do := func(path, addr string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		if path == "/healthz" {
+			req = httptest.NewRequest(http.MethodGet, path, nil)
+		}
+		req.RemoteAddr = addr
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	codes := []int{}
+	for i := 0; i < 4; i++ {
+		codes = append(codes, do("/v1/predict", "10.0.0.1:1000").Code)
+	}
+	if codes[0] != http.StatusOK || codes[1] != http.StatusOK {
+		t.Fatalf("burst requests rejected: %v", codes)
+	}
+	if codes[2] != http.StatusTooManyRequests || codes[3] != http.StatusTooManyRequests {
+		t.Fatalf("over-limit requests not rejected: %v", codes)
+	}
+
+	// The 429 carries a Retry-After and a JSON error body.
+	w := do("/v1/predict", "10.0.0.1:1000")
+	if w.Code != http.StatusTooManyRequests {
+		t.Fatalf("code = %d", w.Code)
+	}
+	if ra, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || ra < 1 {
+		t.Errorf("Retry-After = %q", w.Header().Get("Retry-After"))
+	}
+	var errBody map[string]string
+	if err := json.NewDecoder(w.Body).Decode(&errBody); err != nil || errBody["error"] == "" {
+		t.Errorf("429 body = %v (%v)", errBody, err)
+	}
+
+	// Another client is unaffected; health checks always pass.
+	if w := do("/v1/predict", "10.0.0.2:1000"); w.Code != http.StatusOK {
+		t.Errorf("second client rejected: %d", w.Code)
+	}
+	for i := 0; i < 10; i++ {
+		if w := do("/healthz", "10.0.0.1:1000"); w.Code != http.StatusOK {
+			t.Fatalf("healthz rate limited: %d", w.Code)
+		}
+	}
+
+	if got := svc.Metrics().RateLimited; got < 3 {
+		t.Errorf("RateLimited = %d, want >= 3", got)
+	}
+
+	// The metric rides the Prometheus exposition.
+	req := httptest.NewRequest(http.MethodGet, "/v1/metrics", nil)
+	req.RemoteAddr = "10.0.0.3:1"
+	rw := httptest.NewRecorder()
+	h.ServeHTTP(rw, req)
+	text, _ := io.ReadAll(rw.Body)
+	if !strings.Contains(string(text), "mrserved_rate_limited_total") {
+		t.Error("mrserved_rate_limited_total missing from exposition")
+	}
+}
+
+// Rate limiting defaults to off: the zero ServerConfig serves unlimited.
+func TestRateLimitDisabledByDefault(t *testing.T) {
+	svc := New(Options{Workers: 1, CacheSize: 4})
+	h := NewHandler(svc, ServerConfig{})
+	for i := 0; i < 50; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+		req.RemoteAddr = "10.9.9.9:1"
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: %d", i, w.Code)
+		}
+	}
+	if svc.Metrics().RateLimited != 0 {
+		t.Error("RateLimited counted with limiting disabled")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"hadoop2perf/internal/core"
 	"hadoop2perf/internal/yarn"
 )
 
@@ -41,8 +42,12 @@ const minSearchAxis = 6
 // monoTol is the relative slack of the monotonicity verifier: a later
 // (larger-cluster) response may exceed an earlier one by at most this
 // fraction before the search declares the axis non-monotone. Tight enough
-// to catch real spikes (≥0.1%), loose enough to ignore float noise.
-const monoTol = 1e-9
+// to catch real spikes (≥0.1%), loose enough to ignore float noise — and,
+// since the axis walk threads a warm-start chain through the model, the
+// warm-vs-cold deviation as well: two compared points can deviate in
+// opposite directions (one a cold cached value, one warm-computed), so the
+// slack is twice the 1e-6-relative core warm contract.
+const monoTol = 2e-6
 
 // useSearch reports whether the deadline fast path applies: a deadline
 // objective, model-backed evaluation (simulator results are noisy and
@@ -93,6 +98,9 @@ type axisEval func(i int) (rt float64, cached bool, err error)
 // under a deadline. nodes must be sorted ascending. It returns every
 // evaluated point as a candidate (feasible points above the frontier,
 // infeasible bisection probes below it) plus the count of pruned points.
+// eval serves the sequential bisection/sweep probes (and may thread
+// single-owner warm-start state); parEval must be safe for concurrent use —
+// it drives the exhaustive fallback's fan-out.
 //
 // Exactness: under monotone response times, the returned set provably
 // contains the axis's cheapest feasible candidate — a pruned point i either
@@ -100,7 +108,7 @@ type axisEval func(i int) (rt float64, cached bool, err error)
 // nodes[i]·rt(i) ≥ nodes[i]·rt(max) strictly above the incumbent best. On
 // any observed monotonicity violation the axis is re-evaluated
 // exhaustively instead.
-func searchNodeAxis(nodes []int, deadline float64, eval axisEval) axisOutcome {
+func searchNodeAxis(nodes []int, deadline float64, eval, parEval axisEval) axisOutcome {
 	n := len(nodes)
 	rt := make([]float64, n)
 	cached := make([]bool, n)
@@ -134,7 +142,7 @@ func searchNodeAxis(nodes []int, deadline float64, eval axisEval) axisOutcome {
 		}
 		return true
 	}
-	exhaustive := func() axisOutcome { return exhaustiveAxis(nodes, eval) }
+	exhaustive := func() axisOutcome { return exhaustiveAxis(nodes, parEval) }
 	collect := func() axisOutcome {
 		out := axisOutcome{exact: true}
 		for i := 0; i < n; i++ {
@@ -259,6 +267,13 @@ func exhaustiveAxis(nodes []int, eval axisEval) axisOutcome {
 // and non-chain mix axes are evaluated exhaustively. On top of the chain
 // premise, the bisection verifies monotonicity over every pair of points it
 // actually evaluates and falls back to exhaustive on any violation.
+//
+// Each bisecting combo threads a warm-start chain through its walk: one
+// pooled evaluator is borrowed for the axis, and every miss it computes
+// seeds the next (bisection visits neighboring node counts by
+// construction, exactly the locality PredictWarm exploits). The exhaustive
+// paths keep the parallel cold fan-out — their concurrency is worth more
+// than the warm locality.
 func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nodeChoice, blocks []float64, reducers []int, policies []yarn.Policy) (PlanResponse, error) {
 	sorted := append([]nodeChoice(nil), choices...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].nodes < sorted[b].nodes })
@@ -289,7 +304,7 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 		go func(ci int) {
 			defer wg.Done()
 			cb := combos[ci]
-			eval := func(i int) (float64, bool, error) {
+			parEval := func(i int) (float64, bool, error) {
 				pr, err := s.predict(ctx, candidatePredictRequest(req, sorted[i], cb.block, cb.red))
 				if err != nil {
 					return 0, false, err
@@ -297,9 +312,18 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 				return pr.Prediction.ResponseTime, pr.Cached, nil
 			}
 			if cb.red == 1 && chain {
-				outcomes[ci] = searchNodeAxis(totals, req.DeadlineSec, eval)
+				warm := s.predictors.Get().(*core.Predictor)
+				eval := func(i int) (float64, bool, error) {
+					pr, err := s.predictEval(ctx, candidatePredictRequest(req, sorted[i], cb.block, cb.red), warm)
+					if err != nil {
+						return 0, false, err
+					}
+					return pr.Prediction.ResponseTime, pr.Cached, nil
+				}
+				outcomes[ci] = searchNodeAxis(totals, req.DeadlineSec, eval, parEval)
+				s.predictors.Put(warm)
 			} else {
-				outcomes[ci] = exhaustiveAxis(totals, eval)
+				outcomes[ci] = exhaustiveAxis(totals, parEval)
 			}
 		}(ci)
 	}

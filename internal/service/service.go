@@ -139,6 +139,19 @@ type Metrics struct {
 	// ProfilesActive is the current count of live (unexpired) calibrated
 	// profiles in the registry.
 	ProfilesActive int `json:"profilesActive"`
+	// ModelOuterIterations accumulates the outer damped rounds of every
+	// computed (non-cached) model prediction; ModelInnerIterations the inner
+	// MVA fixed-point sweeps. Together with CacheMisses they make the
+	// convergence cost of production traffic observable — the warm-start
+	// win shows up here as fewer iterations per miss.
+	ModelOuterIterations int64 `json:"modelOuterIterations"`
+	ModelInnerIterations int64 `json:"modelInnerIterations"` // see ModelOuterIterations
+	// WarmPredictions counts computed predictions that were seeded from a
+	// retained warm-start neighbor (the planner's axis chains).
+	WarmPredictions int64 `json:"warmPredictions"`
+	// RateLimited counts requests rejected with HTTP 429 by the per-client
+	// token-bucket limiter (0 when rate limiting is disabled).
+	RateLimited int64 `json:"rateLimited"`
 }
 
 // Service is a concurrent prediction engine. It is safe for use from many
@@ -146,8 +159,8 @@ type Metrics struct {
 type Service struct {
 	opts   Options
 	sem    chan struct{}
-	cache  *lruCache
-	flight *flightGroup
+	cache  *shardedCache
+	flight *shardedFlight
 	// profiles is the versioned registry of calibrated (trace-fitted)
 	// per-class profiles referenced by request Profile fields.
 	profiles *profileRegistry
@@ -165,6 +178,10 @@ type Service struct {
 	misses        atomic.Int64
 	inFlightSims  atomic.Int64
 	simRuns       atomic.Int64
+	outerIters    atomic.Int64
+	innerIters    atomic.Int64
+	warmPredicts  atomic.Int64
+	rateLimited   atomic.Int64
 }
 
 // New builds a Service with the given options.
@@ -173,8 +190,8 @@ func New(opts Options) *Service {
 	return &Service{
 		opts:       opts,
 		sem:        make(chan struct{}, opts.Workers),
-		cache:      newLRUCache(opts.CacheSize),
-		flight:     newFlightGroup(),
+		cache:      newShardedCache(opts.CacheSize),
+		flight:     newShardedFlight(),
 		profiles:   newProfileRegistry(opts.MaxProfiles, opts.ProfileTTL),
 		predictors: sync.Pool{New: func() any { return core.NewPredictor() }},
 	}
@@ -194,6 +211,11 @@ func (s *Service) Metrics() Metrics {
 		SimRuns:           s.simRuns.Load(),
 		CacheEntries:      s.cache.len(),
 		ProfilesActive:    s.profiles.liveCount(),
+
+		ModelOuterIterations: s.outerIters.Load(),
+		ModelInnerIterations: s.innerIters.Load(),
+		WarmPredictions:      s.warmPredicts.Load(),
+		RateLimited:          s.rateLimited.Load(),
 	}
 	if tot := m.CacheHits + m.CacheMisses; tot > 0 {
 		m.HitRate = float64(m.CacheHits) / float64(tot)
@@ -331,6 +353,18 @@ func (s *Service) resolveProfile(name string, resolved **calibratedProfile) erro
 // candidates through it so /v1/metrics keeps counting client calls, not
 // internal fan-out.
 func (s *Service) predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+	return s.predictEval(ctx, req, nil)
+}
+
+// predictEval serves one model evaluation through the cache/singleflight
+// path. chain, when non-nil, is a caller-owned warm-start evaluator used to
+// compute misses via PredictWarm instead of a pooled cold Predict — the
+// planner's axis walks thread one chain through their neighboring
+// evaluations. A chain is not safe for concurrent use; callers must
+// serialize their own calls (warm results stay within 1e-6 relative of
+// cold ones, the core warm-start contract, so chained and cold computations
+// are interchangeable cache citizens).
+func (s *Service) predictEval(ctx context.Context, req PredictRequest, chain *core.Predictor) (PredictResponse, error) {
 	if err := req.validate(); err != nil {
 		return PredictResponse{}, invalid(err)
 	}
@@ -342,15 +376,30 @@ func (s *Service) predict(ctx context.Context, req PredictRequest) (PredictRespo
 			return nil, err
 		}
 		defer s.release()
-		p := s.predictors.Get().(*core.Predictor)
-		defer s.predictors.Put(p)
 		cfg := core.Config{
 			Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: req.Estimator,
 		}
 		if req.resolved != nil {
 			cfg.History = req.resolved.history
 		}
-		return p.Predict(cfg)
+		var pred core.Prediction
+		var err error
+		if chain != nil {
+			pred, err = chain.PredictWarm(cfg)
+		} else {
+			p := s.predictors.Get().(*core.Predictor)
+			pred, err = p.Predict(cfg)
+			s.predictors.Put(p)
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.outerIters.Add(int64(pred.Iterations))
+		s.innerIters.Add(int64(pred.InnerIterations))
+		if pred.WarmStarted {
+			s.warmPredicts.Add(1)
+		}
+		return pred, nil
 	})
 	if err != nil {
 		return PredictResponse{}, err

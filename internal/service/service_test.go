@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -281,28 +282,60 @@ func TestCompare(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRUCache(2)
-	c.add("a", 1)
-	c.add("b", 2)
-	if _, ok := c.get("a"); !ok { // refresh a
+	// LRU ordering is per shard: pick three keys that collide on one shard
+	// so the recency behavior is observable through the public surface.
+	target := shardOf("a")
+	keys := []string{"a"}
+	for i := 0; len(keys) < 3; i++ {
+		if k := fmt.Sprintf("k%d", i); shardOf(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	a, b, c3 := keys[0], keys[1], keys[2]
+	c := newShardedCache(2 * cacheShards) // two entries per shard
+	c.add(a, 1)
+	c.add(b, 2)
+	if _, ok := c.get(a); !ok { // refresh a
 		t.Fatal("a missing")
 	}
-	c.add("c", 3) // evicts b (least recently used)
-	if _, ok := c.get("b"); ok {
+	c.add(c3, 3) // evicts b (least recently used on the shared shard)
+	if _, ok := c.get(b); ok {
 		t.Error("b survived eviction")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get(a); !ok {
 		t.Error("a evicted despite recent use")
 	}
-	if c.len() != 2 {
-		t.Errorf("len = %d, want 2", c.len())
+}
+
+// The sharded cache must bound its total population near the requested
+// capacity (per-shard slices, rounded up) while keys spread over shards,
+// and hits must keep returning the stored values.
+func TestShardedCacheCapacityAndSpread(t *testing.T) {
+	const max = 64
+	c := newShardedCache(max)
+	for i := 0; i < 10*max; i++ {
+		c.add(fmt.Sprintf("key-%d", i), i)
+	}
+	if n := c.len(); n < max/2 || n > max+cacheShards {
+		t.Errorf("population %d far from capacity %d", n, max)
+	}
+	c.add("hot", "v")
+	if v, ok := c.get("hot"); !ok || v != "v" {
+		t.Errorf("hot entry lost: %v %v", v, ok)
+	}
+	shards := map[uint32]bool{}
+	for i := 0; i < 64; i++ {
+		shards[shardOf(fmt.Sprintf("key-%d", i))] = true
+	}
+	if len(shards) < cacheShards/2 {
+		t.Errorf("64 keys landed on only %d shards", len(shards))
 	}
 }
 
 // TestFlightFollowerSurvivesLeaderCancel: a waiter must not inherit the
 // leader's context cancellation — it retries as the new leader.
 func TestFlightFollowerSurvivesLeaderCancel(t *testing.T) {
-	g := newFlightGroup()
+	g := newShardedFlight()
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	leaderStarted := make(chan struct{})
 	leaderRelease := make(chan struct{})
