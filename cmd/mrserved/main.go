@@ -26,6 +26,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -34,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/service"
 )
 
@@ -51,8 +53,15 @@ func main() {
 		pprofAddr  = flag.String("pprof-addr", "127.0.0.1:6060", "loopback /debug/pprof listener (empty = disabled)")
 		rateLimit  = flag.Float64("rate-limit", 0, "per-client request rate over /v1/* in req/s (429 + Retry-After past it; 0 = unlimited)")
 		rateBurst  = flag.Int("rate-burst", 0, "per-client burst depth (default 2x -rate-limit)")
+		logFormat  = flag.String("log-format", obs.LogFormatText, "structured access-log format: text or json")
+		slowReq    = flag.Duration("slow-request-threshold", 10*time.Second, "latency past which a request logs at Warn with its per-stage breakdown")
 	)
 	flag.Parse()
+
+	accessLog, err := obs.NewLogger(os.Stderr, *logFormat, slog.LevelInfo)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	svc := service.New(service.Options{
 		Workers:    *workers,
@@ -80,9 +89,11 @@ func main() {
 	srv := &http.Server{
 		Addr: *addr,
 		Handler: service.NewHandler(svc, service.ServerConfig{
-			Timeout:   *timeout,
-			RateLimit: *rateLimit,
-			RateBurst: *rateBurst,
+			Timeout:              *timeout,
+			RateLimit:            *rateLimit,
+			RateBurst:            *rateBurst,
+			AccessLog:            accessLog,
+			SlowRequestThreshold: *slowReq,
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		// WriteTimeout outlives the handler timeout so slow requests get a

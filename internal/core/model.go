@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -395,6 +396,14 @@ func Predict(cfg Config) (Prediction, error) {
 	return p.Predict(cfg)
 }
 
+// PredictContext is Predict honoring ctx: the outer fixed-point loop checks
+// for cancellation between iterations, so a canceled request stops paying
+// for convergence it no longer wants.
+func PredictContext(ctx context.Context, cfg Config) (Prediction, error) {
+	var p Predictor
+	return p.PredictContext(ctx, cfg)
+}
+
 // PredictBatch evaluates a batch of configurations through one shared
 // evaluator, reusing the timeline/overlap scaffolding across entries and
 // warm-starting each entry from its nearest already-solved neighbor in the
@@ -421,7 +430,13 @@ func PredictBatch(cfgs []Config) ([]Prediction, error) {
 // homogeneous-equivalence goldens). See PredictWarm for the accelerated
 // warm-start path.
 func (p *Predictor) Predict(cfg Config) (Prediction, error) {
-	return p.predict(cfg, nil, false)
+	return p.predict(nil, cfg, nil, false)
+}
+
+// PredictContext is Predict honoring ctx between outer iterations (see the
+// package-level PredictContext).
+func (p *Predictor) PredictContext(ctx context.Context, cfg Config) (Prediction, error) {
+	return p.predict(ctx, cfg, nil, false)
 }
 
 // predict runs the model to convergence. A non-nil seed warm-starts the
@@ -436,8 +451,10 @@ func (p *Predictor) Predict(cfg Config) (Prediction, error) {
 // 1e-10, so the outer trajectory tracks the cold one bit-for-bit up to
 // inner-tolerance noise. With seed == nil and fast == false the iteration
 // is exactly the historical cold path; cfg.AccelerateOuter opts either
-// path into outer Aitken extrapolation.
-func (p *Predictor) predict(cfg Config, seed *warmEntry, fast bool) (Prediction, error) {
+// path into outer Aitken extrapolation. A non-nil ctx is checked between
+// outer iterations — cancellation costs at most one more round; nil skips
+// the check so un-contexted callers pay nothing.
+func (p *Predictor) predict(ctx context.Context, cfg Config, seed *warmEntry, fast bool) (Prediction, error) {
 	if err := cfg.validateTuning(); err != nil {
 		return Prediction{}, err
 	}
@@ -466,6 +483,11 @@ func (p *Predictor) predict(cfg Config, seed *warmEntry, fast bool) (Prediction,
 	pred := Prediction{ClassResponse: map[timeline.Class]float64{}}
 
 	for iter := 1; iter <= cfg.MaxIterations; iter++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return Prediction{}, err
+			}
+		}
 		// A2: timeline from current class response times.
 		tl, err = p.buildTimeline(cfg, classes)
 		if err != nil {

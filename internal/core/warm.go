@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"hadoop2perf/internal/mva"
@@ -145,13 +146,23 @@ func (p *Predictor) warmResidenceRows(seed *warmEntry, n, nc int) [][]float64 {
 // within 1e-6 relative (property-tested, warm_test.go); Config.ColdStart
 // forces the bit-exact cold path instead.
 func (p *Predictor) PredictWarm(cfg Config) (Prediction, error) {
+	return p.predictWarm(nil, cfg)
+}
+
+// PredictWarmContext is PredictWarm honoring ctx between outer iterations
+// (see PredictContext).
+func (p *Predictor) PredictWarmContext(ctx context.Context, cfg Config) (Prediction, error) {
+	return p.predictWarm(ctx, cfg)
+}
+
+func (p *Predictor) predictWarm(ctx context.Context, cfg Config) (Prediction, error) {
 	if cfg.ColdStart {
-		return p.Predict(cfg)
+		return p.predict(ctx, cfg, nil, false)
 	}
 	sig := warmSig(&cfg)
 	nodes := cfg.Spec.TotalNodes()
 	seed := p.warm.nearest(sig, nodes)
-	pred, err := p.predict(cfg, seed, true)
+	pred, err := p.predict(ctx, cfg, seed, true)
 	if err != nil {
 		return Prediction{}, err
 	}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultLatencyBuckets are the fixed upper bounds (seconds) of the serving
+// latency histograms: half-millisecond resolution at the cached fast path
+// up to the 30 s request timeout. Values past the last bound land in the
+// implicit +Inf bucket.
+func DefaultLatencyBuckets() []float64 {
+	return []float64{
+		0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+		0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+	}
+}
+
+// Histogram is a fixed-bucket, lock-free histogram: Observe is a binary
+// search plus three atomic adds, safe for concurrent recording on the
+// serving hot path. Buckets hold non-cumulative per-bucket counts
+// internally; Snapshot renders the Prometheus-style cumulative view.
+type Histogram struct {
+	bounds []float64 // sorted ascending upper bounds; immutable
+	// buckets[i] counts observations v <= bounds[i] (and > bounds[i-1]);
+	// buckets[len(bounds)] is the +Inf overflow bucket.
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // IEEE-754 bits of the running sum
+}
+
+// NewHistogram builds a histogram over the given upper bounds (seconds),
+// which must be finite and strictly increasing; an implicit +Inf bucket is
+// appended. The bounds slice is copied. Panics on malformed bounds — bucket
+// layouts are compile-time decisions, not runtime inputs.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram bound %d is %v", i, b))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing at %d (%v <= %v)",
+				i, b, bounds[i-1]))
+		}
+	}
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value. A value exactly on a bucket's upper bound
+// counts into that bucket (le semantics); values past the last bound count
+// only into the +Inf bucket. NaN observations are dropped.
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	// First bound >= v: sort.SearchFloat64s finds the first i with
+	// bounds[i] >= v, which is exactly the le-bucket; i == len(bounds)
+	// is the +Inf overflow.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bucket is one cumulative histogram bucket on the wire: the count of
+// observations at or below UpperBound.
+type Bucket struct {
+	// UpperBound is the bucket's inclusive upper bound, seconds.
+	UpperBound float64 `json:"le"`
+	// Count is cumulative: observations <= UpperBound.
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram in cumulative
+// form — the JSON twin of one Prometheus histogram series. The implicit
+// +Inf bucket is not listed in Buckets (JSON has no Inf); its cumulative
+// count is Count, the total.
+type HistogramSnapshot struct {
+	// Buckets are the finite cumulative buckets, ascending by bound.
+	Buckets []Bucket `json:"buckets"`
+	// Count is the total observation count (the +Inf cumulative bucket).
+	Count int64 `json:"count"`
+	// Sum is the sum of all observed values, seconds.
+	Sum float64 `json:"sum"`
+}
+
+// Snapshot copies the histogram's current cumulative state. Concurrent
+// Observe calls may land between bucket reads, so the invariants are
+// monotone buckets and Count >= the last finite bucket — not an atomic
+// cross-bucket cut.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Buckets: make([]Bucket, len(h.bounds)),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.buckets[i].Load()
+		snap.Buckets[i] = Bucket{UpperBound: b, Count: cum}
+	}
+	// The +Inf bucket closes the total; read it after the finite buckets so
+	// Count can never be below the last cumulative bound under concurrency.
+	snap.Count = cum + h.buckets[len(h.bounds)].Load()
+	return snap
+}

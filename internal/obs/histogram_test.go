@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramBucketMath pins the le semantics of the fixed buckets:
+// values on a boundary count into that bucket, values between boundaries
+// into the next one up, values past the last bound only into +Inf, and the
+// snapshot view is cumulative.
+func TestHistogramBucketMath(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.5, 1})
+
+	h.Observe(0.05) // below first bound -> le=0.1
+	h.Observe(0.1)  // exactly on a bound -> le=0.1 (inclusive upper bound)
+	h.Observe(0.3)  // between bounds -> le=0.5
+	h.Observe(1)    // on the last bound -> le=1
+	h.Observe(7)    // past the last bound -> +Inf only
+	h.Observe(0)    // zero -> first bucket
+
+	snap := h.Snapshot()
+	wantCum := []int64{3, 4, 5} // cumulative: le=0.1, le=0.5, le=1
+	if len(snap.Buckets) != len(wantCum) {
+		t.Fatalf("buckets = %d, want %d", len(snap.Buckets), len(wantCum))
+	}
+	for i, want := range wantCum {
+		if snap.Buckets[i].Count != want {
+			t.Errorf("bucket le=%v cumulative = %d, want %d",
+				snap.Buckets[i].UpperBound, snap.Buckets[i].Count, want)
+		}
+	}
+	if snap.Count != 6 {
+		t.Errorf("count = %d, want 6 (the +Inf cumulative bucket)", snap.Count)
+	}
+	if infOnly := snap.Count - snap.Buckets[len(snap.Buckets)-1].Count; infOnly != 1 {
+		t.Errorf("+Inf-only observations = %d, want 1", infOnly)
+	}
+	if want := 0.05 + 0.1 + 0.3 + 1 + 7; math.Abs(snap.Sum-want) > 1e-12 {
+		t.Errorf("sum = %v, want %v", snap.Sum, want)
+	}
+
+	// NaN observations are dropped, not misfiled.
+	h.Observe(math.NaN())
+	if got := h.Snapshot().Count; got != 6 {
+		t.Errorf("count after NaN = %d, want 6", got)
+	}
+}
+
+// TestHistogramCumulativeMonotone: cumulative counts never decrease across
+// buckets, and the total closes the sequence.
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	h := NewHistogram(DefaultLatencyBuckets())
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 0.0137)
+	}
+	snap := h.Snapshot()
+	prev := int64(0)
+	for _, b := range snap.Buckets {
+		if b.Count < prev {
+			t.Fatalf("cumulative count dropped: le=%v has %d after %d", b.UpperBound, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	if snap.Count < prev {
+		t.Fatalf("total %d below last finite bucket %d", snap.Count, prev)
+	}
+	if snap.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", snap.Count)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines (run
+// under -race in CI): no observation may be lost and the sum must match.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram([]float64{0.25, 0.75})
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(0.5) // middle bucket
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	total := int64(workers * perWorker)
+	if snap.Count != total {
+		t.Errorf("count = %d, want %d", snap.Count, total)
+	}
+	if snap.Buckets[0].Count != 0 || snap.Buckets[1].Count != total {
+		t.Errorf("buckets = %+v", snap.Buckets)
+	}
+	if want := 0.5 * float64(total); math.Abs(snap.Sum-want) > 1e-6*want {
+		t.Errorf("sum = %v, want %v", snap.Sum, want)
+	}
+}
+
+// TestHistogramBadBounds: malformed bucket layouts are programmer errors
+// and fail construction loudly.
+func TestHistogramBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":          {},
+		"non-increasing": {1, 1},
+		"descending":     {2, 1},
+		"inf":            {1, math.Inf(1)},
+		"nan":            {math.NaN(), 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewHistogram did not panic", name)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}

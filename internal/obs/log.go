@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogger (the mrserved -log-format flag).
+const (
+	// LogFormatText is the human-readable key=value handler (default).
+	LogFormatText = "text"
+	// LogFormatJSON is one JSON object per line — the machine-ingestible
+	// access-log format.
+	LogFormatJSON = "json"
+)
+
+// NewLogger builds a structured logger writing to w in the given format
+// ("text", "json", or "" for text) at the given level. Unknown formats are
+// an error so a typoed -log-format fails startup loudly instead of
+// silently logging in the wrong shape.
+func NewLogger(w io.Writer, format string, level slog.Level) (*slog.Logger, error) {
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", LogFormatText:
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogFormatJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want %q or %q)", format, LogFormatText, LogFormatJSON)
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRequestID(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 100; i++ {
+		id := NewRequestID()
+		if len(id) != 16 {
+			t.Fatalf("id %q has length %d, want 16", id, len(id))
+		}
+		if !ValidRequestID(id) {
+			t.Fatalf("generated id %q fails ValidRequestID", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %q in 100 draws", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestValidRequestID(t *testing.T) {
+	valid := []string{"a", "0123456789abcdef", "req-42_x.y", strings.Repeat("z", 64)}
+	for _, id := range valid {
+		if !ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = false, want true", id)
+		}
+	}
+	invalid := []string{
+		"",
+		strings.Repeat("z", 65),
+		"has space",
+		"newline\ninjection",
+		"quote\"break",
+		"semi;colon",
+		"unicode-é",
+		"tab\tsep",
+	}
+	for _, id := range invalid {
+		if ValidRequestID(id) {
+			t.Errorf("ValidRequestID(%q) = true, want false", id)
+		}
+	}
+}
+
+func TestStageString(t *testing.T) {
+	want := []string{"queue_wait", "cache_lookup", "profile_resolve", "model_solve", "simulate", "plan_search"}
+	names := StageNames()
+	if len(names) != len(want) {
+		t.Fatalf("StageNames() has %d entries, want %d", len(names), len(want))
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("StageNames()[%d] = %q, want %q", i, names[i], w)
+		}
+		if got := Stage(i).String(); got != w {
+			t.Errorf("Stage(%d).String() = %q, want %q", i, got, w)
+		}
+	}
+	if got := Stage(-1).String(); got != "stage(-1)" {
+		t.Errorf("out-of-range stage name = %q", got)
+	}
+}
+
+func TestTraceSpansAndSnapshot(t *testing.T) {
+	tr := NewTrace("abc123")
+	if tr.RequestID() != "abc123" {
+		t.Fatalf("RequestID = %q", tr.RequestID())
+	}
+
+	tr.Add(StageModelSolve, 50*time.Millisecond)
+	tr.Add(StageModelSolve, 30*time.Millisecond)
+	stop := tr.StartSpan(StageCacheLookup)
+	if d := stop(); d < 0 {
+		t.Fatalf("span duration negative: %v", d)
+	}
+	tr.AddCount("predicts", 2)
+	tr.AddCount("predicts", 1)
+
+	snap := tr.Snapshot()
+	ms, ok := snap.Stages["model_solve"]
+	if !ok {
+		t.Fatal("model_solve missing from snapshot")
+	}
+	if ms.Spans != 2 || ms.Seconds < 0.079 || ms.Seconds > 0.081 {
+		t.Errorf("model_solve = %+v, want 2 spans / ~0.08s", ms)
+	}
+	if cl, ok := snap.Stages["cache_lookup"]; !ok || cl.Spans != 1 {
+		t.Errorf("cache_lookup = %+v, want 1 span", cl)
+	}
+	if _, ok := snap.Stages["simulate"]; ok {
+		t.Error("untouched stage simulate should be omitted from snapshot")
+	}
+	if snap.Counts["predicts"] != 3 {
+		t.Errorf("counts[predicts] = %d, want 3", snap.Counts["predicts"])
+	}
+	if tr.Count("predicts") != 3 {
+		t.Errorf("Count(predicts) = %d, want 3", tr.Count("predicts"))
+	}
+}
+
+// TestTraceNilSafety: every Trace method must tolerate a nil receiver so
+// un-instrumented call paths need no guards.
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	if tr.RequestID() != "" {
+		t.Error("nil RequestID should be empty")
+	}
+	tr.Add(StageModelSolve, time.Second)
+	tr.StartSpan(StageSimulate)()
+	tr.AddCount("x", 1)
+	if tr.Count("x") != 0 {
+		t.Error("nil Count should be 0")
+	}
+	if tr.Snapshot() != nil {
+		t.Error("nil Snapshot should be nil")
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Fatal("empty context should carry no trace")
+	}
+	tr := NewTrace("ctx-id")
+	ctx := WithTrace(context.Background(), tr)
+	if got := FromContext(ctx); got != tr {
+		t.Fatalf("FromContext = %p, want %p", got, tr)
+	}
+}
+
+// TestTraceConcurrent records spans and counters from many goroutines (run
+// under -race): plan fan-out does exactly this.
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace("conc")
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Add(StageModelSolve, time.Microsecond)
+				tr.AddCount("predicts", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := tr.Snapshot()
+	if got := snap.Stages["model_solve"].Spans; got != workers*per {
+		t.Errorf("spans = %d, want %d", got, workers*per)
+	}
+	if got := snap.Counts["predicts"]; got != workers*per {
+		t.Errorf("predicts = %d, want %d", got, workers*per)
+	}
+}

@@ -6,14 +6,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/timeline"
 	"hadoop2perf/internal/trace"
 	"hadoop2perf/internal/workload"
@@ -41,13 +46,31 @@ type ServerConfig struct {
 	// issue back to back before the sustained rate applies (default
 	// max(1, 2×RateLimit)).
 	RateBurst int
+	// AccessLog, when non-nil, receives one structured line per handled
+	// request (request ID, method, path, status, duration, and the trace's
+	// cache/warm-start/iteration counters) plus a Warn line with the full
+	// per-stage breakdown for requests slower than SlowRequestThreshold and
+	// for rate-limited rejections. Nil disables access logging entirely, so
+	// library users and benchmarks pay no logging cost.
+	AccessLog *slog.Logger
+	// SlowRequestThreshold is the latency past which a request logs at Warn
+	// with its stage timings (default 10s; meaningful only with AccessLog).
+	SlowRequestThreshold time.Duration
 }
 
 const (
 	defaultHTTPTimeout           = 30 * time.Second
 	defaultMaxBodyBytes          = 1 << 20
 	defaultCalibrateMaxBodyBytes = 16 << 20
+	defaultSlowRequestThreshold  = 10 * time.Second
 )
+
+// RequestIDHeader is the header mrserved reads a caller-supplied request ID
+// from (when valid — see obs.ValidRequestID) and always echoes the
+// effective ID on. The constant uses Go's canonical MIME spelling so
+// Header.Set on the hot path never re-canonicalizes; header names are
+// case-insensitive on the wire.
+const RequestIDHeader = "X-Request-Id"
 
 // Route patterns of the mrserved HTTP API, in registration order. NewHandler
 // registers exactly these; Routes exposes the list so docs-coverage tests
@@ -87,6 +110,20 @@ func Routes() []string {
 //
 // docs/API.md is the complete wire reference.
 func NewHandler(s *Service, cfg ServerConfig) http.Handler {
+	cfg.applyDefaults()
+	var h http.Handler = newMux(s, cfg)
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(math.Max(1, 2*cfg.RateLimit))
+		}
+		h = rateLimitMiddleware(s, newRateLimiter(cfg.RateLimit, burst), cfg, h)
+	}
+	return traceMiddleware(s, cfg, h)
+}
+
+// applyDefaults fills the zero ServerConfig fields.
+func (cfg *ServerConfig) applyDefaults() {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = defaultHTTPTimeout
 	}
@@ -96,14 +133,30 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 	if cfg.CalibrateMaxBodyBytes <= 0 {
 		cfg.CalibrateMaxBodyBytes = defaultCalibrateMaxBodyBytes
 	}
+	if cfg.SlowRequestThreshold <= 0 {
+		cfg.SlowRequestThreshold = defaultSlowRequestThreshold
+	}
+}
+
+// newMux registers the route handlers (cfg must already have its defaults
+// applied); NewHandler wraps the result in the trace and rate-limit
+// middleware.
+func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
+	started := time.Now()
+	version, goVersion := buildInfo()
 	mux := http.NewServeMux()
 	mux.HandleFunc(routeHealthz, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, r, http.StatusOK, healthWire{
+			Status:        "ok",
+			Version:       version,
+			GoVersion:     goVersion,
+			UptimeSeconds: time.Since(started).Seconds(),
+		})
 	})
 	mux.HandleFunc(routeMetrics, func(w http.ResponseWriter, r *http.Request) {
 		m := s.Metrics()
 		if wantsJSON(r.Header.Get("Accept")) {
-			writeJSON(w, http.StatusOK, m)
+			writeJSON(w, r, http.StatusOK, m)
 			return
 		}
 		w.Header().Set("Content-Type", prometheusContentType)
@@ -111,7 +164,7 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 		_ = writePrometheus(w, m)
 	})
 	mux.HandleFunc(routeProfiles, func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, profilesWire{Profiles: s.Profiles()})
+		writeJSON(w, r, http.StatusOK, profilesWire{Profiles: s.Profiles()})
 	})
 	mux.HandleFunc(routePredict, jsonEndpoint(cfg, func(ctx context.Context, req predictWire) (any, error) {
 		pr, err := req.toRequest()
@@ -183,31 +236,164 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 		}
 		return s.Plan(ctx, pr)
 	}))
-	if cfg.RateLimit > 0 {
-		burst := cfg.RateBurst
-		if burst <= 0 {
-			burst = int(math.Max(1, 2*cfg.RateLimit))
-		}
-		return rateLimitMiddleware(s, newRateLimiter(cfg.RateLimit, burst), mux)
-	}
 	return mux
+}
+
+// healthWire is the GET /healthz response body.
+type healthWire struct {
+	// Status is always "ok" when the handler answers at all.
+	Status string `json:"status"`
+	// Version is the serving module's build version ("unknown" for
+	// non-module builds, e.g. go test binaries).
+	Version string `json:"version"`
+	// GoVersion is the toolchain the binary was built with.
+	GoVersion string `json:"goVersion"`
+	// UptimeSeconds is the age of this handler (seconds since NewHandler).
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// buildInfo extracts the module version and toolchain from the binary's
+// embedded build metadata.
+func buildInfo() (version, goVersion string) {
+	version, goVersion = "unknown", runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return version, goVersion
+}
+
+// traceWriter is the per-request wrapper the trace middleware hands down
+// the handler stack: it carries the request's Trace to the response-writing
+// layer (writeJSON splices the ID from here; jsonEndpoint threads it into
+// the handler context) and records the status code for the access log. One
+// small wrapper replaces both a cloned *http.Request and a separate
+// status recorder — the trace must not tax the serving hot path.
+type traceWriter struct {
+	http.ResponseWriter
+	trace  obs.Trace
+	status int
+}
+
+// WriteHeader records the status before delegating.
+func (tw *traceWriter) WriteHeader(code int) {
+	tw.status = code
+	tw.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (tw *traceWriter) Unwrap() http.ResponseWriter { return tw.ResponseWriter }
+
+// traceOf returns the request's Trace when w came through traceMiddleware
+// (nil otherwise — a bare mux serves untraced).
+func traceOf(w http.ResponseWriter) *obs.Trace {
+	if tw, ok := w.(*traceWriter); ok {
+		return &tw.trace
+	}
+	return nil
+}
+
+// kindOf maps a request path onto its request-histogram kind index (see
+// RequestKinds for the label domain).
+func kindOf(path string) int {
+	switch path {
+	case "/healthz":
+		return kindHealthz
+	case "/v1/metrics":
+		return kindMetrics
+	case "/v1/profiles":
+		return kindProfiles
+	case "/v1/predict":
+		return kindPredict
+	case "/v1/simulate":
+		return kindSimulate
+	case "/v1/compare":
+		return kindCompare
+	case "/v1/plan":
+		return kindPlan
+	case "/v1/calibrate":
+		return kindCalibrate
+	}
+	return kindOther
+}
+
+// traceMiddleware is the outermost handler layer: it adopts a valid inbound
+// X-Request-ID (or assigns a fresh one), hands an obs.Trace down the stack
+// on the response writer (jsonEndpoint threads it into the handler context
+// for the engine), echoes the ID on the response header, records the
+// end-to-end latency into the kind's histogram, and emits the structured
+// access-log line (plus a Warn line with the stage breakdown for requests
+// over SlowRequestThreshold).
+func traceMiddleware(s *Service, cfg ServerConfig, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(RequestIDHeader)
+		if !obs.ValidRequestID(id) {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		tw := &traceWriter{ResponseWriter: w, status: http.StatusOK}
+		tw.trace.ID = id
+		start := time.Now()
+		next.ServeHTTP(tw, r)
+		d := time.Since(start)
+		s.observeRequest(kindOf(r.URL.Path), d)
+		if cfg.AccessLog == nil {
+			return
+		}
+		attrs := []any{
+			"requestId", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", tw.status,
+			"durationMs", float64(d.Microseconds()) / 1e3,
+		}
+		snap := tw.trace.Snapshot()
+		// The trace's request-scoped counters (cache hit/miss, warm starts,
+		// model iteration counts) ride the same line, in a fixed order.
+		for _, k := range []string{
+			"cacheHits", "cacheMisses", "predicts", "warmStarted",
+			"outerIterations", "innerIterations", "planCandidates",
+		} {
+			if v, ok := snap.Counts[k]; ok {
+				attrs = append(attrs, k, v)
+			}
+		}
+		if d >= cfg.SlowRequestThreshold {
+			stages := make(map[string]float64, len(snap.Stages))
+			for name, st := range snap.Stages {
+				stages[name] = st.Seconds
+			}
+			attrs = append(attrs, "slow", true, "stageSeconds", stages)
+			cfg.AccessLog.Warn("slow request", attrs...)
+			return
+		}
+		cfg.AccessLog.Info("request", attrs...)
+	})
 }
 
 // rateLimitMiddleware rejects over-limit /v1/* requests with 429 +
 // Retry-After before any body is read or pool slot taken. /healthz (and any
 // future non-/v1 path) bypasses the limiter: liveness probes must not
-// compete with traffic for tokens.
-func rateLimitMiddleware(s *Service, limiter *rateLimiter, next http.Handler) http.Handler {
+// compete with traffic for tokens. Rejections are logged with the rejected
+// client key and request ID, so shed load stays attributable.
+func rateLimitMiddleware(s *Service, limiter *rateLimiter, cfg ServerConfig, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if strings.HasPrefix(r.URL.Path, "/v1/") {
-			if ok, retry := limiter.allow(clientKey(r.RemoteAddr)); !ok {
+			key := clientKey(r.RemoteAddr)
+			if ok, retry := limiter.allow(key); !ok {
 				s.rateLimited.Add(1)
 				secs := int(math.Ceil(retry.Seconds()))
 				if secs < 1 {
 					secs = 1
 				}
 				w.Header().Set("Retry-After", strconv.Itoa(secs))
-				writeError(w, http.StatusTooManyRequests, errors.New("rate limit exceeded; retry later"))
+				if cfg.AccessLog != nil {
+					cfg.AccessLog.Warn("rate limited",
+						"requestId", traceOf(w).RequestID(),
+						"client", key,
+						"path", r.URL.Path,
+						"retryAfterSec", secs)
+				}
+				writeError(w, r, http.StatusTooManyRequests, errors.New("rate limit exceeded; retry later"))
 				return
 			}
 		}
@@ -221,16 +407,22 @@ type validationError struct{ err error }
 func (e validationError) Error() string { return e.err.Error() }
 
 // jsonEndpoint wires one POST endpoint: decode, handle under the configured
-// timeout, encode. Validation failures map to 400, timeouts to 504.
+// timeout, encode. Validation failures map to 400, timeouts to 504. The
+// request's trace rides the handler context, so the engine's stages and
+// counters (pool → cache → profiles → planner → core) land on it.
 func jsonEndpoint[Req any](cfg ServerConfig, handle func(context.Context, Req) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		ctx, cancel := context.WithTimeout(r.Context(), cfg.Timeout)
+		ctx := r.Context()
+		if tr := traceOf(w); tr != nil {
+			ctx = obs.WithTrace(ctx, tr)
+		}
+		ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
 		defer cancel()
 		var req Req
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 			return
 		}
 		out, err := handle(ctx, req)
@@ -248,23 +440,102 @@ func jsonEndpoint[Req any](cfg ServerConfig, handle func(context.Context, Req) (
 			case errors.As(err, &verr), IsInvalidRequest(err):
 				status = http.StatusBadRequest
 			}
-			writeError(w, status, err)
+			writeError(w, r, status, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, out)
+		writeJSON(w, r, http.StatusOK, out)
 	}
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+// wantsTimings reports whether the request opted into the per-stage timings
+// block via ?debug=timings. The RawQuery gate keeps the common no-query
+// path free of URL parsing.
+func wantsTimings(r *http.Request) bool {
+	if r.URL.RawQuery == "" {
+		return false
+	}
+	return r.URL.Query().Get("debug") == "timings"
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// jsonBufPool recycles the scratch buffers of writeJSON across requests.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeJSON renders one response body, splicing the request ID (and, under
+// ?debug=timings, the stage-timing block) into object payloads whenever the
+// request carries a trace. The traced path marshals the payload once into a
+// pooled buffer, hand-writes the indented envelope prefix and indents the
+// payload in a single pass — tracing must not tax the cache-hit fast path.
+// (Compact Encode + json.Indent into a pooled buffer beats Encoder.SetIndent,
+// which allocates a fresh internal indent buffer per encoder.)
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	tr := traceOf(w)
+	if tr == nil {
+		w.WriteHeader(status)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+		return
+	}
+	scratch := jsonBufPool.Get().(*bytes.Buffer)
+	out := jsonBufPool.Get().(*bytes.Buffer)
+	defer func() {
+		scratch.Reset()
+		out.Reset()
+		jsonBufPool.Put(scratch)
+		jsonBufPool.Put(out)
+	}()
+	if err := json.NewEncoder(scratch).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	payload := scratch.Bytes()
+	payload = payload[:len(payload)-1] // Encode appends '\n'
+	if len(payload) < 2 || payload[0] != '{' {
+		// Non-object payloads pass through without an envelope.
+		if err := json.Indent(out, payload, "", "  "); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	} else {
+		// The id is written unescaped: request IDs are generated hex or
+		// validated [0-9A-Za-z._-] (obs.ValidRequestID), so no JSON escaping
+		// can apply.
+		out.Grow(len(payload) + 64)
+		out.WriteString("{\n  \"requestId\": \"")
+		out.WriteString(tr.ID)
+		out.WriteByte('"')
+		if wantsTimings(r) {
+			t, err := json.MarshalIndent(tr.Snapshot(), "  ", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			out.WriteString(",\n  \"timings\": ")
+			out.Write(t)
+		}
+		if len(payload) == 2 { // empty payload object: nothing to splice
+			out.WriteString("\n}")
+		} else {
+			out.WriteByte(',')
+			pos := out.Len()
+			if err := json.Indent(out, payload, "", "  "); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			// The payload's opening '{' — our prefix already opened the
+			// object, so it degrades to insignificant whitespace.
+			out.Bytes()[pos] = ' '
+		}
+	}
+	out.WriteByte('\n')
+	w.WriteHeader(status)
+	_, _ = w.Write(out.Bytes())
+}
+
+// writeError renders one error body ({"requestId": ..., "error": ...}).
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeJSON(w, r, status, map[string]string{"error": err.Error()})
 }
 
 // clusterWire selects a cluster: the calibrated default scaled to "nodes", a

@@ -3,7 +3,10 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
+
+	"hadoop2perf/internal/obs"
 )
 
 // prometheusContentType is the Prometheus text exposition format version
@@ -62,6 +65,45 @@ func writePrometheus(w io.Writer, m Metrics) error {
 			name += "{" + mt.labels + "}"
 		}
 		if _, err := fmt.Fprintf(w, "%s %g\n", name, mt.value); err != nil {
+			return err
+		}
+	}
+	if err := writeHistogramFamily(w, "mrserved_request_duration_seconds",
+		"End-to-end request handling latency by endpoint kind.", "kind", m.RequestDurations); err != nil {
+		return err
+	}
+	return writeHistogramFamily(w, "mrserved_stage_duration_seconds",
+		"Serving-stage span durations: queue wait, cache lookup, profile resolution, model solve, simulation, plan search.",
+		"stage", m.StageDurations)
+}
+
+// writeHistogramFamily renders one labeled histogram family in the
+// Prometheus text format: per label value the cumulative _bucket series
+// (closed by le="+Inf"), then _sum and _count. Label values are emitted in
+// sorted order so the exposition is deterministic.
+func writeHistogramFamily(w io.Writer, name, help, label string, series map[string]obs.HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		snap := series[k]
+		for _, b := range snap.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=%q} %d\n", name, label, k, fmt.Sprintf("%g", b.UpperBound), b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, k, snap.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, k, snap.Sum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, k, snap.Count); err != nil {
 			return err
 		}
 	}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
@@ -276,9 +278,13 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 	if err := req.validate(); err != nil {
 		return PlanResponse{}, invalid(err)
 	}
-	if err := s.resolveProfile(req.Profile, &req.resolved); err != nil {
+	if err := s.resolveProfile(ctx, req.Profile, &req.resolved); err != nil {
 		return PlanResponse{}, err
 	}
+	// The whole strategy evaluation — grid fan-out or bisection search — is
+	// one plan_search span; the candidates' own model_solve/cache_lookup
+	// spans nest inside it on the same trace.
+	defer s.endSpan(obs.FromContext(ctx), obs.StagePlanSearch, time.Now())
 
 	choices := nodeChoices(&req)
 	blocks := axisFloats(req.BlockSizesMB, req.Job.BlockSizeMB)
@@ -324,6 +330,7 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 	if err := ctx.Err(); err != nil {
 		return PlanResponse{}, err
 	}
+	obs.FromContext(ctx).AddCounter(obs.CounterPlanCandidates, int64(len(cands)))
 
 	resp := PlanResponse{Candidates: cands, Strategy: StrategyGrid}
 	finalizePlan(&resp, req.DeadlineSec)

@@ -2,11 +2,13 @@ package service
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
 
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/yarn"
 )
 
@@ -330,6 +332,17 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return PlanResponse{}, err
+	}
+
+	// Per-combo predict counts on the trace: how many node-axis points each
+	// block×reducer×policy combo actually evaluated (vs pruned) — the
+	// ?debug=timings view of the search's effectiveness.
+	if tr := obs.FromContext(ctx); tr != nil {
+		for ci, out := range outcomes {
+			cb := combos[ci]
+			tr.AddCount(fmt.Sprintf("planCombo_b%g_r%d_%s_evals", cb.block, cb.red, cb.policy),
+				int64(len(out.cands)))
+		}
 	}
 
 	resp := PlanResponse{Strategy: StrategySearch}

@@ -33,6 +33,7 @@ import (
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
 	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/stats"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
@@ -152,6 +153,12 @@ type Metrics struct {
 	// RateLimited counts requests rejected with HTTP 429 by the per-client
 	// token-bucket limiter (0 when rate limiting is disabled).
 	RateLimited int64 `json:"rateLimited"`
+	// RequestDurations and StageDurations are the JSON twins of the
+	// mrserved_request_duration_seconds and mrserved_stage_duration_seconds
+	// Prometheus families: cumulative fixed-bucket latency histograms keyed
+	// by request kind and by serving stage respectively.
+	RequestDurations map[string]obs.HistogramSnapshot `json:"requestDurationsSeconds"`
+	StageDurations   map[string]obs.HistogramSnapshot `json:"stageDurationsSeconds"` // see RequestDurations
 }
 
 // Service is a concurrent prediction engine. It is safe for use from many
@@ -168,6 +175,13 @@ type Service struct {
 	// each worker borrows one for the duration of a model run, so steady
 	// traffic stops allocating the O(T²) overlap scaffolding per request.
 	predictors sync.Pool
+	// reqHist holds the per-kind request-latency histograms backing the
+	// mrserved_request_duration_seconds family, indexed by the kind
+	// constants (aligned with RequestKinds); stageHist the per-stage
+	// histograms backing mrserved_stage_duration_seconds. Both are built
+	// once in New and read-only afterwards, so recording needs no locks.
+	reqHist   [numKinds]*obs.Histogram
+	stageHist [obs.NumStages]*obs.Histogram
 
 	predictReqs   atomic.Int64
 	simulateReqs  atomic.Int64
@@ -184,10 +198,35 @@ type Service struct {
 	rateLimited   atomic.Int64
 }
 
+// Request-kind indices into the request-duration histograms, aligned with
+// RequestKinds.
+const (
+	kindHealthz = iota
+	kindMetrics
+	kindProfiles
+	kindPredict
+	kindSimulate
+	kindCompare
+	kindPlan
+	kindCalibrate
+	kindOther
+	numKinds
+)
+
+// RequestKinds is the label domain of the request-duration histograms:
+// every HTTP endpoint kind plus "other" for unmatched paths, in kind-index
+// order.
+func RequestKinds() []string {
+	return []string{
+		"healthz", "metrics", "profiles",
+		"predict", "simulate", "compare", "plan", "calibrate", "other",
+	}
+}
+
 // New builds a Service with the given options.
 func New(opts Options) *Service {
 	opts.applyDefaults()
-	return &Service{
+	s := &Service{
 		opts:       opts,
 		sem:        make(chan struct{}, opts.Workers),
 		cache:      newShardedCache(opts.CacheSize),
@@ -195,6 +234,33 @@ func New(opts Options) *Service {
 		profiles:   newProfileRegistry(opts.MaxProfiles, opts.ProfileTTL),
 		predictors: sync.Pool{New: func() any { return core.NewPredictor() }},
 	}
+	for i := range s.reqHist {
+		s.reqHist[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
+	}
+	for i := range s.stageHist {
+		s.stageHist[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
+	}
+	return s
+}
+
+// observeRequest records one finished HTTP request into its kind's latency
+// histogram (out-of-range kinds fold into "other").
+func (s *Service) observeRequest(kind int, d time.Duration) {
+	if kind < 0 || kind >= numKinds {
+		kind = kindOther
+	}
+	s.reqHist[kind].Observe(d.Seconds())
+}
+
+// endSpan records one completed stage span — started at start — into both
+// the request's trace (nil traces are no-ops) and the service-wide stage
+// histogram. Call sites use `defer s.endSpan(tr, stage, time.Now())`: the
+// argument form keeps the defer open-coded and closure-free, so a span
+// costs two clock reads and no allocation.
+func (s *Service) endSpan(tr *obs.Trace, stage obs.Stage, start time.Time) {
+	d := time.Since(start)
+	tr.Add(stage, d)
+	s.stageHist[stage].Observe(d.Seconds())
 }
 
 // Metrics returns a snapshot of the service counters.
@@ -216,15 +282,35 @@ func (s *Service) Metrics() Metrics {
 		ModelInnerIterations: s.innerIters.Load(),
 		WarmPredictions:      s.warmPredicts.Load(),
 		RateLimited:          s.rateLimited.Load(),
+
+		RequestDurations: make(map[string]obs.HistogramSnapshot, numKinds),
+		StageDurations:   make(map[string]obs.HistogramSnapshot, obs.NumStages),
 	}
 	if tot := m.CacheHits + m.CacheMisses; tot > 0 {
 		m.HitRate = float64(m.CacheHits) / float64(tot)
+	}
+	for i, name := range RequestKinds() {
+		m.RequestDurations[name] = s.reqHist[i].Snapshot()
+	}
+	for i, h := range s.stageHist {
+		m.StageDurations[obs.Stage(i).String()] = h.Snapshot()
 	}
 	return m
 }
 
 // acquire takes a worker-pool slot, honoring cancellation while queued.
+// The wait is recorded as the request's queue_wait stage.
 func (s *Service) acquire(ctx context.Context) error {
+	select {
+	case s.sem <- struct{}{}:
+		// A slot was free: record the zero-length wait without paying two
+		// clock reads on the common uncontended path.
+		obs.FromContext(ctx).Add(obs.StageQueueWait, 0)
+		s.stageHist[obs.StageQueueWait].Observe(0)
+		return nil
+	default:
+	}
+	defer s.endSpan(obs.FromContext(ctx), obs.StageQueueWait, time.Now())
 	select {
 	case s.sem <- struct{}{}:
 		return nil
@@ -241,8 +327,13 @@ func (s *Service) release() { <-s.sem }
 // (acquire/release) so that uninterruptible work can keep its slot past a
 // caller's cancellation.
 func (s *Service) cachedCompute(ctx context.Context, key string, compute func() (any, error)) (any, bool, error) {
-	if v, ok := s.cache.get(key); ok {
+	tr := obs.FromContext(ctx)
+	lookupStart := time.Now()
+	v, ok := s.cache.get(key)
+	s.endSpan(tr, obs.StageCacheLookup, lookupStart)
+	if ok {
 		s.hits.Add(1)
+		tr.AddCounter(obs.CounterCacheHits, 1)
 		return v, true, nil
 	}
 	// The leader rechecks the cache before computing: it may have become a
@@ -266,8 +357,10 @@ func (s *Service) cachedCompute(ctx context.Context, key string, compute func() 
 	}
 	if shared || fromCache {
 		s.hits.Add(1)
+		tr.AddCounter(obs.CounterCacheHits, 1)
 	} else {
 		s.misses.Add(1)
+		tr.AddCounter(obs.CounterCacheMisses, 1)
 	}
 	return v, shared || fromCache, nil
 }
@@ -333,14 +426,16 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictRespo
 	return s.predict(ctx, req)
 }
 
-// resolveProfile fills req's resolved snapshot from its Profile name. A
-// request that already carries a snapshot (a plan candidate) keeps it, so
-// one plan stays internally consistent even when a concurrent Calibrate
-// swaps the name mid-flight.
-func (s *Service) resolveProfile(name string, resolved **calibratedProfile) error {
+// resolveProfile fills req's resolved snapshot from its Profile name,
+// recording the lookup as the request's profile_resolve stage. A request
+// that already carries a snapshot (a plan candidate) keeps it, so one plan
+// stays internally consistent even when a concurrent Calibrate swaps the
+// name mid-flight.
+func (s *Service) resolveProfile(ctx context.Context, name string, resolved **calibratedProfile) error {
 	if *resolved != nil || name == "" {
 		return nil
 	}
+	defer s.endSpan(obs.FromContext(ctx), obs.StageProfileResolve, time.Now())
 	p, err := s.profiles.resolve(name)
 	if err != nil {
 		return invalid(err)
@@ -368,7 +463,7 @@ func (s *Service) predictEval(ctx context.Context, req PredictRequest, chain *co
 	if err := req.validate(); err != nil {
 		return PredictResponse{}, invalid(err)
 	}
-	if err := s.resolveProfile(req.Profile, &req.resolved); err != nil {
+	if err := s.resolveProfile(ctx, req.Profile, &req.resolved); err != nil {
 		return PredictResponse{}, err
 	}
 	v, cached, err := s.cachedCompute(ctx, predictKey(req), func() (any, error) {
@@ -382,15 +477,18 @@ func (s *Service) predictEval(ctx context.Context, req PredictRequest, chain *co
 		if req.resolved != nil {
 			cfg.History = req.resolved.history
 		}
+		tr := obs.FromContext(ctx)
+		solveStart := time.Now()
 		var pred core.Prediction
 		var err error
 		if chain != nil {
-			pred, err = chain.PredictWarm(cfg)
+			pred, err = chain.PredictWarmContext(ctx, cfg)
 		} else {
 			p := s.predictors.Get().(*core.Predictor)
-			pred, err = p.Predict(cfg)
+			pred, err = p.PredictContext(ctx, cfg)
 			s.predictors.Put(p)
 		}
+		s.endSpan(tr, obs.StageModelSolve, solveStart)
 		if err != nil {
 			return nil, err
 		}
@@ -398,6 +496,12 @@ func (s *Service) predictEval(ctx context.Context, req PredictRequest, chain *co
 		s.innerIters.Add(int64(pred.InnerIterations))
 		if pred.WarmStarted {
 			s.warmPredicts.Add(1)
+		}
+		tr.AddCounter(obs.CounterPredicts, 1)
+		tr.AddCounter(obs.CounterOuterIterations, int64(pred.Iterations))
+		tr.AddCounter(obs.CounterInnerIterations, int64(pred.InnerIterations))
+		if pred.WarmStarted {
+			tr.AddCounter(obs.CounterWarmStarted, 1)
 		}
 		return pred, nil
 	})
@@ -503,12 +607,20 @@ func (s *Service) runSim(ctx context.Context, key string, req SimulateRequest) (
 	}
 	done := make(chan outcome, 1)
 	s.inFlightSims.Add(1)
+	// The trace is captured before spawning: an orphaned run (caller gone)
+	// still records its simulate span — Trace is mutex-guarded, so late
+	// recording is safe even after the response was written.
+	tr := obs.FromContext(ctx)
 	go func() {
 		defer s.release()
 		defer s.inFlightSims.Add(-1)
+		start := time.Now()
 		res, err := mrsim.RunMedianOfSeeds(mrsim.Config{
 			Spec: req.Spec, Jobs: req.Jobs, Seed: req.Seed, Scheduler: req.Policy,
 		}, req.Reps)
+		d := time.Since(start)
+		tr.Add(obs.StageSimulate, d)
+		s.stageHist[obs.StageSimulate].Observe(d.Seconds())
 		if err == nil {
 			s.simRuns.Add(1)
 			// Also cache directly: when the caller has already given up, the
@@ -589,7 +701,7 @@ func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareRespo
 	if err := req.validate(s.opts.SimReps); err != nil {
 		return CompareResponse{}, invalid(err)
 	}
-	if err := s.resolveProfile(req.Profile, &req.resolved); err != nil {
+	if err := s.resolveProfile(ctx, req.Profile, &req.resolved); err != nil {
 		return CompareResponse{}, err
 	}
 	v, cached, err := s.cachedCompute(ctx, compareKey(req), func() (any, error) {
@@ -636,12 +748,17 @@ func (s *Service) runCompare(ctx context.Context, req CompareRequest) (CompareRe
 	if req.resolved != nil {
 		cfg.History = req.resolved.history
 	}
-	fj, err := core.Predict(cfg)
+	tr := obs.FromContext(ctx)
+	solveStart := time.Now()
+	fj, err := core.PredictContext(ctx, cfg)
+	s.endSpan(tr, obs.StageModelSolve, solveStart)
 	if err != nil {
 		return CompareResponse{}, err
 	}
 	cfg.Estimator = core.EstimatorTripathi
-	tp, err := core.Predict(cfg)
+	solveStart = time.Now()
+	tp, err := core.PredictContext(ctx, cfg)
+	s.endSpan(tr, obs.StageModelSolve, solveStart)
 	if err != nil {
 		return CompareResponse{}, err
 	}
