@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mrsim -nodes 4 -input-gb 1 -jobs 1 -reps 5 [-trace out.json] [-fair]
+//	      [-node-mttf 300 -repair 45] [-straggler-prob 0.1 -speculation] [-quantile 0.95]
 package main
 
 import (
@@ -32,6 +33,12 @@ func main() {
 		fair     = flag.Bool("fair", false, "fair scheduling across jobs (default FIFO; multi-job runs usually want -fair)")
 		traceOut = flag.String("trace", "", "write the median run's job-history trace to this file")
 		wl       = flag.String("workload", "wordcount", "wordcount | grep | terasort")
+
+		mttf     = flag.Float64("node-mttf", 0, "mean time to node failure in seconds (0 = no failures)")
+		repair   = flag.Float64("repair", 0, "failed nodes rejoin after this many seconds (0 = stay down)")
+		strag    = flag.Float64("straggler-prob", 0, "per-attempt probability of a Pareto-tail straggler slowdown")
+		specOn   = flag.Bool("speculation", false, "enable speculative re-execution of late map attempts")
+		quantile = flag.Float64("quantile", 0.5, "report the run at this mean-response quantile of the repetitions")
 	)
 	flag.Parse()
 
@@ -63,9 +70,18 @@ func main() {
 	if *fair {
 		pol = hadoop2perf.PolicyFair
 	}
-	res, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
-		Spec: spec, Jobs: jobList, Seed: *seed, Scheduler: pol,
-	}, *reps)
+	var faults *hadoop2perf.FaultPlan
+	if *mttf > 0 || *strag > 0 || *specOn {
+		faults = &hadoop2perf.FaultPlan{
+			NodeMTTFSec:    *mttf,
+			RepairDelaySec: *repair,
+			StragglerProb:  *strag,
+			Speculation:    *specOn,
+		}
+	}
+	res, err := hadoop2perf.SimulateQuantile(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: jobList, Seed: *seed, Scheduler: pol, Faults: faults,
+	}, *reps, *quantile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,6 +93,14 @@ func main() {
 	}
 	fmt.Printf("mean response: %.1f s, makespan: %.1f s, %d events\n",
 		res.MeanResponse(), res.Makespan, res.Events)
+	if st := res.Faults; st != nil {
+		fmt.Printf("faults: %d node failures (%d revocations, %d repairs), %d tasks killed, %d re-executed, %d speculative (%d won), %d stragglers\n",
+			st.NodeFailures, st.Revocations, st.NodeRepairs, st.TasksKilled,
+			st.TasksReexecuted, st.SpeculativeLaunched, st.SpeculativeWins, st.StragglersInjected)
+	}
+	if res.FailedSeeds > 0 {
+		fmt.Printf("warning: %d of %d seeded repetitions failed; quantiles use the surviving runs\n", res.FailedSeeds, *reps)
+	}
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -1,0 +1,136 @@
+// Failure-aware planning: real clusters lose nodes mid-job — hardware dies,
+// and cloud spot capacity gets revoked — yet the paper's model (and most
+// capacity planning) assumes a fault-free run. This example opens that
+// scenario axis end to end:
+//
+//  1. a fault scenario (node MTTF + repair, straggler tails, speculative
+//     re-execution) is injected into the discrete-event simulator, and the
+//     analytic model corrects its effective demands for the same scenario —
+//     the two are compared at the p50;
+//  2. the seeded repetitions stop being interchangeable under faults, so the
+//     simulator reports p50/p95/p99 over the batch: tail planning material;
+//  3. the planner sweeps reliable-vs-preemptible node mixes on the
+//     simulator at the p99, answering "which mix is cheapest while meeting
+//     the deadline even in bad draws?" — spot nodes are 3x cheaper but
+//     carry a revocation hazard.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+
+	"hadoop2perf"
+)
+
+// scenario is the fault plan shared by the simulator and the model: node
+// failures every ~5 minutes of node-time (repaired after 45 s), a 10%
+// Pareto-tail straggler chance, and Hadoop-style speculation fighting back.
+func scenario() *hadoop2perf.FaultPlan {
+	return &hadoop2perf.FaultPlan{
+		NodeMTTFSec:    300,
+		RepairDelaySec: 45,
+		StragglerProb:  0.1,
+		Speculation:    true,
+	}
+}
+
+// fleet is the procurement template: reliable on-demand nodes at price 3
+// versus preemptible spot nodes at price 1 that the provider revokes about
+// once per node-hour (revoked nodes rejoin like repaired ones).
+func fleet() hadoop2perf.Cluster {
+	spec := hadoop2perf.DefaultCluster(0)
+	spec.NumNodes = 0
+	spec.Classes = []hadoop2perf.NodeClass{
+		{Name: "reliable", Count: 8, Capacity: hadoop2perf.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110, Price: 3},
+		{Name: "spot", Count: 8, Capacity: hadoop2perf.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110,
+			Preemptible: true, RevocationRate: 60, Price: 1},
+	}
+	return spec
+}
+
+func main() {
+	log.SetFlags(0)
+	svc := hadoop2perf.NewService(hadoop2perf.ServiceOptions{})
+	job, err := hadoop2perf.NewJob(0, 4096, 128, 4, hadoop2perf.WordCount())
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := hadoop2perf.DefaultCluster(4)
+	ctx := context.Background()
+
+	// 1. Fault-free baseline, then the same configuration under the
+	// scenario: simulator p50 versus the model's analytic correction.
+	clean, err := svc.Simulate(ctx, hadoop2perf.SimulateRequest{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 7, Reps: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	faulty, err := svc.Simulate(ctx, hadoop2perf.SimulateRequest{
+		Spec: spec, Jobs: []hadoop2perf.Job{job}, Seed: 7, Reps: 7, Faults: scenario(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := svc.Predict(ctx, hadoop2perf.PredictRequest{
+		Spec: spec, Job: job, Faults: scenario(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	modelErr := (pred.Prediction.ResponseTime - faulty.Quantiles.P50) / faulty.Quantiles.P50
+	fmt.Printf("4-node cluster, 4 GB wordcount, scenario: MTTF 300 s / repair 45 s, 10%% stragglers, speculation\n\n")
+	fmt.Printf("  fault-free simulated p50:  %7.1f s\n", clean.Quantiles.P50)
+	fmt.Printf("  faulty     simulated p50:  %7.1f s   (p95 %.1f, p99 %.1f)\n",
+		faulty.Quantiles.P50, faulty.Quantiles.P95, faulty.Quantiles.P99)
+	fmt.Printf("  model with correction:     %7.1f s   (%+.1f%% vs simulated p50)\n",
+		pred.Prediction.ResponseTime, 100*modelErr)
+	if st := faulty.Result.Faults; st != nil {
+		fmt.Printf("  median run injected: %d node failures, %d tasks re-executed, %d speculative launches\n",
+			st.NodeFailures, st.TasksReexecuted, st.SpeculativeLaunched)
+	}
+	if math.Abs(modelErr) > 0.25 {
+		log.Fatalf("model drifted outside the calibrated envelope: %+.1f%%", 100*modelErr)
+	}
+
+	// 2. Tail-aware procurement: sweep reliable-vs-spot mixes on the
+	// simulator, judge each at its p99, pick the cheapest that still meets
+	// the deadline in bad draws.
+	const deadlineSec = 400.0
+	plan, err := svc.Plan(ctx, hadoop2perf.PlanRequest{
+		Spec: fleet(), Job: job,
+		ClassCounts:  [][]int{{6, 0}, {4, 2}, {2, 4}, {0, 6}},
+		UseSimulator: true, Seed: 11, Reps: 7,
+		Quantile:    0.99,
+		DeadlineSec: deadlineSec,
+		// Spot revocations come from the class table; the plan only adds the
+		// rejoin behavior of the pool.
+		Faults: &hadoop2perf.FaultPlan{RepairDelaySec: 45},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n6-node mixes under a %.0f s p99 deadline (spot revoked ~1/node-hour, price 1 vs 3):\n\n", deadlineSec)
+	fmt.Println("  reliable  spot   p99 response   meets SLA   price-weighted cost")
+	for _, c := range plan.Candidates {
+		if c.Err != "" {
+			log.Fatalf("mix %v failed: %s", c.ClassCounts, c.Err)
+		}
+		mark := "  no"
+		if c.Feasible {
+			mark = " YES"
+		}
+		fmt.Printf("  %8d  %4d   %10.1f s  %s  %16.0f\n",
+			c.ClassCounts[0], c.ClassCounts[1], c.ResponseTime, mark, c.Cost)
+	}
+	if plan.Best == nil {
+		fmt.Println("\nno mix meets the p99 deadline; add reliable nodes or relax the SLA")
+		return
+	}
+	fmt.Printf("\ncheapest mix meeting the p99 deadline: %d reliable + %d spot (cost %.0f)\n",
+		plan.Best.ClassCounts[0], plan.Best.ClassCounts[1], plan.Best.Cost)
+}

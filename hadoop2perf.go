@@ -23,6 +23,7 @@
 package hadoop2perf
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"hadoop2perf/internal/aria"
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/herodotou"
 	"hadoop2perf/internal/mrsim"
 	"hadoop2perf/internal/service"
@@ -64,6 +66,13 @@ type (
 	SimConfig = mrsim.Config
 	// SimResult is a simulated execution.
 	SimResult = mrsim.Result
+	// FaultPlan is a seeded fault-injection scenario: the simulator injects
+	// it, the analytic model corrects for it. Assign to SimConfig.Faults /
+	// ModelConfig.Faults; nil means no injected faults.
+	FaultPlan = fault.Plan
+	// FaultStats counts the fault activity of one simulated run
+	// (SimResult.Faults; nil when the scenario was inactive).
+	FaultStats = mrsim.FaultStats
 	// SchedulerPolicy orders applications in the RM's root queue.
 	SchedulerPolicy = yarn.Policy
 	// AriaEstimate holds ARIA makespan bounds.
@@ -174,6 +183,14 @@ func Simulate(cfg SimConfig) (SimResult, error) { return mrsim.Run(cfg) }
 // (the paper's measurement methodology, §5.1).
 func SimulateMedian(cfg SimConfig, reps int) (SimResult, error) {
 	return mrsim.RunMedianOfSeeds(cfg, reps)
+}
+
+// SimulateQuantile runs reps seeded simulations and returns the run at the
+// given mean-response quantile (0.5, 0.95, 0.99, ...). Under a fault
+// scenario the upper quantiles expose the bad draws — the runs where node
+// losses or straggler tails actually hurt.
+func SimulateQuantile(cfg SimConfig, reps int, q float64) (SimResult, error) {
+	return mrsim.RunQuantileOfSeeds(context.Background(), cfg, reps, q)
 }
 
 // WriteTrace serializes a simulated execution as a job-history trace

@@ -66,6 +66,17 @@ type NodeClass struct {
 	// demands divide by it (1 = the calibrated baseline generation; 2 = twice
 	// as fast). Zero means 1.
 	Speed float64 `json:"speed,omitempty"`
+	// Preemptible marks spot-style capacity that the provider can revoke
+	// mid-job; revoked nodes vanish like failed nodes (simulator) and carry
+	// an extra failure hazard (model correction).
+	Preemptible bool `json:"preemptible,omitempty"`
+	// RevocationRate is the expected number of revocations per node per hour
+	// of a preemptible class (exponential hazard). Requires Preemptible.
+	RevocationRate float64 `json:"revocationRate,omitempty"`
+	// Price is the relative cost of one node-second of this class; the
+	// planner ranks candidates by price-weighted node-seconds. Zero means the
+	// default 1 (every class priced equally).
+	Price float64 `json:"price,omitempty"`
 }
 
 // SpeedFactor returns the effective compute-speed multiplier (Speed, or 1
@@ -73,6 +84,15 @@ type NodeClass struct {
 func (c NodeClass) SpeedFactor() float64 {
 	if c.Speed > 0 {
 		return c.Speed
+	}
+	return 1
+}
+
+// PriceFactor returns the relative node-second price (Price, or 1 when
+// unset).
+func (c NodeClass) PriceFactor() float64 {
+	if c.Price > 0 {
+		return c.Price
 	}
 	return 1
 }
@@ -92,6 +112,12 @@ func (c NodeClass) validate() error {
 		return fmt.Errorf("cluster: class %q: DiskMBps and NetworkMBps must be positive", c.Name)
 	case c.Speed < 0:
 		return fmt.Errorf("cluster: class %q: Speed must be nonnegative", c.Name)
+	case c.RevocationRate < 0:
+		return fmt.Errorf("cluster: class %q: RevocationRate must be nonnegative", c.Name)
+	case c.RevocationRate > 0 && !c.Preemptible:
+		return fmt.Errorf("cluster: class %q: RevocationRate requires Preemptible", c.Name)
+	case c.Price < 0:
+		return fmt.Errorf("cluster: class %q: Price must be nonnegative", c.Name)
 	}
 	return nil
 }
@@ -152,6 +178,28 @@ func Default(numNodes int) Spec {
 
 // Heterogeneous reports whether the spec uses the class form.
 func (s Spec) Heterogeneous() bool { return len(s.Classes) > 0 }
+
+// HasRevocations reports whether any class carries a preemptible revocation
+// hazard (so fault mechanics are active even without an explicit fault plan).
+func (s Spec) HasRevocations() bool {
+	for _, c := range s.Classes {
+		if c.Preemptible && c.RevocationRate > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// PriceWeight is the cluster's total relative price per second: the sum of
+// Count×PriceFactor over classes (exactly TotalNodes when no class sets a
+// price). Planner cost rankings multiply it by response time.
+func (s Spec) PriceWeight() float64 {
+	var w float64
+	for _, c := range s.ClassView() {
+		w += float64(c.Count) * c.PriceFactor()
+	}
+	return w
+}
 
 // ClassView returns the canonical class table: Classes when set, otherwise a
 // single synthesized class mirroring the flat fields. The returned slice

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/fault"
+	"hadoop2perf/internal/mrsim"
+	"hadoop2perf/internal/workload"
+)
+
+// reliableSpotSpec is the calibration scenario's 2-class cluster: two
+// reliable nodes plus two preemptible spot nodes revoked at 60/node-hour.
+func reliableSpotSpec() cluster.Spec {
+	return cluster.Spec{
+		MapContainer:    cluster.Resource{MemoryMB: 4096, VCores: 2},
+		ReduceContainer: cluster.Resource{MemoryMB: 4096, VCores: 4},
+		Classes: []cluster.NodeClass{
+			{Name: "reliable", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+				CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110},
+			{Name: "spot", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+				CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110,
+				Preemptible: true, RevocationRate: 60, Price: 0.3},
+		},
+	}
+}
+
+// A nil and a zero fault plan leave predictions bit-identical to the
+// fault-free model (over a spec without revocation hazards).
+func TestFaultFreePredictionBitIdentical(t *testing.T) {
+	spec := cluster.Default(4)
+	job, err := workload.NewJob(0, 2048, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Predict(Config{Spec: spec, Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero, err := Predict(Config{Spec: spec, Job: job, Faults: &fault.Plan{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ResponseTime != zero.ResponseTime || !reflect.DeepEqual(base.ClassResponse, zero.ClassResponse) {
+		t.Errorf("zero fault plan perturbed the prediction: %v != %v", base.ResponseTime, zero.ResponseTime)
+	}
+}
+
+// An active plan must slow the prediction down, monotonically in hazard.
+func TestFaultCorrectionMonotone(t *testing.T) {
+	spec := cluster.Default(4)
+	job, err := workload.NewJob(0, 2048, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Predict(Config{Spec: spec, Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := base.ResponseTime
+	for _, mttf := range []float64{1200, 600, 300} {
+		p, err := Predict(Config{Spec: spec, Job: job, Faults: &fault.Plan{NodeMTTFSec: mttf, RepairDelaySec: 45}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ResponseTime <= prev {
+			t.Errorf("MTTF %v: response %.2f not above %.2f", mttf, p.ResponseTime, prev)
+		}
+		prev = p.ResponseTime
+	}
+	if _, err := Predict(Config{Spec: spec, Job: job, Faults: &fault.Plan{NodeMTTFSec: -1}}); err == nil {
+		t.Error("invalid fault plan accepted")
+	}
+}
+
+// The calibration grid: the analytic effective-demand correction must track
+// the simulator's fault-injected p50 within 25% on pinned seeded scenarios,
+// including a 2-class reliable+spot cluster. The envelope's documented edge —
+// cluster-wide MTBF approaching the job duration (e.g. hot revocation rates
+// combined with low node MTTF) — is excluded; PERFORMANCE.md records the
+// degradation there.
+func TestFaultCalibrationGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration grid runs 5-seed simulations per point")
+	}
+	mttfRepair := &fault.Plan{NodeMTTFSec: 600, RepairDelaySec: 45}
+	hotMTTF := &fault.Plan{NodeMTTFSec: 300, RepairDelaySec: 60}
+	stragglers := &fault.Plan{StragglerProb: 0.2, StragglerAlpha: 2.5}
+	speculation := &fault.Plan{StragglerProb: 0.2, StragglerAlpha: 2.5, Speculation: true}
+	combined := &fault.Plan{NodeMTTFSec: 400, RepairDelaySec: 45, StragglerProb: 0.15, Speculation: true}
+
+	type point struct {
+		name string
+		spec cluster.Spec
+		gb   float64
+		plan *fault.Plan
+	}
+	grid := []point{
+		{"4n-2g/mttf-repair", cluster.Default(4), 2, mttfRepair},
+		{"4n-2g/hot-mttf", cluster.Default(4), 2, hotMTTF},
+		{"4n-2g/stragglers", cluster.Default(4), 2, stragglers},
+		{"4n-2g/speculation", cluster.Default(4), 2, speculation},
+		{"4n-2g/combined", cluster.Default(4), 2, combined},
+		{"4n-5g/mttf-repair", cluster.Default(4), 5, mttfRepair},
+		{"4n-5g/hot-mttf", cluster.Default(4), 5, hotMTTF},
+		{"4n-5g/stragglers", cluster.Default(4), 5, stragglers},
+		{"4n-5g/speculation", cluster.Default(4), 5, speculation},
+		{"2class-2g/revocation-only", reliableSpotSpec(), 2, nil},
+		{"2class-2g/mttf-repair", reliableSpotSpec(), 2, mttfRepair},
+		{"2class-2g/stragglers", reliableSpotSpec(), 2, stragglers},
+		{"2class-2g/speculation", reliableSpotSpec(), 2, speculation},
+		{"2class-2g/combined", reliableSpotSpec(), 2, combined},
+	}
+	const tolerance = 0.25
+	for _, pt := range grid {
+		pt := pt
+		t.Run(pt.name, func(t *testing.T) {
+			nodes := pt.spec.TotalNodes()
+			job, err := workload.NewJob(0, pt.gb*1024, 128, nodes, workload.WordCount())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sim, err := mrsim.RunMedianOfSeeds(mrsim.Config{
+				Spec: pt.spec, Jobs: []workload.Job{job}, Seed: 1, Faults: pt.plan,
+			}, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := Predict(Config{Spec: pt.spec, Job: job, Faults: pt.plan})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sim.MeanResponse()
+			if s <= 0 {
+				t.Fatal("non-positive simulated response")
+			}
+			if rel := math.Abs(pred.ResponseTime-s) / s; rel > tolerance {
+				t.Errorf("model %.1fs vs simulated p50 %.1fs: |rel err| %.1f%% > %.0f%%",
+					pred.ResponseTime, s, 100*rel, 100*tolerance)
+			}
+		})
+	}
+}
+
+// Resource estimates inherit the fault correction: an active plan consumes
+// strictly more effective demand.
+func TestFaultResourceEstimate(t *testing.T) {
+	spec := cluster.Default(4)
+	job, err := workload.NewJob(0, 1024, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _, err := EstimateResources(Config{Spec: spec, Job: job})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, _, err := EstimateResources(Config{Spec: spec, Job: job,
+		Faults: &fault.Plan{NodeMTTFSec: 300, RepairDelaySec: 60, StragglerProb: 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Total.CPUSeconds <= base.Total.CPUSeconds ||
+		faulty.Total.DiskSeconds <= base.Total.DiskSeconds {
+		t.Errorf("fault plan did not inflate resource demand: %+v vs %+v", faulty.Total, base.Total)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/dist"
+	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/mva"
 	"hadoop2perf/internal/ptree"
 	"hadoop2perf/internal/timeline"
@@ -165,6 +166,14 @@ type Config struct {
 	// from a parsed job-history trace (§4.2.1, first approach). When nil, the
 	// Herodotou static model provides initialization (second approach).
 	History map[timeline.Class]ClassStats
+	// Faults optionally applies the analytic effective-demand correction for
+	// a fault scenario (internal/fault): per-class demands inflate by the
+	// expected rework, lost capacity and straggler factors, and class CVs
+	// widen by the straggler mixture's dispersion — calibrated against the
+	// fault-injecting simulator (fault_test.go). Nil, and an all-zero plan
+	// over a spec without revocation hazards, leave every prediction
+	// bit-identical to the fault-free model.
+	Faults *fault.Plan
 }
 
 func (c *Config) applyDefaults() {
@@ -286,6 +295,10 @@ type Predictor struct {
 	warm     warmPool
 	seedRows [][]float64
 	lastStep mva.OverlapResult
+
+	// infl is the fault effective-demand correction of the current
+	// prediction (the identity without a fault scenario).
+	infl fault.Inflation
 }
 
 // hwView is the per-prediction hardware resolution of a cluster spec: the
@@ -468,9 +481,13 @@ func (p *Predictor) predict(ctx context.Context, cfg Config, seed *warmEntry, fa
 	if cfg.Job.NumMaps() == 0 {
 		return Prediction{}, errors.New("core: job has no map tasks")
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return Prediction{}, err
+	}
 
 	p.hw.init(cfg.Spec)
-	classes := initialize(cfg, &p.hw)
+	p.infl = faultFactors(cfg, &p.hw)
+	classes := initialize(cfg, &p.hw, p.infl)
 
 	prevTotal := math.Inf(1)
 	var (
@@ -576,8 +593,11 @@ const schedulingLatency = 0.5
 // (all resources to maps, then to reduces ⇒ response = uncontended demand).
 // Heterogeneous clusters seed the class aggregates with the count-weighted
 // average hardware; the MVA step then re-prices each placed task against its
-// node's actual class (demandsFor).
-func initialize(cfg Config, h *hwView) map[timeline.Class]*classData {
+// node's actual class (demandsFor). A fault scenario scales each class's
+// demand vector by its effective-demand factor and widens the class CVs by
+// the straggler mixture's dispersion; the identity correction changes no
+// bits.
+func initialize(cfg Config, h *hwView, infl fault.Inflation) map[timeline.Class]*classData {
 	md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, h.avgDisk)
 	ss := cfg.Job.ShuffleSortDemands(h.avgNet, h.avgDisk)
 	mg := cfg.Job.MergeDemands(h.avgDisk)
@@ -600,15 +620,65 @@ func initialize(cfg Config, h *hwView) map[timeline.Class]*classData {
 				cd.cv = h.CV
 			}
 		}
+		f := classFactor(infl, cls)
+		cd.demCPU *= f
+		cd.demDisk *= f
+		cd.demNetwork *= f
 		if cd.response <= 0 {
 			cd.response = cd.demandTotal()
 		}
 		if cd.cv <= 0 {
 			cd.cv = leafCVFor(cfg, cls)
 		}
+		if infl.FactorCV > 0 {
+			// Variance of a product of independent factors:
+			// 1+cv'² = (1+cv²)(1+cv_f²).
+			cd.cv = math.Sqrt((1+cd.cv*cd.cv)*(1+infl.FactorCV*infl.FactorCV) - 1)
+		}
 		classes[cls] = cd
 	}
 	return classes
+}
+
+// classFactor maps a task class to its effective-demand inflation factor.
+func classFactor(infl fault.Inflation, cls timeline.Class) float64 {
+	switch cls {
+	case timeline.ClassShuffleSort:
+		return infl.ShuffleSort
+	case timeline.ClassMerge:
+		return infl.Merge
+	default:
+		return infl.Map
+	}
+}
+
+// faultFactors sizes the per-class fault exposure from the uncorrected
+// static demands and returns the plan's effective-demand inflation (the
+// identity when no fault scenario is active, so the fault-free model stays
+// bit-exact).
+func faultFactors(cfg Config, h *hwView) fault.Inflation {
+	if !fault.Active(cfg.Faults, cfg.Spec) {
+		return fault.None()
+	}
+	md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, h.avgDisk)
+	ss := cfg.Job.ShuffleSortDemands(h.avgNet, h.avgDisk)
+	mg := cfg.Job.MergeDemands(h.avgDisk)
+	expMap := md.CPU*h.avgInvSpeed + schedulingLatency + md.Disk + md.Network
+	expRed := ss.CPU*h.avgInvSpeed + schedulingLatency + ss.Disk + ss.Network +
+		mg.CPU*h.avgInvSpeed + mg.Disk + mg.Network
+	slots := 0
+	for i, c := range h.classes {
+		slots += c.Count * h.mapsPer[i]
+	}
+	waves := 1.0
+	if slots > 0 {
+		waves = math.Ceil(float64(cfg.Job.NumMaps()) / float64(slots))
+	}
+	return fault.Inflate(cfg.Faults, cfg.Spec, fault.Exposure{
+		Map:     expMap,
+		Reduce:  expRed,
+		Horizon: waves*expMap + expRed,
+	})
 }
 
 func leafCVFor(cfg Config, cls timeline.Class) float64 {
@@ -731,12 +801,20 @@ func (p *Predictor) durationScales(cfg Config, classes map[timeline.Class]*class
 			sp := c.SpeedFactor()
 			if scaleMaps {
 				md := cfg.Job.MapDemands(cfg.Job.BlockSizeMB, c.DiskMBps)
-				sm = (md.CPU/sp + schedulingLatency + md.Disk + md.Network) / mapAvg
+				// The class averages carry the fault inflation; scaling the
+				// fresh per-class demand by the same factor keeps the ratio
+				// purely hardware (×1.0 is bit-exact on the fault-free path).
+				sm = (md.CPU/sp + schedulingLatency + md.Disk + md.Network) * p.infl.Map / mapAvg
 			}
 			if scaleReds {
 				ss := cfg.Job.ShuffleSortDemands(c.NetworkMBps, c.DiskMBps)
 				mg := cfg.Job.MergeDemands(c.DiskMBps)
-				sr = (ss.CPU/sp + schedulingLatency + ss.Disk + mg.CPU/sp + mg.Disk) / redAvg
+				num := ss.CPU/sp + schedulingLatency + ss.Disk + mg.CPU/sp + mg.Disk
+				if p.infl.ShuffleSort != 1 || p.infl.Merge != 1 {
+					num = (ss.CPU/sp+schedulingLatency+ss.Disk)*p.infl.ShuffleSort +
+						(mg.CPU/sp+mg.Disk)*p.infl.Merge
+				}
+				sr = num / redAvg
 			}
 		}
 		p.mapScale[n] = sm
@@ -939,24 +1017,26 @@ func laneOverlap(ti, tj timeline.Placed, windows map[laneKey]laneWindow, pairwis
 // final split may be short). History-backed demands apply uniformly — a
 // trace already embodies the hardware mix it was measured on — gated per
 // class so a partial profile keeps class-pricing the phases it does not
-// cover.
-func taskDemandOn(cfg Config, h *hwView, t timeline.Placed, classes map[timeline.Class]*classData) (cpu, disk, net float64) {
+// cover. infl scales the result by the class's fault effective-demand
+// factor (history demands were already scaled in initialize).
+func taskDemandOn(cfg Config, h *hwView, t timeline.Placed, classes map[timeline.Class]*classData, infl fault.Inflation) (cpu, disk, net float64) {
 	if _, ok := cfg.History[t.Class]; ok {
 		cd := classes[t.Class]
 		return cd.demCPU, cd.demDisk, cd.demNetwork
 	}
 	c := h.classes[h.classOf[t.Node]]
 	sp := c.SpeedFactor()
+	f := classFactor(infl, t.Class)
 	switch t.Class {
 	case timeline.ClassMap:
 		d := cfg.Job.MapDemands(cfg.Job.SplitMB(t.ID), c.DiskMBps)
-		return d.CPU/sp + schedulingLatency, d.Disk, d.Network
+		return (d.CPU/sp + schedulingLatency) * f, d.Disk * f, d.Network * f
 	case timeline.ClassShuffleSort:
 		d := cfg.Job.ShuffleSortDemands(c.NetworkMBps, c.DiskMBps)
-		return d.CPU/sp + schedulingLatency, d.Disk, d.Network
+		return (d.CPU/sp + schedulingLatency) * f, d.Disk * f, d.Network * f
 	default:
 		d := cfg.Job.MergeDemands(c.DiskMBps)
-		return d.CPU / sp, d.Disk, d.Network
+		return d.CPU / sp * f, d.Disk * f, d.Network * f
 	}
 }
 
@@ -984,7 +1064,7 @@ func (p *Predictor) demandsFor(cfg Config, tl *timeline.Timeline, classes map[ti
 	out := p.demands[:n]
 	netC := hw.netCenter()
 	for i, t := range tl.Tasks {
-		cpu, disk, net := taskDemandOn(cfg, hw, t, classes)
+		cpu, disk, net := taskDemandOn(cfg, hw, t, classes, p.infl)
 		d := out[i].Demands
 		clear(d)
 		ci := hw.classOf[t.Node]

@@ -53,9 +53,10 @@ func EstimateResources(cfg Config) (ResourceEstimate, Prediction, error) {
 	est := ResourceEstimate{PerClass: map[timeline.Class]ResourceUse{}}
 	var h hwView
 	h.init(cfg.Spec)
-	classes := initialize(cfg, &h)
+	infl := faultFactors(cfg, &h)
+	classes := initialize(cfg, &h, infl)
 	for _, t := range pred.Timeline.Tasks {
-		cpu, disk, net := taskDemandOn(cfg, &h, t, classes)
+		cpu, disk, net := taskDemandOn(cfg, &h, t, classes, infl)
 		est.PerClass[t.Class] = est.PerClass[t.Class].add(cpu, disk, net)
 		est.Total = est.Total.add(cpu, disk, net)
 	}

@@ -264,6 +264,18 @@ func warmSig(cfg *Config) uint64 {
 		h.f64(c.DiskMBps)
 		h.f64(c.NetworkMBps)
 		h.f64(c.Speed)
+		h.b(c.Preemptible)
+		h.f64(c.RevocationRate)
+	}
+	h.b(cfg.Faults != nil)
+	if f := cfg.Faults; f != nil {
+		h.f64(f.NodeMTTFSec)
+		h.f64(f.RepairDelaySec)
+		h.i(f.MaxNodeFailures)
+		h.f64(f.StragglerProb)
+		h.f64(f.StragglerAlpha)
+		h.b(f.Speculation)
+		h.f64(f.SpeculationLateness)
 	}
 	return h.sum
 }

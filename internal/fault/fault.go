@@ -1,0 +1,298 @@
+// Package fault describes fault-injection scenarios shared by the
+// discrete-event simulator and the analytic model. The simulator
+// (internal/mrsim) *injects* a Plan — seeded node failures, heavy-tailed
+// straggler jitter, speculative re-execution — while the model
+// (internal/core) *corrects* for the same Plan analytically, inflating
+// per-class effective demands by the expected rework so the fast fixed-point
+// path keeps tracking failure-mode response times.
+//
+// Keeping the scenario description in one dependency-light package
+// guarantees both paths interpret a request's `faults` block identically.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hadoop2perf/internal/cluster"
+)
+
+// Plan is a seeded fault-injection scenario. The zero value (and nil) means
+// "no injected faults": simulations and predictions are then bit-identical
+// to fault-free runs. Preemptible node classes with a revocation rate are
+// revoked even under a nil Plan — that hazard belongs to the cluster spec.
+type Plan struct {
+	// NodeMTTFSec is the per-node mean time to failure in seconds
+	// (exponential hazard); 0 disables MTTF-driven failures.
+	NodeMTTFSec float64 `json:"nodeMTTFSec,omitempty"`
+	// RepairDelaySec rejoins a failed node (empty, full capacity) after this
+	// many seconds; 0 means failed nodes stay down for the rest of the run.
+	RepairDelaySec float64 `json:"repairDelaySec,omitempty"`
+	// MaxNodeFailures caps the total number of injected node losses
+	// (including revocations); 0 means unlimited.
+	MaxNodeFailures int `json:"maxNodeFailures,omitempty"`
+	// StragglerProb is the per-attempt probability of drawing a Pareto-tail
+	// slowdown on top of the profile's lognormal jitter; 0 disables.
+	StragglerProb float64 `json:"stragglerProb,omitempty"`
+	// StragglerAlpha is the Pareto shape of the straggler multiplier
+	// (minimum 1×); must be > 1 so the mean exists. 0 selects the default.
+	StragglerAlpha float64 `json:"stragglerAlpha,omitempty"`
+	// Speculation enables Hadoop-style speculative re-execution of late map
+	// attempts: a backup copy of the slowest late task, first finisher wins,
+	// the loser is killed with its resource demand still charged.
+	Speculation bool `json:"speculation,omitempty"`
+	// SpeculationLateness is the multiple of the running mean map duration
+	// past which an attempt is considered late; must be >= 1. 0 selects the
+	// default.
+	SpeculationLateness float64 `json:"speculationLateness,omitempty"`
+}
+
+// Defaults for the optional knobs.
+const (
+	DefaultStragglerAlpha      = 2.5
+	DefaultSpeculationLateness = 1.5
+)
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool {
+	if p == nil {
+		return false
+	}
+	return p.NodeMTTFSec > 0 || p.StragglerProb > 0 || p.Speculation
+}
+
+// Alpha returns the Pareto shape, defaulted.
+func (p *Plan) Alpha() float64 {
+	if p == nil || p.StragglerAlpha == 0 {
+		return DefaultStragglerAlpha
+	}
+	return p.StragglerAlpha
+}
+
+// Lateness returns the speculation lateness threshold, defaulted.
+func (p *Plan) Lateness() float64 {
+	if p == nil || p.SpeculationLateness == 0 {
+		return DefaultSpeculationLateness
+	}
+	return p.SpeculationLateness
+}
+
+// Validate rejects non-finite or out-of-range knobs. A nil plan is valid.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"nodeMTTFSec", p.NodeMTTFSec},
+		{"repairDelaySec", p.RepairDelaySec},
+		{"stragglerProb", p.StragglerProb},
+		{"stragglerAlpha", p.StragglerAlpha},
+		{"speculationLateness", p.SpeculationLateness},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) || f.v < 0 {
+			return fmt.Errorf("fault: %s must be finite and non-negative (got %v)", f.name, f.v)
+		}
+	}
+	if p.StragglerProb > 1 {
+		return fmt.Errorf("fault: stragglerProb must be in [0,1] (got %v)", p.StragglerProb)
+	}
+	if p.StragglerAlpha != 0 && p.StragglerAlpha <= 1 {
+		return fmt.Errorf("fault: stragglerAlpha must be > 1 so the straggler mean exists (got %v)", p.StragglerAlpha)
+	}
+	if p.SpeculationLateness != 0 && p.SpeculationLateness < 1 {
+		return fmt.Errorf("fault: speculationLateness must be >= 1 (got %v)", p.SpeculationLateness)
+	}
+	if p.MaxNodeFailures < 0 {
+		return errors.New("fault: maxNodeFailures must be >= 0")
+	}
+	return nil
+}
+
+// Active reports whether the scenario does anything for the given cluster:
+// either the plan injects faults, or the spec contains preemptible classes
+// with a revocation hazard.
+func Active(p *Plan, spec cluster.Spec) bool {
+	return p.Enabled() || spec.HasRevocations()
+}
+
+// NodeHazard returns the per-second failure hazard of one node of the given
+// class under the plan: the plan's MTTF hazard plus the class's revocation
+// hazard (RevocationRate is per node-hour).
+func NodeHazard(p *Plan, class cluster.NodeClass) float64 {
+	h := 0.0
+	if p != nil && p.NodeMTTFSec > 0 {
+		h += 1 / p.NodeMTTFSec
+	}
+	if class.Preemptible && class.RevocationRate > 0 {
+		h += class.RevocationRate / 3600
+	}
+	return h
+}
+
+// MeanHazard returns the count-weighted mean per-node hazard across the
+// cluster (per second).
+func MeanHazard(p *Plan, spec cluster.Spec) float64 {
+	total := 0
+	sum := 0.0
+	for _, class := range spec.ClassView() {
+		sum += NodeHazard(p, class) * float64(class.Count)
+		total += class.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// Exposure carries the model's rough uncontended task-duration estimates
+// used to size the rework expectation (all in seconds).
+type Exposure struct {
+	// Map is the mean uncontended duration of one map attempt.
+	Map float64
+	// Reduce is the mean uncontended duration of one whole reduce task
+	// (shuffle-sort plus merge): a reducer lost mid-flight redoes both.
+	Reduce float64
+	// Horizon is a rough job-duration estimate, used to amortize the
+	// capacity lost to permanently failed (unrepaired) nodes.
+	Horizon float64
+}
+
+// Inflation is the analytic effective-demand correction: multiplicative
+// factors (>= 1) applied to each task class's service demands, plus the
+// coefficient of variation of the per-attempt straggler multiplier (0 when
+// stragglers are off) so the model can widen its class CVs to match.
+type Inflation struct {
+	Map         float64
+	ShuffleSort float64
+	Merge       float64
+	FactorCV    float64
+}
+
+// None is the identity correction.
+func None() Inflation { return Inflation{Map: 1, ShuffleSort: 1, Merge: 1} }
+
+// contentionStretch converts uncontended demand into wall-clock exposure to
+// node failures: a task occupies its node roughly this multiple of its raw
+// demand once queueing and sharing are accounted for. Calibrated against the
+// simulator on the pinned grid in internal/core (fault calibration test).
+const contentionStretch = 0.75
+
+// maxRetryExponent caps the renewal exponent so absurd hazards saturate
+// instead of overflowing.
+const maxRetryExponent = 4.0
+
+// capacityAttenuation discounts the steady-state unavailability before it
+// becomes demand: lost node-seconds are partly absorbed by scheduling slack
+// (the simulator reruns killed work on idle peers), so the median run pays
+// only a fraction of the nominal capacity loss. Calibrated with
+// contentionStretch.
+const capacityAttenuation = 0.3
+
+// factorCVAttenuation scales the straggler mixture's dispersion before the
+// model folds it into class CVs: the response is set by per-wave maxima the
+// fork/join P rule already compounds level by level, so passing the raw
+// per-attempt CV through double-counts the tail. Calibrated with the two
+// constants above.
+const factorCVAttenuation = 0.25
+
+// Inflate computes the effective-demand correction for a plan over a
+// cluster. The three terms mirror the injection mechanics:
+//
+//   - retry rework: a task exposed to hazard λ for d seconds is re-run until
+//     it completes, inflating its expected total work by (e^{λd}-1)/(λd)
+//     (the renewal expectation for restarts under an exponential hazard);
+//   - capacity loss: node-seconds spent down are amortized into demand —
+//     unavailability repair/(MTTF+repair) for repairing nodes, and the mean
+//     dead fraction over the job horizon for permanent losses;
+//   - stragglers: the Pareto mixture raises the mean attempt multiplier to
+//     1+p(α/(α-1)-1); with speculation the response-effective tail is
+//     truncated at the backup-rescue point (lateness+1 mean durations) while
+//     the killed loser's demand is still charged as overhead.
+func Inflate(p *Plan, spec cluster.Spec, exp Exposure) Inflation {
+	if !Active(p, spec) {
+		return None()
+	}
+	lambda := MeanHazard(p, spec)
+
+	// Weight the retry and capacity terms by the probability that the job
+	// sees any node failure at all: a short job under a mild hazard usually
+	// dodges every failure, and its p50 pays nothing (the steady-state terms
+	// describe the long-run average, not the median of a brief exposure).
+	hitProb := 1.0
+	if lambda > 0 && exp.Horizon > 0 {
+		hitProb = 1 - math.Exp(-float64(spec.TotalNodes())*lambda*exp.Horizon)
+	}
+
+	retry := func(d float64) float64 {
+		x := lambda * d * contentionStretch
+		if x <= 0 {
+			return 1
+		}
+		if x > maxRetryExponent {
+			x = maxRetryExponent
+		}
+		return (math.Exp(x) - 1) / x
+	}
+
+	capacity := 1.0
+	if lambda > 0 {
+		var u float64 // expected fraction of node-time lost
+		if p != nil && p.RepairDelaySec > 0 {
+			u = lambda * p.RepairDelaySec / (1 + lambda*p.RepairDelaySec)
+		} else if exp.Horizon > 0 {
+			lt := lambda * exp.Horizon
+			u = 1 - (1-math.Exp(-lt))/lt
+		}
+		u *= capacityAttenuation
+		if u > 0.5 {
+			u = 0.5
+		}
+		capacity = 1 / (1 - u)
+	}
+
+	stragMean := 1.0 // straggler mean factor without speculation
+	stragMap := 1.0  // map factor (speculation rescues the map tail)
+	factorCV := 0.0
+	if p != nil && p.StragglerProb > 0 {
+		prob, alpha := p.StragglerProb, p.Alpha()
+		meanF := alpha / (alpha - 1) // E[Pareto(α, xm=1)]
+		stragMean = 1 + prob*(meanF-1)
+		stragMap = stragMean
+		if p.Speculation {
+			// Backup launched at lateness×mean and running ~1 mean rescues
+			// stragglers beyond c = lateness+1: E[min(F,c)] for Pareto. The
+			// killed loser's duplicate demand is charged by the simulator but
+			// drains in otherwise-idle sharing capacity, so it does not enter
+			// the response-effective factor.
+			c := p.Lateness() + 1
+			truncMean := (alpha - math.Pow(c, 1-alpha)) / (alpha - 1)
+			stragMap = 1 + prob*(truncMean-1)
+		}
+		// Second moment of the mixture multiplier (α clamped so it exists);
+		// the model folds this into its class CVs.
+		a2 := alpha
+		if a2 <= 2 {
+			a2 = 2.05
+		}
+		m2 := 1 - prob + prob*a2/(a2-2)
+		if cv2 := m2/(stragMean*stragMean) - 1; cv2 > 0 {
+			factorCV = math.Sqrt(cv2) * factorCVAttenuation
+		}
+	}
+
+	// rework composes retry and capacity, gated by the hit probability.
+	rework := func(d float64) float64 {
+		return 1 + (retry(d)*capacity-1)*hitProb
+	}
+
+	return Inflation{
+		Map:         rework(exp.Map) * stragMap,
+		ShuffleSort: rework(exp.Reduce) * stragMean,
+		Merge:       rework(exp.Reduce) * stragMean,
+		FactorCV:    factorCV,
+	}
+}

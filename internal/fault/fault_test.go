@@ -1,0 +1,157 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+)
+
+func spotSpec(rate float64) cluster.Spec {
+	return cluster.Spec{
+		MapContainer:    cluster.Resource{MemoryMB: 4096, VCores: 2},
+		ReduceContainer: cluster.Resource{MemoryMB: 4096, VCores: 4},
+		Classes: []cluster.NodeClass{
+			{Name: "reliable", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+				CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110},
+			{Name: "spot", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+				CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110,
+				Preemptible: true, RevocationRate: rate, Price: 0.3},
+		},
+	}
+}
+
+func TestEnabledAndActive(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Enabled() {
+		t.Error("nil plan enabled")
+	}
+	if (&Plan{}).Enabled() {
+		t.Error("zero plan enabled")
+	}
+	for _, p := range []*Plan{
+		{NodeMTTFSec: 100},
+		{StragglerProb: 0.1},
+		{Speculation: true},
+	} {
+		if !p.Enabled() {
+			t.Errorf("plan %+v not enabled", p)
+		}
+	}
+	flat := cluster.Default(4)
+	if Active(nil, flat) {
+		t.Error("nil plan over flat spec active")
+	}
+	if !Active(nil, spotSpec(60)) {
+		t.Error("revocation hazard not active under nil plan")
+	}
+	if Active(nil, spotSpec(0)) {
+		t.Error("zero revocation rate active")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	valid := []*Plan{
+		nil,
+		{},
+		{NodeMTTFSec: 300, RepairDelaySec: 60, MaxNodeFailures: 3},
+		{StragglerProb: 1, StragglerAlpha: 1.5, Speculation: true, SpeculationLateness: 2},
+	}
+	for _, p := range valid {
+		if err := p.Validate(); err != nil {
+			t.Errorf("valid plan %+v rejected: %v", p, err)
+		}
+	}
+	invalid := []*Plan{
+		{NodeMTTFSec: -1},
+		{NodeMTTFSec: math.NaN()},
+		{RepairDelaySec: math.Inf(1)},
+		{StragglerProb: 1.01},
+		{StragglerAlpha: 1},
+		{SpeculationLateness: 0.99},
+		{MaxNodeFailures: -1},
+	}
+	for _, p := range invalid {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid plan %+v accepted", p)
+		}
+	}
+}
+
+func TestNodeHazard(t *testing.T) {
+	spot := cluster.NodeClass{Preemptible: true, RevocationRate: 3600}
+	if h := NodeHazard(nil, spot); h != 1 {
+		t.Errorf("3600/hour revocation hazard = %v, want 1/s", h)
+	}
+	plan := &Plan{NodeMTTFSec: 2}
+	if h := NodeHazard(plan, cluster.NodeClass{}); h != 0.5 {
+		t.Errorf("MTTF 2s hazard = %v, want 0.5", h)
+	}
+	if h := NodeHazard(plan, spot); h != 1.5 {
+		t.Errorf("combined hazard = %v, want 1.5", h)
+	}
+	// Mean over 2 reliable + 2 spot nodes at 60/hour: (2*0 + 2*(60/3600))/4.
+	want := (2 * (60.0 / 3600)) / 4
+	if h := MeanHazard(nil, spotSpec(60)); math.Abs(h-want) > 1e-15 {
+		t.Errorf("mean hazard = %v, want %v", h, want)
+	}
+}
+
+func TestInflateIdentity(t *testing.T) {
+	exp := Exposure{Map: 20, Reduce: 50, Horizon: 100}
+	if got := Inflate(nil, cluster.Default(4), exp); got != None() {
+		t.Errorf("inactive scenario inflation = %+v, want identity", got)
+	}
+	if got := Inflate(&Plan{}, cluster.Default(4), exp); got != None() {
+		t.Errorf("zero plan inflation = %+v, want identity", got)
+	}
+}
+
+func TestInflateMonotoneInHazard(t *testing.T) {
+	exp := Exposure{Map: 20, Reduce: 50, Horizon: 100}
+	spec := cluster.Default(4)
+	prevMap, prevSS := 1.0, 1.0
+	for _, mttf := range []float64{1200, 600, 300, 150} {
+		inf := Inflate(&Plan{NodeMTTFSec: mttf, RepairDelaySec: 45}, spec, exp)
+		if inf.Map <= prevMap || inf.ShuffleSort <= prevSS {
+			t.Errorf("MTTF %v: inflation %+v not above previous (%v, %v)", mttf, inf, prevMap, prevSS)
+		}
+		if inf.FactorCV != 0 {
+			t.Errorf("MTTF-only plan has straggler CV %v", inf.FactorCV)
+		}
+		prevMap, prevSS = inf.Map, inf.ShuffleSort
+	}
+}
+
+func TestInflateStragglers(t *testing.T) {
+	exp := Exposure{Map: 20, Reduce: 50, Horizon: 100}
+	spec := cluster.Default(4)
+	plain := Inflate(&Plan{StragglerProb: 0.2, StragglerAlpha: 2.5}, spec, exp)
+	// Mean Pareto(2.5) factor is 5/3; mixture mean 1 + 0.2*(2/3).
+	want := 1 + 0.2*(2.5/1.5-1)
+	if math.Abs(plain.Map-want) > 1e-12 {
+		t.Errorf("straggler map factor %v, want %v", plain.Map, want)
+	}
+	if plain.FactorCV <= 0 {
+		t.Error("straggler mixture must widen CVs")
+	}
+	spec5 := Inflate(&Plan{StragglerProb: 0.2, StragglerAlpha: 2.5, Speculation: true}, spec, exp)
+	if spec5.Map >= plain.Map {
+		t.Errorf("speculation must shrink the map factor: %v >= %v", spec5.Map, plain.Map)
+	}
+	if spec5.ShuffleSort != plain.ShuffleSort {
+		t.Errorf("speculation altered the reduce-side factor: %v != %v", spec5.ShuffleSort, plain.ShuffleSort)
+	}
+}
+
+func TestInflateRevocations(t *testing.T) {
+	exp := Exposure{Map: 20, Reduce: 50, Horizon: 100}
+	inf := Inflate(nil, spotSpec(60), exp)
+	if inf.Map <= 1 || inf.ShuffleSort <= 1 || inf.Merge <= 1 {
+		t.Errorf("revocation hazard produced no inflation: %+v", inf)
+	}
+	hotter := Inflate(nil, spotSpec(240), exp)
+	if hotter.Map <= inf.Map {
+		t.Errorf("4x revocation rate did not raise inflation: %v <= %v", hotter.Map, inf.Map)
+	}
+}

@@ -1,0 +1,314 @@
+package mrsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/fault"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+func faultyConfig(t *testing.T, plan *fault.Plan) Config {
+	t.Helper()
+	return Config{
+		Spec:   cluster.Default(4),
+		Jobs:   []workload.Job{smallJob(t, 1024, 4)},
+		Seed:   7,
+		Faults: plan,
+	}
+}
+
+// A zero fault plan must leave the run bit-identical to no plan at all.
+func TestZeroFaultPlanBitIdentical(t *testing.T) {
+	base := run(t, faultyConfig(t, nil))
+	zero := run(t, faultyConfig(t, &fault.Plan{}))
+	if !reflect.DeepEqual(base, zero) {
+		t.Error("zero fault plan perturbed the simulation")
+	}
+	if base.Faults != nil || base.FailedSeeds != 0 {
+		t.Errorf("fault-free run carries fault annotations: %+v", base.Faults)
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	for _, plan := range []*fault.Plan{
+		{NodeMTTFSec: -1},
+		{StragglerProb: 1.5},
+		{StragglerAlpha: 1},
+		{SpeculationLateness: 0.5},
+		{MaxNodeFailures: -1},
+	} {
+		cfg := faultyConfig(t, plan)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("invalid plan %+v accepted", plan)
+		}
+	}
+	if _, err := Run(Config{
+		Spec: cluster.Default(2), Jobs: []workload.Job{smallJob(t, 256, 1)},
+		MaxEvents: -1,
+	}); err == nil {
+		t.Error("negative MaxEvents accepted")
+	}
+}
+
+// Same seed + same plan ⇒ bit-identical traces; different seeds ⇒ different
+// failure times.
+func TestFaultDeterminism(t *testing.T) {
+	plan := &fault.Plan{NodeMTTFSec: 400, RepairDelaySec: 60, StragglerProb: 0.1, Speculation: true}
+	a := run(t, faultyConfig(t, plan))
+	b := run(t, faultyConfig(t, plan))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seed+plan produced different results")
+	}
+	if a.Faults == nil {
+		t.Fatal("fault run missing stats")
+	}
+
+	cfg := faultyConfig(t, plan)
+	cfg.Seed = 8
+	c := run(t, cfg)
+	if reflect.DeepEqual(a.Jobs, c.Jobs) && reflect.DeepEqual(a.Faults, c.Faults) {
+		t.Error("different seeds produced identical faulty runs")
+	}
+}
+
+func TestNodeFailuresInjectedAndRepaired(t *testing.T) {
+	plan := &fault.Plan{NodeMTTFSec: 150, RepairDelaySec: 30}
+	res := run(t, faultyConfig(t, plan))
+	st := res.Faults
+	if st == nil || st.NodeFailures == 0 {
+		t.Fatalf("expected injected node failures, got %+v", st)
+	}
+	if st.NodeRepairs == 0 {
+		t.Errorf("expected repairs with RepairDelaySec set: %+v", st)
+	}
+	base := run(t, faultyConfig(t, nil))
+	if res.Jobs[0].Response <= 0 {
+		t.Fatal("faulty run produced nonpositive response")
+	}
+	// Killing work and re-running it should not make the job faster than the
+	// fault-free run by more than jitter noise; mostly it is slower.
+	if res.Jobs[0].Response < base.Jobs[0].Response*0.8 {
+		t.Errorf("faulty response %.1f implausibly faster than fault-free %.1f",
+			res.Jobs[0].Response, base.Jobs[0].Response)
+	}
+	if st.TasksKilled < st.TasksReexecuted {
+		t.Errorf("reexecuted %d > killed %d", st.TasksReexecuted, st.TasksKilled)
+	}
+}
+
+func TestMaxNodeFailuresCap(t *testing.T) {
+	plan := &fault.Plan{NodeMTTFSec: 100, RepairDelaySec: 20, MaxNodeFailures: 2}
+	res := run(t, faultyConfig(t, plan))
+	if res.Faults.NodeFailures > 2 {
+		t.Errorf("cap of 2 exceeded: %d failures", res.Faults.NodeFailures)
+	}
+}
+
+func TestSpeculativeExecution(t *testing.T) {
+	plan := &fault.Plan{StragglerProb: 0.3, StragglerAlpha: 1.3, Speculation: true}
+	res := run(t, faultyConfig(t, plan))
+	st := res.Faults
+	if st == nil || st.StragglersInjected == 0 {
+		t.Fatalf("expected stragglers, got %+v", st)
+	}
+	if st.SpeculativeLaunched == 0 {
+		t.Fatalf("expected speculative backups with a heavy tail, got %+v", st)
+	}
+	if st.SpeculativeWins > st.SpeculativeLaunched {
+		t.Errorf("wins %d exceed launches %d", st.SpeculativeWins, st.SpeculativeLaunched)
+	}
+	wins := 0
+	for _, tr := range res.Jobs[0].Tasks {
+		if tr.Speculative {
+			wins++
+		}
+	}
+	if wins != st.SpeculativeWins {
+		t.Errorf("trace marks %d speculative wins, stats say %d", wins, st.SpeculativeWins)
+	}
+	// Every map split completed exactly once.
+	maps := 0
+	for _, tr := range res.Jobs[0].Tasks {
+		if tr.Class == ClassMap {
+			maps++
+		}
+	}
+	if want := 1024 / 128; maps != want {
+		t.Errorf("%d map records, want %d", maps, want)
+	}
+}
+
+// Preemptible classes are revoked even without an explicit fault plan.
+func TestPreemptibleRevocation(t *testing.T) {
+	spec := cluster.Spec{
+		MapContainer:    cluster.Resource{MemoryMB: 4096, VCores: 2},
+		ReduceContainer: cluster.Resource{MemoryMB: 4096, VCores: 4},
+		Classes: []cluster.NodeClass{
+			{Name: "reliable", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+				CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110},
+			{Name: "spot", Count: 2, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+				CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110,
+				Preemptible: true, RevocationRate: 120, Price: 0.3},
+		},
+	}
+	res, err := Run(Config{Spec: spec, Jobs: []workload.Job{smallJob(t, 1024, 4)}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Faults
+	if st == nil {
+		t.Fatal("revocation hazard did not activate fault accounting")
+	}
+	if st.Revocations == 0 || st.Revocations != st.NodeFailures {
+		t.Errorf("want all failures to be spot revocations, got %+v", st)
+	}
+}
+
+// A multi-job faulty simulation under -race (CI runs the suite with -race).
+func TestFaultyMultiJobFair(t *testing.T) {
+	res, err := Run(Config{
+		Spec:      cluster.Default(4),
+		Jobs:      []workload.Job{smallJob(t, 512, 2), smallJob(t, 768, 3)},
+		Seed:      11,
+		Scheduler: yarn.PolicyFair,
+		Faults:    &fault.Plan{NodeMTTFSec: 250, RepairDelaySec: 45, StragglerProb: 0.15, Speculation: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 2 {
+		t.Fatalf("%d job results", len(res.Jobs))
+	}
+	for _, j := range res.Jobs {
+		if j.Response <= 0 {
+			t.Errorf("job %d: nonpositive response", j.JobID)
+		}
+	}
+}
+
+func TestRunContextCancelsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Spec: cluster.Default(8),
+		Jobs: []workload.Job{smallJob(t, 16*1024, 8), smallJob(t, 16*1024, 8)},
+		Seed: 1,
+	}
+	start := time.Now()
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("cancellation took %v", el)
+	}
+}
+
+func TestMaxEventsBudget(t *testing.T) {
+	cfg := Config{
+		Spec:      cluster.Default(2),
+		Jobs:      []workload.Job{smallJob(t, 512, 2)},
+		Seed:      1,
+		MaxEvents: 10,
+	}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("tiny event budget should fail the run")
+	}
+	// And through the seed batch: every seed fails, so the batch errors.
+	if _, _, err := RunSeedsContext(context.Background(), cfg, 3); err == nil {
+		t.Fatal("all-failing batch should error")
+	}
+}
+
+// Median over successful seeds when a minority fails, error otherwise.
+func TestRunMedianOfSeedsTolerance(t *testing.T) {
+	orig := runSeed
+	defer func() { runSeed = orig }()
+
+	mk := func(mean float64) Result {
+		return Result{Jobs: []JobResult{{Response: mean}}}
+	}
+	failing := map[int64]bool{1: true, 3: true}
+	runSeed = func(ctx context.Context, cfg Config) (Result, error) {
+		if failing[cfg.Seed] {
+			return Result{}, fmt.Errorf("synthetic failure for seed %d", cfg.Seed)
+		}
+		return mk(float64(100 + cfg.Seed)), nil
+	}
+
+	res, err := RunMedianOfSeeds(Config{Seed: 0}, 5)
+	if err != nil {
+		t.Fatalf("2/5 failures must be tolerated: %v", err)
+	}
+	if res.FailedSeeds != 2 {
+		t.Errorf("FailedSeeds = %d, want 2", res.FailedSeeds)
+	}
+	// Successes are seeds 0,2,4 with means 100,102,104: median 102.
+	if got := res.MeanResponse(); got != 102 {
+		t.Errorf("median over successes = %v, want 102", got)
+	}
+
+	failing = map[int64]bool{0: true, 2: true, 4: true}
+	if _, err := RunMedianOfSeeds(Config{Seed: 0}, 5); err == nil {
+		t.Fatal("3/5 failures must fail the batch")
+	}
+}
+
+func TestRunQuantileOfSeeds(t *testing.T) {
+	orig := runSeed
+	defer func() { runSeed = orig }()
+	runSeed = func(ctx context.Context, cfg Config) (Result, error) {
+		return Result{Jobs: []JobResult{{Response: float64(10 * (cfg.Seed + 1))}}}, nil
+	}
+	ctx := context.Background()
+	cfg := Config{Seed: 0}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{
+		{0, 10}, {0.5, 30}, {0.95, 50}, {1, 50},
+	} {
+		res, err := RunQuantileOfSeeds(ctx, cfg, 5, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.MeanResponse(); got != tc.want {
+			t.Errorf("q=%v: got %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := RunQuantileOfSeeds(ctx, cfg, 5, 1.5); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+	if _, err := RunQuantileOfSeeds(ctx, cfg, 0, 0.5); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+// The historical median pick (upper median at even n, exact middle at odd n)
+// is preserved by the quantile generalization.
+func TestMedianPickMatchesLegacy(t *testing.T) {
+	cfg := Config{
+		Spec: cluster.Default(2),
+		Jobs: []workload.Job{smallJob(t, 512, 2)},
+		Seed: 5,
+	}
+	med, err := RunMedianOfSeeds(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, failed, err := RunSeedsContext(context.Background(), cfg, 5)
+	if err != nil || failed != 0 {
+		t.Fatalf("batch: %v (failed %d)", err, failed)
+	}
+	if med.MeanResponse() != runs[len(runs)/2].MeanResponse() {
+		t.Errorf("median pick %v != middle of sorted batch %v",
+			med.MeanResponse(), runs[len(runs)/2].MeanResponse())
+	}
+}

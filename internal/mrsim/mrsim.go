@@ -15,10 +15,16 @@
 //     after 5% of maps finish);
 //   - contention at shared resources: per-node processor-sharing CPU and
 //     disk, and a shared cluster network;
-//   - stochastic task-time jitter (stragglers), seeded for reproducibility.
+//   - stochastic task-time jitter (stragglers), seeded for reproducibility;
+//   - optional fault injection (fault.Plan): seeded node failures with
+//     repair/rejoin, task retries through the normal YARN path, Pareto-tail
+//     straggler jitter, and Hadoop-style speculative re-execution of late
+//     maps. Fault randomness rides a separate RNG stream, so a run without
+//     faults is bit-identical to one built before fault injection existed.
 package mrsim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -27,6 +33,7 @@ import (
 	"sync"
 
 	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/hdfs"
 	"hadoop2perf/internal/simevent"
 	"hadoop2perf/internal/workload"
@@ -39,8 +46,20 @@ import (
 // allocations of a cold calendar.
 var enginePool = sync.Pool{New: func() any { return simevent.NewEngine() }}
 
-// maxEvents bounds a single simulation run.
+// maxEvents bounds a single simulation run (overridable via Config.MaxEvents).
 const maxEvents = 20_000_000
+
+// faultSeedSalt decorrelates the fault-injection RNG stream from the task
+// jitter stream derived from the same Config.Seed.
+const faultSeedSalt = 0x5EEDFA17
+
+// Speculative execution pacing (Hadoop's speculator soaks estimates between
+// checks): attempts are reviewed every specCheckInterval seconds once
+// specMinSamples map durations have been observed.
+const (
+	specCheckInterval = 3.0
+	specMinSamples    = 3
+)
 
 // TaskClass labels trace records with the paper's three task classes.
 type TaskClass string
@@ -52,7 +71,9 @@ const (
 	ClassMerge       TaskClass = "merge"
 )
 
-// TaskRecord is one executed (sub)task in the job-history trace.
+// TaskRecord is one executed (sub)task in the job-history trace. Killed
+// attempts (node loss, speculation loser) are not recorded — FaultStats
+// counts them — so trace fitting keeps seeing only completed work.
 type TaskRecord struct {
 	JobID   int       `json:"job"`
 	Class   TaskClass `json:"class"`
@@ -64,6 +85,9 @@ type TaskRecord struct {
 	Disk    float64   `json:"disk"`    // uncontended local-disk demand, s
 	Network float64   `json:"network"` // uncontended network demand, s
 	Local   bool      `json:"local"`   // data-local container (maps)
+	// Speculative marks a map completed by the backup copy of a speculative
+	// race (fault runs only).
+	Speculative bool `json:"speculative,omitempty"`
 }
 
 // Duration returns End-Start.
@@ -79,11 +103,30 @@ type JobResult struct {
 	Tasks    []TaskRecord `json:"tasks"`
 }
 
+// FaultStats counts fault-injection activity during one run. Revocations is
+// the subset of NodeFailures that hit preemptible nodes.
+type FaultStats struct {
+	NodeFailures        int `json:"nodeFailures,omitempty"`
+	Revocations         int `json:"revocations,omitempty"`
+	NodeRepairs         int `json:"nodeRepairs,omitempty"`
+	TasksKilled         int `json:"tasksKilled,omitempty"`
+	TasksReexecuted     int `json:"tasksReexecuted,omitempty"`
+	SpeculativeLaunched int `json:"speculativeLaunched,omitempty"`
+	SpeculativeWins     int `json:"speculativeWins,omitempty"`
+	StragglersInjected  int `json:"stragglersInjected,omitempty"`
+}
+
 // Result is a full simulation outcome.
 type Result struct {
 	Jobs     []JobResult `json:"jobs"`
 	Makespan float64     `json:"makespan"`
 	Events   int         `json:"events"`
+	// Faults reports injected-fault bookkeeping; nil when fault injection was
+	// inactive for the run.
+	Faults *FaultStats `json:"faults,omitempty"`
+	// FailedSeeds annotates quantile/median-of-seeds results with how many
+	// seeded repetitions errored (always 0 for single runs).
+	FailedSeeds int `json:"failedSeeds,omitempty"`
 }
 
 // MeanResponse returns the average job response time.
@@ -110,10 +153,22 @@ type Config struct {
 	// use yarn.PolicyFair so concurrent jobs progress together, matching the
 	// per-job slowdowns of the paper's multi-job measurements.
 	Scheduler yarn.Policy
+	// Faults optionally injects node failures, straggler tails and
+	// speculative re-execution. nil (or a plan that enables nothing) leaves
+	// the run bit-identical to a fault-free simulation. Preemptible node
+	// classes with a revocation rate are revoked even when Faults is nil.
+	Faults *fault.Plan
+	// MaxEvents overrides the default per-run event budget (20M) when > 0.
+	MaxEvents int
 }
 
 // Run executes the simulation to completion.
-func Run(cfg Config) (Result, error) {
+func Run(cfg Config) (Result, error) { return RunContext(context.Background(), cfg) }
+
+// RunContext is Run with cooperative cancellation: the event loop polls ctx
+// periodically and aborts with ctx.Err() once it is done. ctx must be
+// non-nil.
+func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if err := cfg.Spec.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -127,6 +182,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.SubmitTimes != nil && len(cfg.SubmitTimes) != len(cfg.Jobs) {
 		return Result{}, errors.New("mrsim: SubmitTimes length mismatch")
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.MaxEvents < 0 {
+		return Result{}, errors.New("mrsim: MaxEvents must be nonnegative")
 	}
 
 	eng := enginePool.Get().(*simevent.Engine)
@@ -145,12 +206,22 @@ func Run(cfg Config) (Result, error) {
 		jr := s.jobs[i]
 		s.eng.At(jr.submit, func() { s.startJob(jr) })
 	}
-	n, err := s.eng.Run(maxEvents)
+	if s.stats != nil {
+		// Arm the per-node failure clocks (deterministic draw order: node 0..N-1).
+		for n := 0; n < s.numNodes; n++ {
+			s.scheduleNodeFailure(n)
+		}
+	}
+	budget := maxEvents
+	if cfg.MaxEvents > 0 {
+		budget = cfg.MaxEvents
+	}
+	n, err := s.eng.RunContext(ctx, budget)
 	if err != nil {
 		return Result{}, err
 	}
 
-	res := Result{Events: n}
+	res := Result{Events: n, Faults: s.stats}
 	for _, jr := range s.jobs {
 		if !jr.finished {
 			return Result{}, fmt.Errorf("mrsim: job %d did not finish (deadlock?)", jr.job.ID)
@@ -187,6 +258,19 @@ type sim struct {
 	speed    []float64
 	rng      *rand.Rand
 	jobs     []*jobRun
+	doneJobs int
+
+	// Fault-injection state; stats is nil when no fault mechanics are active
+	// for this run (the fault-free fast path touches none of these).
+	stats   *FaultStats
+	faults  *fault.Plan
+	frng    *rand.Rand // separate stream: the base jitter stream stays intact
+	nodeUp  []bool
+	upCount int
+	hazards []float64 // per-node failure rate, 1/s
+	preempt []bool    // node belongs to a preemptible class
+	repair  float64
+	maxFail int
 }
 
 func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
@@ -221,6 +305,30 @@ func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
 		fabric = 1
 	}
 	s.net = simevent.NewPSResource(eng, "net", fabric)
+
+	if fault.Active(cfg.Faults, cfg.Spec) {
+		s.stats = &FaultStats{}
+		s.faults = cfg.Faults
+		s.frng = rand.New(rand.NewSource(cfg.Seed ^ faultSeedSalt))
+		s.nodeUp = make([]bool, s.numNodes)
+		s.upCount = s.numNodes
+		s.hazards = make([]float64, s.numNodes)
+		s.preempt = make([]bool, s.numNodes)
+		n := 0
+		for _, class := range cfg.Spec.ClassView() {
+			h := fault.NodeHazard(cfg.Faults, class)
+			for k := 0; k < class.Count; k++ {
+				s.nodeUp[n] = true
+				s.hazards[n] = h
+				s.preempt[n] = class.Preemptible
+				n++
+			}
+		}
+		if cfg.Faults != nil {
+			s.repair = cfg.Faults.RepairDelaySec
+			s.maxFail = cfg.Faults.MaxNodeFailures
+		}
+	}
 
 	for i, job := range cfg.Jobs {
 		submit := 0.0
@@ -258,6 +366,93 @@ func (s *sim) jitter(cv float64) float64 {
 	return math.Exp(s.rng.NormFloat64()*sigma - sigma2/2)
 }
 
+// attemptFactor draws the heavy-tailed straggler multiplier for one task
+// attempt: 1 with probability 1-p, otherwise Pareto(α, xm=1). It rides the
+// fault RNG stream so fault-free runs never consume it.
+func (s *sim) attemptFactor() float64 {
+	if s.frng == nil || s.faults == nil || s.faults.StragglerProb <= 0 {
+		return 1
+	}
+	if s.frng.Float64() >= s.faults.StragglerProb {
+		return 1
+	}
+	s.stats.StragglersInjected++
+	return math.Pow(1-s.frng.Float64(), -1/s.faults.Alpha())
+}
+
+// allDone reports whether every job has finished (failure clocks and
+// speculation ticks stop re-arming then, so the calendar drains).
+func (s *sim) allDone() bool { return s.doneJobs == len(s.jobs) }
+
+// scheduleNodeFailure arms the next failure clock of a node from its
+// exponential hazard.
+func (s *sim) scheduleNodeFailure(n int) {
+	h := s.hazards[n]
+	if h <= 0 {
+		return
+	}
+	t := -math.Log(1-s.frng.Float64()) / h
+	s.eng.After(t, func() { s.failNode(n) })
+}
+
+// failNode takes a node down: its processor-sharing resources drop all work
+// in flight, the RM stops placing containers on it, and every job kills and
+// re-enqueues its attempts that were running there. The last surviving node
+// is never killed (the run must stay completable); its clock re-arms
+// instead.
+func (s *sim) failNode(n int) {
+	if s.allDone() || !s.nodeUp[n] {
+		return
+	}
+	if s.maxFail > 0 && s.stats.NodeFailures >= s.maxFail {
+		return
+	}
+	if s.upCount <= 1 {
+		s.scheduleNodeFailure(n)
+		return
+	}
+	s.nodeUp[n] = false
+	s.upCount--
+	s.stats.NodeFailures++
+	if s.preempt[n] {
+		s.stats.Revocations++
+	}
+	s.rm.NodeDown(n)
+	s.cpu[n].Clear()
+	s.disk[n].Clear()
+	for _, j := range s.jobs {
+		j.nodeLost(n)
+	}
+	if s.repair > 0 {
+		s.eng.After(s.repair, func() { s.rejoinNode(n) })
+	}
+}
+
+// rejoinNode brings a repaired node back (empty, full capacity) and re-arms
+// its failure clock.
+func (s *sim) rejoinNode(n int) {
+	if s.allDone() || s.nodeUp[n] {
+		return
+	}
+	s.nodeUp[n] = true
+	s.upCount++
+	s.stats.NodeRepairs++
+	s.rm.NodeUp(n)
+	s.scheduleNodeFailure(n)
+}
+
+// mapAttempt is one execution attempt of a map split (fault runs may have a
+// retry or a speculative backup racing the original).
+type mapAttempt struct {
+	split       int
+	node        int
+	cont        *yarn.Container
+	rec         TaskRecord
+	start       float64
+	dead        bool
+	speculative bool
+}
+
 // jobRun is the per-job ApplicationMaster state.
 type jobRun struct {
 	sim    *sim
@@ -270,11 +465,20 @@ type jobRun struct {
 	pendingMaps    []int // split indices not yet assigned
 	completedMaps  int
 	assignedMaps   int
+	completedSplit []bool
+	runningMaps    []*mapAttempt
 	mapDoneOnNode  [][]int // node -> completed map IDs (for locality of fetches)
 	reduceAsked    bool
 	reducers       []*reducerRun
+	reducerStarted int
+	pendingReds    []int // reducer IDs killed by a node loss, awaiting restart
 	activeReducers int
 	finished       bool
+
+	// Speculation bookkeeping (fault runs with Speculation enabled).
+	specPending []int // splits with a backup container requested
+	mapDurSum   float64
+	mapDurN     int
 }
 
 func (j *jobRun) numMaps() int { return j.file.NumSplits() }
@@ -293,6 +497,7 @@ func (j *jobRun) startJob() {
 		for i := range j.pendingMaps {
 			j.pendingMaps[i] = i
 		}
+		j.completedSplit = make([]bool, j.numMaps())
 		j.mapDoneOnNode = make([][]int, s.numNodes)
 		// Group map requests by primary-replica node (Table 1 shape).
 		perNode := map[int]int{}
@@ -315,6 +520,9 @@ func (j *jobRun) startJob() {
 			if err := s.rm.Submit(j.app, req); err != nil {
 				panic(err)
 			}
+		}
+		if s.stats != nil && s.faults != nil && s.faults.Speculation {
+			s.eng.After(specCheckInterval, j.specTick)
 		}
 	})
 }
@@ -349,11 +557,56 @@ func (j *jobRun) maybeRequestReduces() {
 // onAllocate is the AM's second-level scheduler: match the granted container
 // to a pending task, preferring data-local maps (paper §3.4).
 func (j *jobRun) onAllocate(c *yarn.Container) {
+	s := j.sim
+	if s.stats != nil && !s.nodeUp[c.Node] {
+		// The grant was in flight when the node went down (scheduled before
+		// the failure, delivered after the heartbeat). Hand it back and re-ask
+		// so the task slot the request represented is not lost.
+		s.rm.Release(c)
+		switch c.Type {
+		case yarn.TypeMap:
+			if len(j.pendingMaps) > 0 || len(j.specPending) > 0 {
+				j.requestOneMap(nil)
+			}
+		case yarn.TypeReduce:
+			if len(j.pendingReds) > 0 || j.reducerStarted < j.job.NumReduces {
+				j.requestOneReduce()
+			}
+		}
+		return
+	}
 	switch c.Type {
 	case yarn.TypeMap:
 		j.runMap(c)
 	case yarn.TypeReduce:
 		j.runReduce(c)
+	}
+}
+
+// requestOneMap submits a single map-container request (retry or backup).
+func (j *jobRun) requestOneMap(preferred []int) {
+	req := &yarn.Request{
+		Priority:  yarn.PriorityMap,
+		Count:     1,
+		Size:      j.sim.cfg.Spec.MapContainer,
+		Type:      yarn.TypeMap,
+		Preferred: preferred,
+	}
+	if err := j.sim.rm.Submit(j.app, req); err != nil {
+		panic(err)
+	}
+}
+
+// requestOneReduce submits a single reduce-container request (restart).
+func (j *jobRun) requestOneReduce() {
+	req := &yarn.Request{
+		Priority: yarn.PriorityReduce,
+		Count:    1,
+		Size:     j.sim.cfg.Spec.ReduceContainer,
+		Type:     yarn.TypeReduce,
+	}
+	if err := j.sim.rm.Submit(j.app, req); err != nil {
+		panic(err)
 	}
 }
 
@@ -378,13 +631,51 @@ func (j *jobRun) pickMapFor(node int) (int, bool) {
 	return split, true
 }
 
+// liveAttemptFor returns a running attempt of the split, or nil.
+func (j *jobRun) liveAttemptFor(split int) *mapAttempt {
+	for _, a := range j.runningMaps {
+		if a.split == split {
+			return a
+		}
+	}
+	return nil
+}
+
+// removeRunningMap drops one attempt from the running list.
+func (j *jobRun) removeRunningMap(a *mapAttempt) {
+	for i, b := range j.runningMaps {
+		if b == a {
+			j.runningMaps = append(j.runningMaps[:i], j.runningMaps[i+1:]...)
+			return
+		}
+	}
+}
+
+// pickMapWork chooses what a granted map container should run: a pending
+// split (normal path and retries, node-local first), else a queued
+// speculative backup whose original attempt is still running.
+func (j *jobRun) pickMapWork(node int) (split int, speculative, ok bool) {
+	if split, ok := j.pickMapFor(node); ok {
+		return split, false, true
+	}
+	for len(j.specPending) > 0 {
+		split := j.specPending[0]
+		j.specPending = j.specPending[1:]
+		if j.completedSplit[split] || j.liveAttemptFor(split) == nil {
+			continue // decided (or re-enqueued as a retry) while the backup request was in flight
+		}
+		return split, true, true
+	}
+	return 0, false, false
+}
+
 // runMap executes one map task in the granted container: disk read+spill and
 // CPU work on the container's node, then completion bookkeeping. Demands are
 // computed against the assigned node's class hardware — disk bandwidth sets
 // the I/O demand, and the class compute speed divides the CPU demand.
 func (j *jobRun) runMap(c *yarn.Container) {
 	s := j.sim
-	split, ok := j.pickMapFor(c.Node)
+	split, speculative, ok := j.pickMapWork(c.Node)
 	if !ok {
 		// Over-allocation (can happen after request compaction races); return it.
 		s.rm.Release(c)
@@ -394,29 +685,35 @@ func (j *jobRun) runMap(c *yarn.Container) {
 	d := j.job.MapDemands(j.job.SplitMB(split), s.diskMBps[c.Node])
 	sp := s.speed[c.Node]
 	f := s.jitter(j.job.Profile.TaskJitterCV)
-	cpuWork := d.CPU / sp * f
-	diskWork := d.Disk * f
+	sf := s.attemptFactor()
+	cpuWork := d.CPU / sp * f * sf
+	diskWork := d.Disk * f * sf
 	local := j.file.Blocks[split].HasReplicaOn(c.Node)
 	start := s.eng.Now()
-	rec := TaskRecord{
-		JobID: j.job.ID, Class: ClassMap, TaskID: split, Node: c.Node,
-		Start: start, CPU: d.CPU / sp, Disk: d.Disk, Local: local,
+	a := &mapAttempt{
+		split: split, node: c.Node, cont: c, start: start, speculative: speculative,
+		rec: TaskRecord{
+			JobID: j.job.ID, Class: ClassMap, TaskID: split, Node: c.Node,
+			Start: start, CPU: d.CPU / sp, Disk: d.Disk, Local: local,
+		},
+	}
+	j.runningMaps = append(j.runningMaps, a)
+	if speculative {
+		s.stats.SpeculativeLaunched++
 	}
 	finish := func() {
-		rec.End = s.eng.Now()
-		j.record.Tasks = append(j.record.Tasks, rec)
-		j.completedMaps++
-		j.mapDoneOnNode[c.Node] = append(j.mapDoneOnNode[c.Node], split)
-		s.rm.Release(c)
-		j.maybeRequestReduces()
-		// Feed waiting reducers with the fresh map output.
-		for _, r := range j.reducers {
-			r.mapCompleted(split, c.Node)
+		if a.dead || j.finished {
+			return
 		}
-		j.maybeFinish()
+		j.finishMap(a)
 	}
 	if local {
-		s.disk[c.Node].Submit(diskWork, func() { s.cpu[c.Node].Submit(cpuWork, finish) })
+		s.disk[c.Node].Submit(diskWork, func() {
+			if a.dead {
+				return
+			}
+			s.cpu[c.Node].Submit(cpuWork, finish)
+		})
 	} else {
 		// Remote read pulls the split across the network instead of local
 		// disk. The same disk-priced seconds of work are charged to the
@@ -425,24 +722,217 @@ func (j *jobRun) runMap(c *yarn.Container) {
 		// are much faster than its NIC understates fabric time here; remote
 		// maps are rare under replica-preferred scheduling, so the skew
 		// stays second-order.
-		s.net.Submit(diskWork, func() { s.cpu[c.Node].Submit(cpuWork, finish) })
+		s.net.Submit(diskWork, func() {
+			if a.dead {
+				return
+			}
+			s.cpu[c.Node].Submit(cpuWork, finish)
+		})
 	}
 }
 
-// runReduce starts a reducer in the granted container: shuffle-sort fetches
-// from completed maps, then the merge subtask.
+// finishMap completes a map attempt: record, bookkeeping, speculative-race
+// resolution (the loser is killed; its in-flight resource demand keeps
+// draining, so the wasted work is still charged to the node), then the
+// usual downstream notifications.
+func (j *jobRun) finishMap(a *mapAttempt) {
+	s := j.sim
+	j.removeRunningMap(a)
+	if j.completedSplit[a.split] {
+		s.rm.Release(a.cont) // defensive: the race was already decided
+		return
+	}
+	j.completedSplit[a.split] = true
+	a.rec.End = s.eng.Now()
+	a.rec.Speculative = a.speculative
+	j.record.Tasks = append(j.record.Tasks, a.rec)
+	j.completedMaps++
+	if s.stats != nil {
+		j.mapDurSum += a.rec.End - a.start
+		j.mapDurN++
+		if tw := j.liveAttemptFor(a.split); tw != nil {
+			// First finisher wins: kill the twin, free its container. Its
+			// submitted PS work stays in the resource until it drains — the
+			// loser's demand is charged even though its callback never fires.
+			tw.dead = true
+			j.removeRunningMap(tw)
+			s.stats.TasksKilled++
+			if a.speculative {
+				s.stats.SpeculativeWins++
+			}
+			s.rm.Release(tw.cont)
+		}
+	}
+	j.mapDoneOnNode[a.node] = append(j.mapDoneOnNode[a.node], a.split)
+	s.rm.Release(a.cont)
+	j.maybeRequestReduces()
+	// Feed waiting reducers with the fresh map output.
+	for _, r := range j.reducers {
+		if r != nil {
+			r.mapCompleted(a.split, a.node)
+		}
+	}
+	j.maybeFinish()
+}
+
+// nodeLost kills every attempt of this job running on the lost node and
+// re-enqueues the work through the normal YARN path: map splits go back to
+// the pending list with a fresh container request preferring the split's
+// primary replica; killed reducers restart their whole shuffle+merge in a
+// new container. Completed map output on the lost node stays fetchable — a
+// deliberate simplification (intermediate data survives in this model, as
+// if spilled to replicated storage) so reducers never re-run finished maps.
+func (j *jobRun) nodeLost(n int) {
+	if j.app == nil || j.finished {
+		return
+	}
+	s := j.sim
+	w := 0
+	var killed []*mapAttempt
+	for _, a := range j.runningMaps {
+		if a.node != n {
+			j.runningMaps[w] = a
+			w++
+			continue
+		}
+		a.dead = true
+		s.stats.TasksKilled++
+		killed = append(killed, a)
+	}
+	for i := w; i < len(j.runningMaps); i++ {
+		j.runningMaps[i] = nil
+	}
+	j.runningMaps = j.runningMaps[:w]
+	for _, a := range killed {
+		// Retry unless another live attempt of the split survives (a
+		// speculative twin on a healthy node).
+		if j.completedSplit[a.split] {
+			continue
+		}
+		alive := false
+		for _, b := range j.runningMaps {
+			if b.split == a.split {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			continue
+		}
+		j.pendingMaps = append(j.pendingMaps, a.split)
+		s.stats.TasksReexecuted++
+		j.requestOneMap([]int{j.file.Blocks[a.split].Replicas[0]})
+	}
+
+	for id, r := range j.reducers {
+		if r == nil || r.dead || r.mergeDone || r.node != n {
+			continue
+		}
+		r.dead = true
+		j.reducers[id] = nil
+		s.stats.TasksKilled++
+		s.stats.TasksReexecuted++
+		j.pendingReds = append(j.pendingReds, id)
+		j.requestOneReduce()
+	}
+}
+
+// specTick periodically reviews running map attempts and requests a backup
+// container for the slowest late one (Hadoop's speculator cadence).
+func (j *jobRun) specTick() {
+	if j.finished || j.sim.allDone() {
+		return
+	}
+	j.checkSpeculation()
+	j.sim.eng.After(specCheckInterval, j.specTick)
+}
+
+// checkSpeculation requests at most one backup per tick, for the slowest
+// attempt whose elapsed time exceeds Lateness × the running mean map
+// duration, with no twin running or queued. Concurrent backups are capped at
+// ~1/8 of the job's maps.
+func (j *jobRun) checkSpeculation() {
+	s := j.sim
+	if j.mapDurN < specMinSamples {
+		return
+	}
+	backups := len(j.specPending)
+	for _, a := range j.runningMaps {
+		if a.speculative {
+			backups++
+		}
+	}
+	if backups > j.numMaps()/8 {
+		return
+	}
+	mean := j.mapDurSum / float64(j.mapDurN)
+	late := mean * s.faults.Lateness()
+	now := s.eng.Now()
+	var worst *mapAttempt
+	var worstElapsed float64
+	for _, a := range j.runningMaps {
+		if a.speculative || j.completedSplit[a.split] {
+			continue
+		}
+		if twinned := j.twinCount(a.split) > 1 || j.specQueued(a.split); twinned {
+			continue
+		}
+		if el := now - a.start; el > late && el > worstElapsed {
+			worst, worstElapsed = a, el
+		}
+	}
+	if worst == nil {
+		return
+	}
+	j.specPending = append(j.specPending, worst.split)
+	j.requestOneMap([]int{j.file.Blocks[worst.split].Replicas[0]})
+}
+
+func (j *jobRun) twinCount(split int) int {
+	n := 0
+	for _, a := range j.runningMaps {
+		if a.split == split {
+			n++
+		}
+	}
+	return n
+}
+
+func (j *jobRun) specQueued(split int) bool {
+	for _, sp := range j.specPending {
+		if sp == split {
+			return true
+		}
+	}
+	return false
+}
+
+// runReduce starts (or restarts) a reducer in the granted container:
+// shuffle-sort fetches from completed maps, then the merge subtask.
 func (j *jobRun) runReduce(c *yarn.Container) {
-	if len(j.reducers) >= j.job.NumReduces {
+	id := -1
+	switch {
+	case len(j.pendingReds) > 0:
+		id = j.pendingReds[0]
+		j.pendingReds = j.pendingReds[1:]
+	case j.reducerStarted < j.job.NumReduces:
+		id = j.reducerStarted
+		j.reducerStarted++
+	default:
 		j.sim.rm.Release(c)
 		return
 	}
 	r := &reducerRun{
 		job:  j,
-		id:   len(j.reducers),
+		id:   id,
 		node: c.Node,
 		cont: c,
 	}
-	j.reducers = append(j.reducers, r)
+	if id < len(j.reducers) {
+		j.reducers[id] = r
+	} else {
+		j.reducers = append(j.reducers, r)
+	}
 	j.activeReducers++
 	r.start()
 }
@@ -457,28 +947,32 @@ func (j *jobRun) maybeFinish() {
 	}
 	done := 0
 	for _, r := range j.reducers {
-		if r.mergeDone {
+		if r != nil && r.mergeDone {
 			done++
 		}
 	}
-	if len(j.reducers) < j.job.NumReduces || done < j.job.NumReduces {
+	if j.reducerStarted < j.job.NumReduces || done < j.job.NumReduces {
 		return
 	}
 	j.finished = true
 	j.record.End = j.sim.eng.Now()
 	j.record.Response = j.record.End - j.record.Submit
+	j.sim.doneJobs++
 	j.sim.rm.Unregister(j.app)
 }
 
 // reducerRun is one reduce task: a shuffle-sort subtask (per-map fetches over
 // the network + partial sort) followed by a merge subtask (final sort +
-// reduce function + write).
+// reduce function + write). A reducer killed by a node loss restarts from
+// scratch (whole shuffle redone) as a fresh reducerRun with the same id.
 type reducerRun struct {
 	job        *jobRun
 	id         int
 	node       int
 	cont       *yarn.Container
 	started    bool
+	dead       bool
+	sf         float64 // per-attempt straggler factor (1 outside fault runs)
 	shuffleRec TaskRecord
 	fetched    []bool // by split index
 	numFetched int
@@ -490,6 +984,7 @@ type reducerRun struct {
 func (r *reducerRun) start() {
 	s := r.job.sim
 	r.started = true
+	r.sf = s.attemptFactor()
 	r.fetched = make([]bool, r.job.numMaps())
 	r.shuffleRec = TaskRecord{
 		JobID: r.job.job.ID, Class: ClassShuffleSort, TaskID: r.id, Node: r.node,
@@ -511,7 +1006,7 @@ func (r *reducerRun) start() {
 
 // mapCompleted notifies the reducer that a map's output became available.
 func (r *reducerRun) mapCompleted(split, node int) {
-	if !r.started || r.mergeDone {
+	if !r.started || r.dead || r.mergeDone {
 		return
 	}
 	r.fetch(split, node)
@@ -519,7 +1014,9 @@ func (r *reducerRun) mapCompleted(split, node int) {
 
 // fetch copies one map's partition: network transfer (skipped for co-located
 // map output), then local disk write plus shuffle/sort CPU. The receiving
-// node's class hardware prices the transfer, the spill and the sort.
+// node's class hardware prices the transfer, the spill and the sort; the
+// attempt's straggler factor slows its node-local work (disk, CPU) but not
+// the shared fabric.
 func (r *reducerRun) fetch(split, node int) {
 	if r.fetched[split] {
 		return
@@ -532,12 +1029,21 @@ func (r *reducerRun) fetch(split, node int) {
 	partMB := job.SplitMB(split) * job.Profile.MapOutputRatio / float64(job.NumReduces)
 	f := s.jitter(job.Profile.TaskJitterCV)
 	netWork := partMB / s.netMBps[r.node] * f
-	diskWork := partMB / s.diskMBps[r.node] * f
-	cpuWork := partMB * (job.Profile.ShuffleCPUPerMB + job.Profile.SortCPUPerMB) / s.speed[r.node] * f
+	diskWork := partMB / s.diskMBps[r.node] * f * r.sf
+	cpuWork := partMB * (job.Profile.ShuffleCPUPerMB + job.Profile.SortCPUPerMB) / s.speed[r.node] * f * r.sf
 
 	afterNet := func() {
+		if r.dead {
+			return
+		}
 		s.disk[r.node].Submit(diskWork, func() {
+			if r.dead {
+				return
+			}
 			s.cpu[r.node].Submit(cpuWork, func() {
+				if r.dead {
+					return
+				}
 				r.inFlight--
 				r.maybeFinishShuffle()
 			})
@@ -572,14 +1078,20 @@ func (r *reducerRun) runMerge() {
 	d := job.MergeDemands(s.diskMBps[r.node])
 	sp := s.speed[r.node]
 	f := s.jitter(job.Profile.TaskJitterCV)
-	cpuWork := d.CPU / sp * f
-	diskWork := d.Disk * f
+	cpuWork := d.CPU / sp * f * r.sf
+	diskWork := d.Disk * f * r.sf
 	rec := TaskRecord{
 		JobID: job.ID, Class: ClassMerge, TaskID: r.id, Node: r.node,
 		Start: s.eng.Now(), CPU: d.CPU / sp, Disk: d.Disk,
 	}
 	s.cpu[r.node].Submit(cpuWork, func() {
+		if r.dead {
+			return
+		}
 		s.disk[r.node].Submit(diskWork, func() {
+			if r.dead {
+				return
+			}
 			rec.End = s.eng.Now()
 			r.job.record.Tasks = append(r.job.record.Tasks, rec)
 			r.mergeDone = true
@@ -592,27 +1104,87 @@ func (r *reducerRun) runMerge() {
 // startJob is the sim-level entry point for one job.
 func (s *sim) startJob(j *jobRun) { j.startJob() }
 
-// RunMedianOfSeeds runs the simulation reps times with consecutive seeds and
-// returns the run whose mean response time is the median — mirroring the
-// paper's "repeat 5 times, take the median" methodology (§5.1).
-func RunMedianOfSeeds(cfg Config, reps int) (Result, error) {
+// runSeed is the per-seed runner used by the seed-batch helpers; a test hook
+// replaces it to exercise partial-failure aggregation deterministically.
+var runSeed = RunContext
+
+// RunSeedsContext runs the simulation reps times with consecutive seeds
+// (cfg.Seed, cfg.Seed+1, ...) and returns the successful runs sorted by
+// ascending mean response time, plus the number of seeds that failed.
+//
+// Fault injection makes individual seeds legitimately fallible (a run can
+// exceed its event budget), so the batch tolerates failures as long as a
+// majority succeeds: when fewer than ⌈reps/2⌉ runs complete, the batch
+// errors, wrapping the first per-seed failure. Context cancellation aborts
+// the whole batch immediately with ctx.Err().
+func RunSeedsContext(ctx context.Context, cfg Config, reps int) (runs []Result, failed int, err error) {
 	if reps <= 0 {
-		return Result{}, errors.New("mrsim: reps must be positive")
+		return nil, 0, errors.New("mrsim: reps must be positive")
 	}
-	type outcome struct {
-		res  Result
-		mean float64
-	}
-	outs := make([]outcome, 0, reps)
+	runs = make([]Result, 0, reps)
+	var firstErr error
 	for i := 0; i < reps; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)
-		res, err := Run(c)
+		res, err := runSeed(ctx, c)
 		if err != nil {
-			return Result{}, err
+			if ctx.Err() != nil {
+				return nil, 0, ctx.Err()
+			}
+			failed++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("seed %d: %w", c.Seed, err)
+			}
+			continue
 		}
-		outs = append(outs, outcome{res: res, mean: res.MeanResponse()})
+		runs = append(runs, res)
 	}
-	sort.Slice(outs, func(a, b int) bool { return outs[a].mean < outs[b].mean })
-	return outs[len(outs)/2].res, nil
+	if len(runs) < (reps+1)/2 {
+		return nil, failed, fmt.Errorf("mrsim: %d of %d seeded runs failed (first: %w)", failed, reps, firstErr)
+	}
+	sort.SliceStable(runs, func(a, b int) bool { return runs[a].MeanResponse() < runs[b].MeanResponse() })
+	return runs, failed, nil
+}
+
+// Quantile returns the run at quantile q of a batch sorted by mean response:
+// the element at index ⌊q·n⌋ (clamped), which at q=0.5 is the upper median —
+// the same pick RunMedianOfSeeds has always made.
+func Quantile(runs []Result, q float64) Result {
+	if len(runs) == 0 {
+		return Result{}
+	}
+	idx := int(q * float64(len(runs)))
+	if idx >= len(runs) {
+		idx = len(runs) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return runs[idx]
+}
+
+// RunQuantileOfSeeds generalizes RunMedianOfSeeds: it runs reps consecutive
+// seeds and returns the run at quantile q (0 ≤ q ≤ 1) of the successful
+// runs ordered by mean response, annotated with how many seeds failed
+// (Result.FailedSeeds). It errors when fewer than ⌈reps/2⌉ seeds succeed.
+func RunQuantileOfSeeds(ctx context.Context, cfg Config, reps int, q float64) (Result, error) {
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		return Result{}, fmt.Errorf("mrsim: quantile must be in [0,1] (got %v)", q)
+	}
+	runs, failed, err := RunSeedsContext(ctx, cfg, reps)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Quantile(runs, q)
+	res.FailedSeeds = failed
+	return res, nil
+}
+
+// RunMedianOfSeeds runs the simulation reps times with consecutive seeds and
+// returns the run whose mean response time is the median — mirroring the
+// paper's "repeat 5 times, take the median" methodology (§5.1). Seeds that
+// fail are tolerated as long as a majority succeeds; Result.FailedSeeds
+// reports how many were dropped.
+func RunMedianOfSeeds(cfg Config, reps int) (Result, error) {
+	return RunQuantileOfSeeds(context.Background(), cfg, reps, 0.5)
 }

@@ -1,0 +1,228 @@
+package service
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/fault"
+	"hadoop2perf/internal/workload"
+)
+
+// chaosPlan is an aggressive scenario that reliably fires on multi-minute
+// simulated jobs: frequent repairing node losses plus a straggler tail with
+// speculation on.
+func chaosPlan() *fault.Plan {
+	return &fault.Plan{
+		NodeMTTFSec:    150,
+		RepairDelaySec: 30,
+		StragglerProb:  0.2,
+		Speculation:    true,
+	}
+}
+
+// spotSpec is a reliable + preemptible two-class template: spot nodes are 3x
+// cheaper but carry a heavy revocation hazard.
+func spotSpec() cluster.Spec {
+	spec := cluster.Default(0)
+	spec.NumNodes = 0
+	spec.Classes = []cluster.NodeClass{
+		{Name: "reliable", Count: 8, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110, Price: 3},
+		{Name: "spot", Count: 8, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110,
+			Preemptible: true, RevocationRate: 60, Price: 1},
+	}
+	return spec
+}
+
+// A faults block must never alias the fault-free cache entry, and distinct
+// scenarios must key apart, on all three computed endpoints. Preemptible
+// class fields are part of the spec key for the same reason.
+func TestFaultScenariosKeyApart(t *testing.T) {
+	job := testJob(t, 512, 2)
+	spec := cluster.Default(2)
+
+	sim := SimulateRequest{Spec: spec, Jobs: []workload.Job{job}, Seed: 1, Reps: 3}
+	simKeys := map[string]bool{simulateKey(sim): true}
+	sim.Faults = chaosPlan()
+	simKeys[simulateKey(sim)] = true
+	tweaked := *chaosPlan()
+	tweaked.NodeMTTFSec = 151
+	sim.Faults = &tweaked
+	simKeys[simulateKey(sim)] = true
+	if len(simKeys) != 3 {
+		t.Errorf("simulate keys collide across fault scenarios: %d distinct, want 3", len(simKeys))
+	}
+
+	pred := PredictRequest{Spec: spec, Job: job}
+	base := predictKey(pred)
+	pred.Faults = chaosPlan()
+	if predictKey(pred) == base {
+		t.Error("predict key ignores the faults block")
+	}
+
+	cmp := CompareRequest{Spec: spec, Job: job, Seed: 1, Reps: 1}
+	cbase := compareKey(cmp)
+	cmp.Faults = chaosPlan()
+	if compareKey(cmp) == cbase {
+		t.Error("compare key ignores the faults block")
+	}
+
+	// Revocation hazard lives in the spec, not the plan: flipping a class
+	// preemptible must change the key even with no faults block at all.
+	spot := SimulateRequest{Spec: spotSpec(), Jobs: []workload.Job{job}, Seed: 1, Reps: 3}
+	k1 := simulateKey(spot)
+	spot.Spec.Classes[1].RevocationRate = 120
+	if simulateKey(spot) == k1 {
+		t.Error("simulate key ignores class revocation rate")
+	}
+}
+
+// A faulty simulation reports ordered quantiles over its seeded runs, carries
+// the injection tally, and feeds the two fault counters; a fault-free run on
+// the same service leaves stats nil and the counters untouched.
+func TestSimulateWithFaultsQuantilesAndMetrics(t *testing.T) {
+	s := New(Options{Workers: 2, CacheSize: 8})
+	req := SimulateRequest{
+		Spec: cluster.Default(4), Jobs: []workload.Job{testJob(t, 2048, 4)},
+		Seed: 7, Reps: 5, Faults: chaosPlan(),
+	}
+	resp, err := s.Simulate(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := resp.Quantiles
+	if !(q.P50 > 0 && q.P50 <= q.P95 && q.P95 <= q.P99) {
+		t.Errorf("quantiles not ordered: p50=%v p95=%v p99=%v", q.P50, q.P95, q.P99)
+	}
+	if q.P50 != resp.Result.MeanResponse() {
+		t.Errorf("median result %v != p50 %v", resp.Result.MeanResponse(), q.P50)
+	}
+	st := resp.Result.Faults
+	if st == nil {
+		t.Fatal("faulty simulation returned no FaultStats")
+	}
+	if st.NodeFailures == 0 {
+		t.Errorf("aggressive MTTF injected no node failures: %+v", st)
+	}
+
+	m := s.Metrics()
+	if m.SimFaultsInjected <= 0 {
+		t.Errorf("SimFaultsInjected = %d, want > 0", m.SimFaultsInjected)
+	}
+	if m.SimTasksReexecuted <= 0 {
+		t.Errorf("SimTasksReexecuted = %d, want > 0", m.SimTasksReexecuted)
+	}
+
+	clean := req
+	clean.Faults = nil
+	cresp, err := s.Simulate(context.Background(), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cresp.Cached {
+		t.Error("fault-free request hit the faulty run's cache entry")
+	}
+	if cresp.Result.Faults != nil {
+		t.Errorf("fault-free simulation carries FaultStats: %+v", cresp.Result.Faults)
+	}
+	after := s.Metrics()
+	if after.SimFaultsInjected != m.SimFaultsInjected || after.SimTasksReexecuted != m.SimTasksReexecuted {
+		t.Errorf("fault-free run moved the fault counters: %d/%d -> %d/%d",
+			m.SimFaultsInjected, m.SimTasksReexecuted, after.SimFaultsInjected, after.SimTasksReexecuted)
+	}
+}
+
+// Quantile planning is a simulator feature: the analytic model predicts
+// means, and only the three precomputed quantiles are accepted.
+func TestPlanQuantileValidation(t *testing.T) {
+	s := New(Options{Workers: 2})
+	job := testJob(t, 512, 1)
+	for name, req := range map[string]PlanRequest{
+		"no simulator": {Spec: cluster.Default(4), Job: job, Nodes: []int{2, 4}, Quantile: 0.99},
+		"odd quantile": {Spec: cluster.Default(4), Job: job, Nodes: []int{2, 4},
+			UseSimulator: true, Reps: 3, Quantile: 0.9},
+	} {
+		if _, err := s.Plan(context.Background(), req); err == nil || !IsInvalidRequest(err) {
+			t.Errorf("%s: want invalid-request error, got %v", name, err)
+		}
+	}
+}
+
+// The headline planner scenario: sweep reliable-vs-preemptible mixes on the
+// simulator at p99 under revocation risk, and pick the cheapest mix whose
+// p99 still meets the deadline. Candidate Cost must reflect class prices.
+func TestPlanPreemptibleMixAtP99(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed plan sweep")
+	}
+	spec := spotSpec()
+	mixes := [][]int{{6, 0}, {4, 2}, {2, 4}, {0, 6}}
+	base := PlanRequest{
+		Spec: spec, Job: testJob(t, 2048, 2),
+		ClassCounts:  mixes,
+		UseSimulator: true, Seed: 11, Reps: 5,
+		Quantile: 0.99,
+		// Revoked spot nodes rejoin after a while, as cloud spot pools do;
+		// without repair an all-spot mix can bleed out entirely.
+		Faults: &fault.Plan{RepairDelaySec: 45},
+	}
+
+	s := New(Options{Workers: 4, CacheSize: 64})
+	survey, err := s.Plan(context.Background(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	byTotal := map[int]PlanCandidate{}
+	for _, c := range survey.Candidates {
+		if c.Err != "" {
+			t.Fatalf("mix %v failed: %s", c.ClassCounts, c.Err)
+		}
+		lo = math.Min(lo, c.ResponseTime)
+		hi = math.Max(hi, c.ResponseTime)
+		byTotal[c.ClassCounts[0]] = c
+		weight := 3*float64(c.ClassCounts[0]) + 1*float64(c.ClassCounts[1])
+		if got, want := c.Cost, c.ResponseTime*weight; math.Abs(got-want) > 1e-9*want {
+			t.Errorf("mix %v: cost %v != p99 %v x price weight %v", c.ClassCounts, got, c.ResponseTime, weight)
+		}
+	}
+	if hi <= lo {
+		t.Fatalf("p99 response range degenerate: [%v, %v]", lo, hi)
+	}
+
+	// A deadline between the fastest and slowest p99 keeps some mixes
+	// infeasible; the winner must be the cheapest of the feasible ones.
+	req := base
+	req.DeadlineSec = hi // all mixes feasible: cheapest wins outright
+	all, err := s.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Best == nil || !all.Best.Feasible {
+		t.Fatal("no feasible plan with every mix under the deadline")
+	}
+	for _, c := range all.Candidates {
+		if c.Err == "" && c.Feasible && c.Cost < all.Best.Cost {
+			t.Errorf("best cost %v beaten by feasible mix %v at %v", all.Best.Cost, c.ClassCounts, c.Cost)
+		}
+	}
+
+	req.DeadlineSec = (lo + hi) / 2
+	mid, err := s.Plan(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mid.Best != nil {
+		if !mid.Best.Feasible || mid.Best.ResponseTime > req.DeadlineSec {
+			t.Errorf("best plan misses its own p99 deadline: %+v", *mid.Best)
+		}
+		for _, c := range mid.Candidates {
+			if c.Err == "" && c.Feasible && c.Cost < mid.Best.Cost {
+				t.Errorf("best cost %v beaten by feasible mix %v at %v", mid.Best.Cost, c.ClassCounts, c.Cost)
+			}
+		}
+	}
+}

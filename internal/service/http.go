@@ -18,6 +18,8 @@ import (
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/fault"
+	"hadoop2perf/internal/mrsim"
 	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/timeline"
 	"hadoop2perf/internal/trace"
@@ -215,6 +217,9 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 			MeanResponse: resp.Result.MeanResponse(),
 			Makespan:     resp.Result.Makespan,
 			Events:       resp.Result.Events,
+			Quantiles:    resp.Quantiles,
+			FailedSeeds:  resp.FailedSeeds,
+			Faults:       resp.Result.Faults,
 			Cached:       resp.Cached,
 		}
 		for _, j := range resp.Result.Jobs {
@@ -610,6 +615,10 @@ type predictWire struct {
 	Job       jobWire        `json:"job"`
 	NumJobs   int            `json:"numJobs,omitempty"`
 	Estimator core.Estimator `json:"estimator,omitempty"`
+	// Faults describes a fault-injection scenario (node MTTF/repair,
+	// stragglers, speculation); the model corrects its effective demands for
+	// the expected rework. Omitted: fault-free prediction.
+	Faults *fault.Plan `json:"faults,omitempty"`
 	// Profile references a calibrated profile by name (POST /v1/calibrate);
 	// its fitted statistics seed the model instead of the static
 	// initialization. Distinct from job.profile, which names a workload.
@@ -625,7 +634,8 @@ func (p predictWire) toRequest() (PredictRequest, error) {
 	if err != nil {
 		return PredictRequest{}, err
 	}
-	return PredictRequest{Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator, Profile: p.Profile}, nil
+	return PredictRequest{Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator,
+		Faults: p.Faults, Profile: p.Profile}, nil
 }
 
 type predictResultWire struct {
@@ -651,6 +661,10 @@ type simulateWire struct {
 	Seed    int64       `json:"seed,omitempty"`
 	Reps    int         `json:"reps,omitempty"`
 	Policy  yarn.Policy `json:"policy,omitempty"`
+	// Faults injects node failures, straggler tails and speculative
+	// re-execution into every seeded repetition. Omitted: fault-free runs
+	// (bit-identical to pre-fault-injection simulations).
+	Faults *fault.Plan `json:"faults,omitempty"`
 	// Profile is accepted for wire symmetry but rejected: calibrated
 	// profiles seed the analytic model's initialization, and a simulation
 	// has none — failing loudly beats silently ignoring the reference.
@@ -683,7 +697,8 @@ func (sw simulateWire) toRequest() (SimulateRequest, error) {
 		j.ID = i
 		jobs[i] = j
 	}
-	return SimulateRequest{Spec: spec, Jobs: jobs, Seed: sw.Seed, Reps: sw.Reps, Policy: sw.Policy}, nil
+	return SimulateRequest{Spec: spec, Jobs: jobs, Seed: sw.Seed, Reps: sw.Reps,
+		Policy: sw.Policy, Faults: sw.Faults}, nil
 }
 
 type simJobWire struct {
@@ -696,7 +711,14 @@ type simulateResultWire struct {
 	Makespan     float64      `json:"makespan"`
 	Events       int          `json:"events"`
 	Jobs         []simJobWire `json:"jobs"`
-	Cached       bool         `json:"cached"`
+	// Quantiles reports the batch's mean response at p50/p95/p99 of the
+	// seeded repetitions; FailedSeeds how many repetitions errored.
+	Quantiles   SimQuantiles `json:"quantiles"`
+	FailedSeeds int          `json:"failedSeeds,omitempty"`
+	// Faults carries the median run's injected-fault bookkeeping (absent
+	// for fault-free runs).
+	Faults *mrsim.FaultStats `json:"faults,omitempty"`
+	Cached bool              `json:"cached"`
 }
 
 type compareWire struct {
@@ -705,6 +727,9 @@ type compareWire struct {
 	NumJobs int         `json:"numJobs,omitempty"`
 	Seed    int64       `json:"seed,omitempty"`
 	Reps    int         `json:"reps,omitempty"`
+	// Faults injects the scenario into the simulated side and applies the
+	// matching analytic correction on the model side.
+	Faults *fault.Plan `json:"faults,omitempty"`
 	// Profile seeds the model side of the comparison from a calibrated
 	// profile (see predictWire.Profile); the simulated side is unaffected.
 	Profile string `json:"profile,omitempty"`
@@ -719,7 +744,8 @@ func (c compareWire) toRequest() (CompareRequest, error) {
 	if err != nil {
 		return CompareRequest{}, err
 	}
-	return CompareRequest{Spec: spec, Job: job, NumJobs: c.NumJobs, Seed: c.Seed, Reps: c.Reps, Profile: c.Profile}, nil
+	return CompareRequest{Spec: spec, Job: job, NumJobs: c.NumJobs, Seed: c.Seed, Reps: c.Reps,
+		Faults: c.Faults, Profile: c.Profile}, nil
 }
 
 type planWire struct {
@@ -737,6 +763,12 @@ type planWire struct {
 	UseSimulator bool           `json:"useSimulator,omitempty"`
 	Seed         int64          `json:"seed,omitempty"`
 	Reps         int            `json:"reps,omitempty"`
+	// Faults applies a fault-injection scenario to every candidate (injected
+	// in simulator-backed plans, corrected for analytically otherwise).
+	Faults *fault.Plan `json:"faults,omitempty"`
+	// Quantile plans simulator-backed candidates against the given seeded-run
+	// quantile (0.5, 0.95 or 0.99; default 0.5). Requires useSimulator.
+	Quantile float64 `json:"quantile,omitempty"`
 	// Profile seeds every model-backed candidate from a calibrated profile;
 	// rejected when useSimulator is set.
 	Profile string `json:"profile,omitempty"`
@@ -756,7 +788,7 @@ func (p planWire) toRequest() (PlanRequest, error) {
 		Nodes: p.Nodes, ClassCounts: p.ClassCounts, BlockSizesMB: p.BlockSizesMB,
 		Reducers: p.Reducers, Policies: p.Policies, DeadlineSec: p.DeadlineSec,
 		Exhaustive: p.Exhaustive, UseSimulator: p.UseSimulator, Seed: p.Seed, Reps: p.Reps,
-		Profile: p.Profile,
+		Faults: p.Faults, Quantile: p.Quantile, Profile: p.Profile,
 	}, nil
 }
 

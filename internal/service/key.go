@@ -8,6 +8,7 @@ import (
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/timeline"
 	"hadoop2perf/internal/workload"
 )
@@ -18,7 +19,10 @@ import (
 // v4: model-backed keys append the resolved calibrated-profile content hash
 // (empty for profile-less requests), so recalibrating a name strands every
 // cache entry computed from the old fit.
-const keyVersion = 4
+// v5: specs encode the fault surface of each node class (preemptible flag,
+// revocation rate, price) and every request kind appends its fault plan, so
+// fault-injected results can never alias fault-free ones.
+const keyVersion = 5
 
 // keyWriter streams a canonical, order-stable binary encoding of a request
 // into a hash. Floats are encoded by their IEEE-754 bits (so +0/-0 and NaN
@@ -80,7 +84,26 @@ func (w *keyWriter) putSpec(s cluster.Spec) {
 		w.putF64(c.DiskMBps)
 		w.putF64(c.NetworkMBps)
 		w.putF64(c.Speed)
+		w.putBool(c.Preemptible)
+		w.putF64(c.RevocationRate)
+		w.putF64(c.Price)
 	}
+}
+
+// putFaults encodes a fault plan (nil distinguished from the zero plan by
+// the presence flag, mirroring the engines' nil-vs-zero semantics).
+func (w *keyWriter) putFaults(p *fault.Plan) {
+	w.putBool(p != nil)
+	if p == nil {
+		return
+	}
+	w.putF64(p.NodeMTTFSec)
+	w.putF64(p.RepairDelaySec)
+	w.putInt(p.MaxNodeFailures)
+	w.putF64(p.StragglerProb)
+	w.putF64(p.StragglerAlpha)
+	w.putBool(p.Speculation)
+	w.putF64(p.SpeculationLateness)
 }
 
 func (w *keyWriter) putProfile(p workload.Profile) {
@@ -156,6 +179,7 @@ func predictKey(req PredictRequest) string {
 	w.putJob(req.Job)
 	w.putInt(req.NumJobs)
 	w.putInt(int(req.Estimator))
+	w.putFaults(req.Faults)
 	w.putResolvedProfile(req.resolved)
 	return w.sum()
 }
@@ -171,6 +195,7 @@ func simulateKey(req SimulateRequest) string {
 	w.putI64(req.Seed)
 	w.putInt(req.Reps)
 	w.putInt(int(req.Policy))
+	w.putFaults(req.Faults)
 	return w.sum()
 }
 
@@ -181,6 +206,7 @@ func compareKey(req CompareRequest) string {
 	w.putInt(req.NumJobs)
 	w.putI64(req.Seed)
 	w.putInt(req.Reps)
+	w.putFaults(req.Faults)
 	w.putResolvedProfile(req.resolved)
 	return w.sum()
 }

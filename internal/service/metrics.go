@@ -46,6 +46,8 @@ func writePrometheus(w io.Writer, m Metrics) error {
 		{"mrserved_cache_entries", "Current LRU cache population.", "gauge", "", float64(m.CacheEntries)},
 		{"mrserved_inflight_sims", "Simulator executions running right now (in-flight workers).", "gauge", "", float64(m.InFlightSims)},
 		{"mrserved_sim_runs_total", "Completed simulator executions.", "counter", "", float64(m.SimRuns)},
+		{"mrserved_sim_faults_injected_total", "Node failures (including preemptible revocations) injected across the seeded repetitions of completed simulator executions.", "counter", "", float64(m.SimFaultsInjected)},
+		{"mrserved_sim_tasks_reexecuted_total", "Task attempts re-enqueued after node loss plus speculative backups launched, across completed simulator executions.", "counter", "", float64(m.SimTasksReexecuted)},
 		{"mrserved_profiles_active", "Live (unexpired) calibrated profiles in the registry.", "gauge", "", float64(m.ProfilesActive)},
 		{"mrserved_model_iterations_total", "Model fixed-point iterations spent by computed predictions, by loop (outer damped rounds vs inner MVA sweeps).", "counter", `loop="outer"`, float64(m.ModelOuterIterations)},
 		{"mrserved_model_iterations_total", "", "", `loop="inner"`, float64(m.ModelInnerIterations)},

@@ -10,6 +10,7 @@ import (
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
@@ -80,6 +81,19 @@ type PlanRequest struct {
 	UseSimulator bool
 	Seed         int64 // see UseSimulator
 	Reps         int   // see UseSimulator
+
+	// Faults applies a fault-injection scenario to every candidate: injected
+	// into simulator-backed evaluations, corrected for analytically in
+	// model-backed ones. Preemptible classes in the template (or its mixes)
+	// carry their revocation hazard either way, so the planner prices
+	// reliable-vs-preemptible trade-offs under failure risk.
+	Faults *fault.Plan
+	// Quantile selects which seeded-run quantile a simulator-backed
+	// candidate's ResponseTime reports: 0.5 (the default when 0), 0.95 or
+	// 0.99. Planning against p99 under a fault scenario answers "cheapest
+	// mix that meets the deadline even in bad draws". Rejected without
+	// UseSimulator — the analytic model predicts means, not quantiles.
+	Quantile float64
 }
 
 func (r *PlanRequest) validate() error {
@@ -157,6 +171,19 @@ func (r *PlanRequest) validate() error {
 	if r.UseSimulator && r.Profile != "" {
 		return errors.New("service: calibrated profiles seed the analytic model; simulator-backed plans cannot use one")
 	}
+	if err := r.Faults.Validate(); err != nil {
+		return err
+	}
+	if r.Quantile != 0 {
+		if !r.UseSimulator {
+			return errors.New("service: quantile planning needs useSimulator (the analytic model predicts means)")
+		}
+		switch r.Quantile {
+		case 0.5, 0.95, 0.99:
+		default:
+			return fmt.Errorf("service: quantile %v not supported (want 0.5, 0.95 or 0.99)", r.Quantile)
+		}
+	}
 	return nil
 }
 
@@ -172,10 +199,21 @@ type PlanCandidate struct {
 	Reducers    int         `json:"reducers"`    // candidate reducer count
 	Policy      yarn.Policy `json:"policy"`      // candidate scheduler policy
 
-	// ResponseTime is the predicted (or simulated) mean job response time.
+	// ResponseTime is the predicted (or simulated) mean job response time —
+	// at the request's Quantile for simulator-backed plans (p50 by default).
 	ResponseTime float64 `json:"responseTime"`
 	// NodeSeconds is the capacity cost proxy: ResponseTime × Nodes.
 	NodeSeconds float64 `json:"nodeSeconds"`
+	// Cost is the price-weighted cost: ResponseTime × Σ count×price over the
+	// candidate's node classes, with unpriced classes at 1 — so Cost equals
+	// NodeSeconds exactly when no class sets a price. Deadline plans rank
+	// feasible candidates by Cost, which is how discounted preemptible
+	// capacity can beat smaller reliable clusters despite its revocation
+	// risk inflating ResponseTime.
+	Cost float64 `json:"cost"`
+	// FailedSeeds counts errored seeded repetitions behind a
+	// simulator-backed candidate (0 for model-backed ones).
+	FailedSeeds int `json:"failedSeeds,omitempty"`
 	// Feasible reports ResponseTime <= DeadlineSec (always false when the
 	// request set no deadline).
 	Feasible bool `json:"feasible"`
@@ -333,7 +371,7 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 	obs.FromContext(ctx).AddCounter(obs.CounterPlanCandidates, int64(len(cands)))
 
 	resp := PlanResponse{Candidates: cands, Strategy: StrategyGrid}
-	finalizePlan(&resp, req.DeadlineSec)
+	finalizePlan(&resp, &req)
 	return resp, nil
 }
 
@@ -373,7 +411,7 @@ func candidatePredictRequest(req PlanRequest, ch nodeChoice, blockMB float64, re
 	job.NumReduces = reducers
 	return PredictRequest{
 		Spec: candidateSpec(&req, ch), Job: job, NumJobs: req.NumJobs, Estimator: req.Estimator,
-		Profile: req.Profile, resolved: req.resolved,
+		Faults: req.Faults, Profile: req.Profile, resolved: req.resolved,
 	}
 }
 
@@ -403,18 +441,28 @@ func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCan
 	}
 	sr, err := s.simulate(ctx, SimulateRequest{
 		Spec: pr.Spec, Jobs: jobs, Seed: req.Seed, Reps: req.Reps, Policy: c.Policy,
+		Faults: req.Faults,
 	})
 	if err != nil {
 		c.Err = err.Error()
 		return
 	}
-	c.ResponseTime = sr.Result.MeanResponse()
+	switch req.Quantile {
+	case 0.95:
+		c.ResponseTime = sr.Quantiles.P95
+	case 0.99:
+		c.ResponseTime = sr.Quantiles.P99
+	default:
+		c.ResponseTime = sr.Result.MeanResponse()
+	}
+	c.FailedSeeds = sr.FailedSeeds
 	c.Cached = sr.Cached
 }
 
 // sortCandidates ranks the grid best-first. Failed candidates sink to the
-// bottom. With a deadline the objective is cost (node-seconds) among
-// feasible candidates; otherwise raw speed.
+// bottom. With a deadline the objective is price-weighted cost among
+// feasible candidates (identical to node-seconds when no class is priced);
+// otherwise raw speed.
 func sortCandidates(cands []PlanCandidate, hasDeadline bool) {
 	sort.SliceStable(cands, func(a, b int) bool {
 		ca, cb := cands[a], cands[b]
@@ -429,8 +477,8 @@ func sortCandidates(cands []PlanCandidate, hasDeadline bool) {
 				return ca.Feasible
 			}
 			if ca.Feasible {
-				if ca.NodeSeconds != cb.NodeSeconds {
-					return ca.NodeSeconds < cb.NodeSeconds
+				if ca.Cost != cb.Cost {
+					return ca.Cost < cb.Cost
 				}
 				return ca.ResponseTime < cb.ResponseTime
 			}
@@ -438,6 +486,6 @@ func sortCandidates(cands []PlanCandidate, hasDeadline bool) {
 		if ca.ResponseTime != cb.ResponseTime {
 			return ca.ResponseTime < cb.ResponseTime
 		}
-		return ca.NodeSeconds < cb.NodeSeconds
+		return ca.Cost < cb.Cost
 	})
 }

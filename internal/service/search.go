@@ -97,20 +97,22 @@ type axisOutcome struct {
 type axisEval func(i int) (rt float64, cached bool, err error)
 
 // searchNodeAxis finds the grid-equivalent candidate set of one node axis
-// under a deadline. nodes must be sorted ascending. It returns every
-// evaluated point as a candidate (feasible points above the frontier,
-// infeasible bisection probes below it) plus the count of pruned points.
-// eval serves the sequential bisection/sweep probes (and may thread
-// single-owner warm-start state); parEval must be safe for concurrent use —
-// it drives the exhaustive fallback's fan-out.
+// under a deadline. nodes must be sorted ascending; weights carries each
+// point's price weight (Σ count×price, node count when unpriced) — the
+// cost objective is weights[i]·rt(i). eval serves the sequential
+// bisection/sweep probes (and may thread single-owner warm-start state);
+// parEval must be safe for concurrent use — it drives the exhaustive
+// fallback's fan-out. It returns every evaluated point as a candidate
+// (feasible points above the frontier, infeasible bisection probes below
+// it) plus the count of pruned points.
 //
 // Exactness: under monotone response times, the returned set provably
 // contains the axis's cheapest feasible candidate — a pruned point i either
 // satisfies rt(i) > deadline (below the frontier) or has cost
-// nodes[i]·rt(i) ≥ nodes[i]·rt(max) strictly above the incumbent best. On
-// any observed monotonicity violation the axis is re-evaluated
+// weights[i]·rt(i) ≥ weights[i]·rt(max) strictly above the incumbent best.
+// On any observed monotonicity violation the axis is re-evaluated
 // exhaustively instead.
-func searchNodeAxis(nodes []int, deadline float64, eval, parEval axisEval) axisOutcome {
+func searchNodeAxis(nodes []int, weights []float64, deadline float64, eval, parEval axisEval) axisOutcome {
 	n := len(nodes)
 	rt := make([]float64, n)
 	cached := make([]bool, n)
@@ -210,21 +212,21 @@ func searchNodeAxis(nodes []int, deadline float64, eval, parEval axisEval) axisO
 	}
 
 	// Dominance sweep upward from the frontier. rt(max) lower-bounds every
-	// response on the axis (monotone), so nodes[i]·rt(max) lower-bounds the
-	// cost of candidate i: once that optimistic cost exceeds the incumbent
-	// best, i — and every larger unevaluated point — is dominated. Points
-	// already evaluated by the bisection ride along for free.
+	// response on the axis (monotone), so weights[i]·rt(max) lower-bounds
+	// the cost of candidate i: once that optimistic cost exceeds the
+	// incumbent best, i is dominated. Points already evaluated by the
+	// bisection ride along for free.
 	bestCost, bestRT := math.Inf(1), math.Inf(1)
 	for i := frontier; i < n; i++ {
 		if !evaluated[i] {
-			if optimistic := float64(nodes[i]) * rtMax; optimistic > bestCost {
+			if optimistic := weights[i] * rtMax; optimistic > bestCost {
 				continue // dominated: true cost ≥ optimistic > best
 			}
 			if _, ok := get(i); !ok || !monotone() {
 				return exhaustive()
 			}
 		}
-		cost := float64(nodes[i]) * rt[i]
+		cost := weights[i] * rt[i]
 		if cost < bestCost || (cost == bestCost && rt[i] < bestRT) {
 			bestCost, bestRT = cost, rt[i]
 		}
@@ -280,8 +282,10 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 	sorted := append([]nodeChoice(nil), choices...)
 	sort.SliceStable(sorted, func(a, b int) bool { return sorted[a].nodes < sorted[b].nodes })
 	totals := make([]int, len(sorted))
+	weights := make([]float64, len(sorted))
 	for i, ch := range sorted {
 		totals[i] = ch.nodes
+		weights[i] = candidateSpec(&req, ch).PriceWeight()
 	}
 	chain := chainOrdered(sorted)
 
@@ -322,7 +326,7 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 					}
 					return pr.Prediction.ResponseTime, pr.Cached, nil
 				}
-				outcomes[ci] = searchNodeAxis(totals, req.DeadlineSec, eval, parEval)
+				outcomes[ci] = searchNodeAxis(totals, weights, req.DeadlineSec, eval, parEval)
 				s.predictors.Put(warm)
 			} else {
 				outcomes[ci] = exhaustiveAxis(totals, parEval)
@@ -357,13 +361,14 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 		}
 		resp.Pruned += out.pruned
 	}
-	finalizePlan(&resp, req.DeadlineSec)
+	finalizePlan(&resp, &req)
 	return resp, nil
 }
 
 // finalizePlan computes the derived candidate fields, ranks the grid and
 // selects Best — shared by the grid and search paths.
-func finalizePlan(resp *PlanResponse, deadline float64) {
+func finalizePlan(resp *PlanResponse, req *PlanRequest) {
+	deadline := req.DeadlineSec
 	for i := range resp.Candidates {
 		c := &resp.Candidates[i]
 		if c.Err != "" {
@@ -371,6 +376,7 @@ func finalizePlan(resp *PlanResponse, deadline float64) {
 		}
 		resp.Evaluated++
 		c.NodeSeconds = c.ResponseTime * float64(c.Nodes)
+		c.Cost = c.ResponseTime * candidateSpec(req, nodeChoice{nodes: c.Nodes, counts: c.ClassCounts}).PriceWeight()
 		c.Feasible = deadline > 0 && c.ResponseTime <= deadline
 	}
 	sortCandidates(resp.Candidates, deadline > 0)

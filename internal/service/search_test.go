@@ -23,6 +23,15 @@ func (s *syntheticEval) eval(i int) (float64, bool, error) {
 	return s.rt[i], false, nil
 }
 
+// nodeWeights is the unpriced per-point cost weight: Cost == NodeSeconds.
+func nodeWeights(nodes []int) []float64 {
+	w := make([]float64, len(nodes))
+	for i, n := range nodes {
+		w[i] = float64(n)
+	}
+	return w
+}
+
 // bruteBest computes the grid answer for one synthetic axis: the cheapest
 // feasible (cost, rt), or none.
 func bruteBest(nodes []int, rt []float64, deadline float64) (cost, best float64, ok bool) {
@@ -74,7 +83,7 @@ func TestSearchNodeAxisMonotoneCurves(t *testing.T) {
 		// Deadlines spanning infeasible-everywhere to feasible-everywhere.
 		for _, d := range []float64{rt[0] * 1.1, (rt[0] + rt[n-1]) / 2, rt[n-1] * 1.05, rt[n-1] * 0.5} {
 			se := &syntheticEval{rt: rt}
-			out := searchNodeAxis(nodes, d, se.eval, se.eval)
+			out := searchNodeAxis(nodes, nodeWeights(nodes), d, se.eval, se.eval)
 			if !out.exact {
 				t.Fatalf("trial %d: fell back on a monotone curve", trial)
 			}
@@ -112,7 +121,7 @@ func TestSearchNodeAxisDetectsViolations(t *testing.T) {
 	}
 	for _, d := range []float64{40, 55, 70, 100} {
 		se := &syntheticEval{rt: rt}
-		out := searchNodeAxis(nodes, d, se.eval, se.eval)
+		out := searchNodeAxis(nodes, nodeWeights(nodes), d, se.eval, se.eval)
 		wc, wr, wok := bruteBest(nodes, rt, d)
 		gc, gr, gok := searchBest(out, d)
 		if wok != gok || (wok && (wc != gc || wr != gr)) {
@@ -132,7 +141,7 @@ func TestSearchNodeAxisFrontierGuard(t *testing.T) {
 	// Frontier by monotone bisection would land at index 4..; index 3 dips
 	// under the deadline (48 <= 50) right below an infeasible point.
 	se := &syntheticEval{rt: rt}
-	out := searchNodeAxis(nodes, deadline, se.eval, se.eval)
+	out := searchNodeAxis(nodes, nodeWeights(nodes), deadline, se.eval, se.eval)
 	wc, wr, wok := bruteBest(nodes, rt, deadline)
 	gc, gr, gok := searchBest(out, deadline)
 	if wok != gok || wc != gc || wr != gr {
@@ -145,7 +154,7 @@ func TestSearchNodeAxisAllInfeasible(t *testing.T) {
 	nodes := []int{2, 4, 6, 8, 10, 12}
 	rt := []float64{100, 90, 80, 70, 65, 61}
 	se := &syntheticEval{rt: rt}
-	out := searchNodeAxis(nodes, 60, se.eval, se.eval)
+	out := searchNodeAxis(nodes, nodeWeights(nodes), 60, se.eval, se.eval)
 	if se.calls.Load() != 2 {
 		t.Errorf("infeasible axis used %d evaluations, want 2 (ceiling + midpoint guard)", se.calls.Load())
 	}
@@ -166,7 +175,7 @@ func TestSearchNodeAxisEndSpikeGuard(t *testing.T) {
 	rt := []float64{90, 80, 70, 60, 55, 52, 50, 75}
 	const deadline = 65.0
 	se := &syntheticEval{rt: rt}
-	out := searchNodeAxis(nodes, deadline, se.eval, se.eval)
+	out := searchNodeAxis(nodes, nodeWeights(nodes), deadline, se.eval, se.eval)
 	wc, wr, wok := bruteBest(nodes, rt, deadline)
 	gc, gr, gok := searchBest(out, deadline)
 	if wok != gok || wc != gc || wr != gr {

@@ -32,6 +32,7 @@ import (
 
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
+	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/mrsim"
 	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/stats"
@@ -153,6 +154,13 @@ type Metrics struct {
 	// RateLimited counts requests rejected with HTTP 429 by the per-client
 	// token-bucket limiter (0 when rate limiting is disabled).
 	RateLimited int64 `json:"rateLimited"`
+	// SimFaultsInjected accumulates node failures (including preemptible
+	// revocations) injected across the seeded repetitions of completed
+	// simulator executions; SimTasksReexecuted the task attempts re-enqueued
+	// after node loss plus speculative backups launched. Both stay 0 for
+	// fault-free traffic.
+	SimFaultsInjected  int64 `json:"simFaultsInjected"`
+	SimTasksReexecuted int64 `json:"simTasksReexecuted"` // see SimFaultsInjected
 	// RequestDurations and StageDurations are the JSON twins of the
 	// mrserved_request_duration_seconds and mrserved_stage_duration_seconds
 	// Prometheus families: cumulative fixed-bucket latency histograms keyed
@@ -196,6 +204,8 @@ type Service struct {
 	innerIters    atomic.Int64
 	warmPredicts  atomic.Int64
 	rateLimited   atomic.Int64
+	simFaults     atomic.Int64
+	simReexec     atomic.Int64
 }
 
 // Request-kind indices into the request-duration histograms, aligned with
@@ -282,6 +292,8 @@ func (s *Service) Metrics() Metrics {
 		ModelInnerIterations: s.innerIters.Load(),
 		WarmPredictions:      s.warmPredicts.Load(),
 		RateLimited:          s.rateLimited.Load(),
+		SimFaultsInjected:    s.simFaults.Load(),
+		SimTasksReexecuted:   s.simReexec.Load(),
 
 		RequestDurations: make(map[string]obs.HistogramSnapshot, numKinds),
 		StageDurations:   make(map[string]obs.HistogramSnapshot, obs.NumStages),
@@ -336,9 +348,9 @@ func (s *Service) cachedCompute(ctx context.Context, key string, compute func() 
 		tr.AddCounter(obs.CounterCacheHits, 1)
 		return v, true, nil
 	}
-	// The leader rechecks the cache before computing: it may have become a
-	// leader by retrying after a canceled predecessor whose orphaned run
-	// already published a result (see runSim), or lost a race with one.
+	// The leader rechecks the cache before computing: it may have lost a
+	// race with a previous leader that populated the entry between this
+	// caller's lookup and its turn at the flight group.
 	fromCache := false
 	v, err, shared := s.flight.do(ctx, key, func() (any, error) {
 		if v, ok := s.cache.get(key); ok {
@@ -375,6 +387,12 @@ type PredictRequest struct {
 	NumJobs int
 	// Estimator selects the tree estimator (default fork/join).
 	Estimator core.Estimator
+	// Faults optionally describes a fault-injection scenario; the model
+	// corrects its effective demands for the expected rework (retries,
+	// capacity loss, stragglers, speculation). nil leaves the prediction
+	// bit-identical to the fault-free model. Preemptible classes with a
+	// revocation rate activate the correction even under a nil plan.
+	Faults *fault.Plan
 	// Profile optionally names a calibrated profile (stored via Calibrate)
 	// whose fitted per-class statistics seed the model's A1 initialization
 	// (§4.2.1, first approach) instead of the Herodotou static model. The
@@ -397,6 +415,9 @@ func (r *PredictRequest) validate() error {
 		return err
 	}
 	if err := r.Job.Validate(); err != nil {
+		return err
+	}
+	if err := r.Faults.Validate(); err != nil {
 		return err
 	}
 	if _, err := r.Estimator.MarshalText(); err != nil {
@@ -473,6 +494,7 @@ func (s *Service) predictEval(ctx context.Context, req PredictRequest, chain *co
 		defer s.release()
 		cfg := core.Config{
 			Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: req.Estimator,
+			Faults: req.Faults,
 		}
 		if req.resolved != nil {
 			cfg.History = req.resolved.history
@@ -528,6 +550,11 @@ type SimulateRequest struct {
 	Reps int
 	// Policy orders applications in the RM root queue.
 	Policy yarn.Policy
+	// Faults optionally injects node failures, straggler tails and
+	// speculative re-execution into every seeded repetition. nil leaves the
+	// runs bit-identical to fault-free simulations; preemptible classes with
+	// a revocation rate are revoked even under a nil plan.
+	Faults *fault.Plan
 }
 
 func (r *SimulateRequest) validate(defaultReps int) error {
@@ -551,10 +578,32 @@ func (r *SimulateRequest) validate(defaultReps int) error {
 			return fmt.Errorf("service: job %d: %w", i, err)
 		}
 	}
+	if err := r.Faults.Validate(); err != nil {
+		return err
+	}
 	if _, err := r.Policy.MarshalText(); err != nil {
 		return err
 	}
 	return nil
+}
+
+// SimQuantiles reports mean job response time at fixed quantiles of the
+// seeded repetitions, ordered by mean response. With one rep all three
+// coincide; under fault injection the spread is the scenario's risk profile.
+type SimQuantiles struct {
+	// P50 is the median draw's mean response (what Result reports).
+	P50 float64 `json:"p50"`
+	// P95 and P99 are the tail draws: planning material under faults.
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"` // see P95
+}
+
+// simOutcome is the cached payload of one simulator execution: the median
+// run plus the quantile summary and the failed-seed count of the batch.
+type simOutcome struct {
+	median    mrsim.Result
+	quantiles SimQuantiles
+	failed    int
 }
 
 // SimulateResponse is a simulator execution plus serving metadata. The
@@ -563,15 +612,21 @@ func (r *SimulateRequest) validate(defaultReps int) error {
 type SimulateResponse struct {
 	// Result is the median run of the seeded repetitions.
 	Result mrsim.Result
+	// Quantiles summarizes the batch's mean response at p50/p95/p99.
+	Quantiles SimQuantiles
+	// FailedSeeds counts seeded repetitions that errored (tolerated as long
+	// as a majority succeeds; fault injection makes seeds legitimately
+	// fallible).
+	FailedSeeds int
 	// Cached reports whether the response was served without a fresh run.
 	Cached bool
 }
 
-// Simulate runs (or recalls) a median-of-seeds cluster simulation. The
-// simulator cannot be interrupted mid-run; on cancellation Simulate returns
-// promptly while the already-started run completes in the background —
-// keeping its worker-pool slot so the concurrency bound holds — and then
-// populates the cache so a retry is free.
+// Simulate runs (or recalls) a batch of consecutively seeded cluster
+// simulations and reports the median run plus the batch's p50/p95/p99
+// response quantiles. The run honors ctx: cancellation aborts the
+// discrete-event engine at its next poll boundary and Simulate returns
+// ctx.Err() promptly.
 func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
 	s.simulateReqs.Add(1)
 	return s.simulate(ctx, req)
@@ -582,59 +637,61 @@ func (s *Service) simulate(ctx context.Context, req SimulateRequest) (SimulateRe
 	if err := req.validate(s.opts.SimReps); err != nil {
 		return SimulateResponse{}, invalid(err)
 	}
-	key := simulateKey(req)
-	v, cached, err := s.cachedCompute(ctx, key, func() (any, error) {
-		return s.runSim(ctx, key, req)
+	v, cached, err := s.cachedCompute(ctx, simulateKey(req), func() (any, error) {
+		return s.runSim(ctx, req)
 	})
 	if err != nil {
 		return SimulateResponse{}, err
 	}
-	return SimulateResponse{Result: v.(mrsim.Result), Cached: cached}, nil
+	o := v.(simOutcome)
+	return SimulateResponse{Result: o.median, Quantiles: o.quantiles, FailedSeeds: o.failed, Cached: cached}, nil
 }
 
-// runSim executes the simulator under a worker-pool slot, on its own
-// goroutine so the caller can observe ctx while the (uninterruptible)
-// discrete-event run proceeds. If the caller's ctx ends first, the run
-// finishes in the background, holding its slot until done and caching its
-// result under key.
-func (s *Service) runSim(ctx context.Context, key string, req SimulateRequest) (mrsim.Result, error) {
+// runSim executes the seeded simulation batch under a worker-pool slot,
+// synchronously: mrsim threads ctx into the event loop, so a canceled caller
+// aborts the engine instead of orphaning a multi-second run. A leader that
+// dies of its own cancellation is safe — waiting singleflight followers
+// retry as the new leader (TestFlightFollowerSurvivesLeaderCancel).
+func (s *Service) runSim(ctx context.Context, req SimulateRequest) (simOutcome, error) {
 	if err := s.acquire(ctx); err != nil {
-		return mrsim.Result{}, err
+		return simOutcome{}, err
 	}
-	type outcome struct {
-		res mrsim.Result
-		err error
-	}
-	done := make(chan outcome, 1)
+	defer s.release()
 	s.inFlightSims.Add(1)
-	// The trace is captured before spawning: an orphaned run (caller gone)
-	// still records its simulate span — Trace is mutex-guarded, so late
-	// recording is safe even after the response was written.
-	tr := obs.FromContext(ctx)
-	go func() {
-		defer s.release()
-		defer s.inFlightSims.Add(-1)
-		start := time.Now()
-		res, err := mrsim.RunMedianOfSeeds(mrsim.Config{
-			Spec: req.Spec, Jobs: req.Jobs, Seed: req.Seed, Scheduler: req.Policy,
-		}, req.Reps)
-		d := time.Since(start)
-		tr.Add(obs.StageSimulate, d)
-		s.stageHist[obs.StageSimulate].Observe(d.Seconds())
-		if err == nil {
-			s.simRuns.Add(1)
-			// Also cache directly: when the caller has already given up, the
-			// cachedCompute layer never sees this result.
-			s.cache.add(key, res)
-		}
-		done <- outcome{res, err} // buffered; never blocks an orphaned run
-	}()
-	select {
-	case o := <-done:
-		return o.res, o.err
-	case <-ctx.Done():
-		return mrsim.Result{}, ctx.Err()
+	defer s.inFlightSims.Add(-1)
+	defer s.endSpan(obs.FromContext(ctx), obs.StageSimulate, time.Now())
+	runs, failed, err := mrsim.RunSeedsContext(ctx, mrsim.Config{
+		Spec: req.Spec, Jobs: req.Jobs, Seed: req.Seed, Scheduler: req.Policy,
+		Faults: req.Faults,
+	}, req.Reps)
+	if err != nil {
+		return simOutcome{}, err
 	}
+	s.simRuns.Add(1)
+	var injected, reexec int64
+	for _, r := range runs {
+		if f := r.Faults; f != nil {
+			injected += int64(f.NodeFailures)
+			reexec += int64(f.TasksReexecuted + f.SpeculativeLaunched)
+		}
+	}
+	if injected > 0 {
+		s.simFaults.Add(injected)
+	}
+	if reexec > 0 {
+		s.simReexec.Add(reexec)
+	}
+	out := simOutcome{
+		median: mrsim.Quantile(runs, 0.5),
+		quantiles: SimQuantiles{
+			P50: mrsim.Quantile(runs, 0.5).MeanResponse(),
+			P95: mrsim.Quantile(runs, 0.95).MeanResponse(),
+			P99: mrsim.Quantile(runs, 0.99).MeanResponse(),
+		},
+		failed: failed,
+	}
+	out.median.FailedSeeds = failed
+	return out, nil
 }
 
 // CompareRequest validates the model against the simulator for one
@@ -651,6 +708,10 @@ type CompareRequest struct {
 	Seed int64
 	// Reps is the median-of-seeds repetition count (default Options.SimReps).
 	Reps int
+	// Faults injects the scenario into the simulator side and applies the
+	// matching analytic correction on the model side, so the comparison
+	// measures the fault correction's accuracy.
+	Faults *fault.Plan
 	// Profile optionally names a calibrated profile seeding the model side
 	// of the comparison (see PredictRequest.Profile); the simulator side is
 	// unaffected — it executes the job's workload profile directly.
@@ -672,6 +733,9 @@ func (r *CompareRequest) validate(defaultReps int) error {
 		return fmt.Errorf("service: Reps %d exceeds limit %d", r.Reps, MaxSimReps)
 	}
 	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if err := r.Faults.Validate(); err != nil {
 		return err
 	}
 	return r.Job.Validate()
@@ -735,6 +799,7 @@ func (s *Service) runCompare(ctx context.Context, req CompareRequest) (CompareRe
 	// the same configuration reuses its run, and vice versa.
 	sim, err := s.simulate(ctx, SimulateRequest{
 		Spec: req.Spec, Jobs: jobs, Seed: req.Seed, Reps: req.Reps, Policy: pol,
+		Faults: req.Faults,
 	})
 	if err != nil {
 		return CompareResponse{}, err
@@ -744,7 +809,8 @@ func (s *Service) runCompare(ctx context.Context, req CompareRequest) (CompareRe
 		return CompareResponse{}, err
 	}
 	defer s.release()
-	cfg := core.Config{Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs, Estimator: core.EstimatorForkJoin}
+	cfg := core.Config{Spec: req.Spec, Job: req.Job, NumJobs: req.NumJobs,
+		Estimator: core.EstimatorForkJoin, Faults: req.Faults}
 	if req.resolved != nil {
 		cfg.History = req.resolved.history
 	}

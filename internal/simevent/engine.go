@@ -13,7 +13,10 @@
 // sweeps) can pool them.
 package simevent
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // entry is one calendar position: the scheduled time, a FIFO tie-break
 // sequence, and the arena slot holding the callback. Entries move inside the
@@ -134,7 +137,22 @@ func (e *Engine) After(d float64, fn func()) Timer { return e.At(e.now+d, fn) }
 // fired. It returns the number of events processed and an error if the event
 // budget was exhausted (guarding against runaway simulations). Cancelled
 // events are skipped without counting against the budget.
-func (e *Engine) Run(maxEvents int) (int, error) {
+func (e *Engine) Run(maxEvents int) (int, error) { return e.run(nil, maxEvents) }
+
+// RunContext is Run with cooperative cancellation: every 64k fired events it
+// polls ctx and aborts with ctx.Err() once the context is done, so a
+// canceled caller gets its goroutine back promptly instead of waiting out
+// the whole event budget.
+func (e *Engine) RunContext(ctx context.Context, maxEvents int) (int, error) {
+	return e.run(ctx, maxEvents)
+}
+
+func (e *Engine) run(ctx context.Context, maxEvents int) (int, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err // already canceled: don't start at all
+		}
+	}
 	n := 0
 	for len(e.cal) > 0 {
 		top := e.cal[0]
@@ -159,6 +177,11 @@ func (e *Engine) Run(maxEvents int) (int, error) {
 		n++
 		if n > maxEvents {
 			return n, fmt.Errorf("simevent: exceeded event budget of %d", maxEvents)
+		}
+		if ctx != nil && n&0xFFFF == 0 {
+			if err := ctx.Err(); err != nil {
+				return n, err
+			}
 		}
 		fn()
 	}

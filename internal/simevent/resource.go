@@ -54,6 +54,21 @@ func (r *PSResource) Submit(work float64, done func()) {
 // InService returns the number of tasks currently sharing the resource.
 func (r *PSResource) InService() int { return len(r.active) }
 
+// Clear drops every active task without firing its completion callback and
+// cancels the pending completion event — node-crash semantics: work in
+// progress is lost and nothing downstream of it runs. Service delivered so
+// far stays in the utilization integral (BusyTime); the resource itself
+// remains usable (a repaired node restarts empty).
+func (r *PSResource) Clear() {
+	r.advance()
+	for i := range r.active {
+		r.active[i].done = nil
+	}
+	r.active = r.active[:0]
+	r.pending.Cancel()
+	r.pending = Timer{}
+}
+
 // BusyTime returns the accumulated utilization integral (work-seconds
 // completed); BusyTime/elapsed gives average utilization in work units.
 func (r *PSResource) BusyTime() float64 {

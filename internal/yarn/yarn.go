@@ -105,6 +105,7 @@ type Container struct {
 	// Local reports whether the allocation honored a node-locality preference.
 	Local bool
 	app   *App
+	epoch int // node epoch at grant time (stale after a node loss)
 }
 
 // App is a registered YARN application (one MapReduce job's AM view of the
@@ -118,11 +119,16 @@ type App struct {
 	done       bool
 }
 
-// nodeState tracks per-node available resources.
+// nodeState tracks per-node available resources. down marks a lost node
+// (failure injection): it receives no allocations until NodeUp. epoch counts
+// failures so that containers granted before a loss cannot corrupt the
+// node's accounting when released after it rejoined.
 type nodeState struct {
 	id        int
 	available cluster.Resource
 	capacity  cluster.Resource
+	down      bool
+	epoch     int
 }
 
 // occupancy returns the fraction of memory in use (the paper's "occupancy
@@ -269,11 +275,46 @@ func (rm *RM) Submit(app *App, req *Request) error {
 }
 
 // Release returns a container's resources to its node and requests a
-// scheduling pass (container completed).
+// scheduling pass (container completed). Containers on a down node, or
+// granted before the node's last failure, are dropped without touching the
+// accounting: the loss already forfeited their resources.
 func (rm *RM) Release(c *Container) {
-	rm.nodes[c.Node].available = rm.nodes[c.Node].available.Add(c.Size)
+	n := rm.nodes[c.Node]
+	if n.down || c.epoch != n.epoch {
+		return
+	}
+	n.available = n.available.Add(c.Size)
 	rm.requestSchedule()
 }
+
+// NodeDown marks a node lost: it stops receiving allocations and its free
+// resources are zeroed. Grants already in flight (scheduled before the
+// failure, delivered after the heartbeat) still arrive — the AM must check
+// node health on delivery and release unusable containers.
+func (rm *RM) NodeDown(node int) {
+	n := rm.nodes[node]
+	if n.down {
+		return
+	}
+	n.down = true
+	n.epoch++
+	n.available = cluster.Resource{}
+}
+
+// NodeUp rejoins a previously lost node with full capacity and kicks the
+// scheduler so queued requests can land on it.
+func (rm *RM) NodeUp(node int) {
+	n := rm.nodes[node]
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.available = n.capacity
+	rm.requestSchedule()
+}
+
+// NodeIsUp reports whether the node is schedulable.
+func (rm *RM) NodeIsUp(node int) bool { return !rm.nodes[node].down }
 
 // requestSchedule coalesces scheduling into a single deferred event so that
 // all requests arriving at the same instant are considered together — the
@@ -396,6 +437,7 @@ func (rm *RM) grant(app *App, req *Request, node int, local bool) {
 		Type:     req.Type,
 		Local:    local,
 		app:      app,
+		epoch:    rm.nodes[node].epoch,
 	}
 	rm.nextContainer++
 	req.allocated++
@@ -411,14 +453,14 @@ func (rm *RM) grant(app *App, req *Request, node int, local bool) {
 // occupancy rate that fits. Returns (-1, false) when nothing fits.
 func (rm *RM) pickNode(req *Request) (node int, local bool) {
 	for _, p := range req.Preferred {
-		if p >= 0 && p < len(rm.nodes) && rm.nodes[p].available.Fits(req.Size) {
+		if p >= 0 && p < len(rm.nodes) && !rm.nodes[p].down && rm.nodes[p].available.Fits(req.Size) {
 			return p, true
 		}
 	}
 	best := -1
 	bestOcc := 2.0
 	for _, n := range rm.nodes {
-		if !n.available.Fits(req.Size) {
+		if n.down || !n.available.Fits(req.Size) {
 			continue
 		}
 		if occ := n.occupancy(); occ < bestOcc {
