@@ -219,6 +219,33 @@ func BenchmarkPredictBatch(b *testing.B) {
 	b.Run("contended-cold", func(b *testing.B) {
 		runContended(b, func(c *ModelConfig) { c.ColdStart = true })
 	})
+	// The same cold sweep through the lane-lockstep pipeline
+	// (PredictBatchLockstep). This is the A/B behind PredictBatch routing
+	// cold entries sequentially: identical innerIters/op, but the packed
+	// kernel pays full four-wide sweeps while the scalar kernel's dirty-row
+	// skip makes late sweeps nearly free (PERFORMANCE.md §2).
+	b.Run("contended-cold-lanes", func(b *testing.B) {
+		b.ReportAllocs()
+		p := NewPredictor()
+		var outer, inner int64
+		for i := 0; i < b.N; i++ {
+			cfgs := make([]ModelConfig, len(contended))
+			copy(cfgs, contended)
+			for j := range cfgs {
+				cfgs[j].ColdStart = true
+			}
+			preds, err := p.PredictBatchLockstep(context.Background(), cfgs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, pr := range preds {
+				outer += int64(pr.Iterations)
+				inner += int64(pr.InnerIterations)
+			}
+		}
+		b.ReportMetric(float64(outer)/float64(b.N), "outerIters/op")
+		b.ReportMetric(float64(inner)/float64(b.N), "innerIters/op")
+	})
 	b.Run("contended-warm", func(b *testing.B) {
 		runContended(b, func(c *ModelConfig) {})
 	})
@@ -343,6 +370,44 @@ func BenchmarkPlanDeadline(b *testing.B) {
 		b.Run("grid"+load.suffix, func(b *testing.B) { run(b, true) })
 		b.Run("search"+load.suffix, func(b *testing.B) { run(b, false) })
 	}
+}
+
+// BenchmarkServicePlanParallel drives concurrent deadline plans against
+// one service: every query runs bisection walks on pooled warm chains,
+// and narrow brackets finish through the batched evaluation path
+// (predictEvalBatch), so this is the -race CI step's coverage of the
+// batch solver under BenchmarkServiceParallel-style concurrent traffic.
+func BenchmarkServicePlanParallel(b *testing.B) {
+	job, err := workload.NewJob(0, 1024, 128, 1, workload.WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]int, 24)
+	for i := range nodes {
+		nodes[i] = 2 + i
+	}
+	svc := NewService(ServiceOptions{CacheSize: 4096})
+	var seq atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			// Rotate deadlines and populations so plans mix cache hits
+			// with fresh batched walks.
+			g := seq.Add(1)
+			req := PlanRequest{
+				Spec: DefaultCluster(4), Job: job, NumJobs: 1 + int(g)%3,
+				Nodes:       nodes,
+				DeadlineSec: 150 + 25*float64(g%5),
+			}
+			resp, err := svc.Plan(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Strategy != "search" {
+				b.Fatalf("strategy %q", resp.Strategy)
+			}
+		}
+	})
 }
 
 // benchTwoClassSpec is the 2-class cluster of the heterogeneous benchmarks:
@@ -503,9 +568,9 @@ func BenchmarkMVAExact(b *testing.B) {
 	}
 }
 
-// BenchmarkMVAOverlapStep measures the overlap-weighted fixed point at the
-// scale of a 5 GB job (48 tasks, 3 centers).
-func BenchmarkMVAOverlapStep(b *testing.B) {
+// mvaBenchInput builds the overlap-weighted fixed point input at the scale
+// of a 5 GB job (48 tasks, 3 centers) shared by the kernel benchmarks.
+func mvaBenchInput() mva.OverlapInput {
 	n := 48
 	tasks := make([]mva.TaskDemand, n)
 	alpha := make([][][]float64, 3)
@@ -527,13 +592,75 @@ func BenchmarkMVAOverlapStep(b *testing.B) {
 	for i := range tasks {
 		tasks[i] = mva.TaskDemand{Demands: []float64{20, 2, 1}}
 	}
-	in := mva.OverlapInput{Tasks: tasks, Alpha: alpha, Beta: beta, Servers: []float64{4, 1, 2}, OtherJobs: 3}
+	return mva.OverlapInput{Tasks: tasks, Alpha: alpha, Beta: beta, Servers: []float64{4, 1, 2}, OtherJobs: 3}
+}
+
+// BenchmarkMVAOverlapStep measures the fused struct-of-arrays overlap kernel
+// (the default since PR 8).
+func BenchmarkMVAOverlapStep(b *testing.B) {
+	in := mvaBenchInput()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mva.OverlapStep(in); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMVAOverlapStepScalar measures the historical element-wise kernel
+// kept behind OverlapInput.Scalar — the PR 8 A/B baseline.
+func BenchmarkMVAOverlapStepScalar(b *testing.B) {
+	in := mvaBenchInput()
+	in.Scalar = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mva.OverlapStep(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMVABatch compares four same-shape contended fixed points solved
+// through the lane-batched solver against four sequential scalar Steps: the
+// per-lane trajectories are identical, so the delta is pure execution
+// layout (instruction-level parallelism across lanes).
+func BenchmarkMVABatch(b *testing.B) {
+	mk := func() []mva.OverlapInput {
+		ins := make([]mva.OverlapInput, mva.BatchLanes)
+		for l := range ins {
+			ins[l] = mvaBenchInput()
+			// Perturb each lane's demand so the lanes are neighbors, not clones.
+			for i := range ins[l].Tasks {
+				ins[l].Tasks[i].Demands[0] += float64(l) * 0.5
+			}
+		}
+		return ins
+	}
+	b.Run("batch4", func(b *testing.B) {
+		ins := mk()
+		var s mva.BatchOverlapSolver
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, errs := s.Solve(ins)
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("sequential4", func(b *testing.B) {
+		ins := mk()
+		var s mva.OverlapSolver
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for l := range ins {
+				if _, err := s.Step(ins[l]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkTripathiMaxMoments measures the numeric max-moment integration

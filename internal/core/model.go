@@ -284,9 +284,13 @@ type Predictor struct {
 	// Center service multiplicities, rebuilt per prediction.
 	servers []float64
 
-	// Per-iteration lookup tables, cleared instead of reallocated.
-	lanes  map[laneKey]laneWindow
-	respOf map[classTask]float64
+	// Per-iteration lookup tables, cleared instead of reallocated. Lanes are
+	// resolved to dense indices once per round (laneWindows); the factor
+	// loops index laneOf/laneWins instead of hashing per pair.
+	lanes    map[laneKey]int
+	laneOf   []int
+	laneWins []laneWindow
+	respOf   map[classTask]float64
 
 	// Warm-start state (warm.go): a small pool of converged solutions
 	// PredictWarm seeds from, scratch for viewing a pooled flat residence
@@ -295,6 +299,11 @@ type Predictor struct {
 	warm     warmPool
 	seedRows [][]float64
 	lastStep mva.OverlapResult
+
+	// Lane-lockstep batch state (batch.go): the shared lane-packed MVA
+	// solver and the recycled per-lane scratch Predictors.
+	bsolver  mva.BatchOverlapSolver
+	laneFree []*Predictor
 
 	// infl is the fault effective-demand correction of the current
 	// prediction (the identity without a fault scenario).
@@ -418,24 +427,15 @@ func PredictContext(ctx context.Context, cfg Config) (Prediction, error) {
 }
 
 // PredictBatch evaluates a batch of configurations through one shared
-// evaluator, reusing the timeline/overlap scaffolding across entries and
-// warm-starting each entry from its nearest already-solved neighbor in the
-// batch (PredictWarm): contended sweeps spend several times fewer MVA
-// sweeps per point. Results match per-config Predict calls within the
-// warm-start tolerance (1e-6 relative, property-tested); set
-// Config.ColdStart for bit-identical cold runs. Stops at the first failing
-// config.
+// evaluator: entries are warm-started from their nearest already-solved
+// neighbor and — beyond a sequential pilot per warm-signature — advanced in
+// lane-lockstep waves whose inner MVA fixed points share packed sweeps (see
+// Predictor.PredictBatch). Results match per-config Predict calls within
+// the warm-start tolerance (1e-6 relative, property-tested); set
+// Config.ColdStart for bit-identical cold runs. The first failing config
+// aborts the batch with its index wrapped in the error.
 func PredictBatch(cfgs []Config) ([]Prediction, error) {
-	p := NewPredictor()
-	out := make([]Prediction, len(cfgs))
-	for i, cfg := range cfgs {
-		pred, err := p.PredictWarm(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: batch config %d: %w", i, err)
-		}
-		out[i] = pred
-	}
-	return out, nil
+	return NewPredictor().PredictBatch(cfgs)
 }
 
 // Predict runs the model to convergence from the cold A1 initialization —
@@ -468,32 +468,15 @@ func (p *Predictor) PredictContext(ctx context.Context, cfg Config) (Prediction,
 // outer iterations — cancellation costs at most one more round; nil skips
 // the check so un-contexted callers pay nothing.
 func (p *Predictor) predict(ctx context.Context, cfg Config, seed *warmEntry, fast bool) (Prediction, error) {
-	if err := cfg.validateTuning(); err != nil {
+	cfg, classes, err := p.beginPredict(cfg)
+	if err != nil {
 		return Prediction{}, err
 	}
-	cfg.applyDefaults()
-	if err := cfg.Spec.Validate(); err != nil {
-		return Prediction{}, err
-	}
-	if err := cfg.Job.Validate(); err != nil {
-		return Prediction{}, err
-	}
-	if cfg.Job.NumMaps() == 0 {
-		return Prediction{}, errors.New("core: job has no map tasks")
-	}
-	if err := cfg.Faults.Validate(); err != nil {
-		return Prediction{}, err
-	}
-
-	p.hw.init(cfg.Spec)
-	p.infl = faultFactors(cfg, &p.hw)
-	classes := initialize(cfg, &p.hw, p.infl)
 
 	prevTotal := math.Inf(1)
 	var (
 		tl   *timeline.Timeline
 		tree *ptree.Node
-		err  error
 		warm [][]float64 // inner warm seed for the next MVA step
 		acc  outerAccel
 	)
@@ -505,34 +488,18 @@ func (p *Predictor) predict(ctx context.Context, cfg Config, seed *warmEntry, fa
 				return Prediction{}, err
 			}
 		}
-		// A2: timeline from current class response times.
-		tl, err = p.buildTimeline(cfg, classes)
+		var in mva.OverlapInput
+		tl, tree, in, err = p.roundArtifacts(cfg, classes, warm, fast)
 		if err != nil {
 			return Prediction{}, err
 		}
-		// A3: precedence tree.
-		tree, err = ptree.Build(tl)
-		if err != nil {
-			return Prediction{}, err
-		}
-		// A4: overlap factors.
-		alpha, beta := p.overlapFactors(tl)
-		// A5: overlap-weighted MVA step.
-		taskDemands := p.demandsFor(cfg, tl, classes)
-		p.servers = p.hw.servers(p.servers)
 		if iter == 1 && seed != nil {
 			warm = p.warmResidenceRows(seed, len(tl.Tasks), p.hw.nc)
+			in.Warm = warm
 			pred.WarmStarted = warm != nil
 		}
-		step, err := p.solver.Step(mva.OverlapInput{
-			Tasks:      taskDemands,
-			Alpha:      alpha,
-			Beta:       beta,
-			Servers:    p.servers,
-			OtherJobs:  cfg.NumJobs - 1,
-			Warm:       warm,
-			Accelerate: fast,
-		})
+		// A5: overlap-weighted MVA step.
+		step, err := p.solver.Step(in)
 		if err != nil {
 			return Prediction{}, err
 		}
@@ -547,32 +514,12 @@ func (p *Predictor) predict(ctx context.Context, cfg Config, seed *warmEntry, fa
 			// do, so the old solution is a near-answer).
 			warm = step.Residence
 		}
-		// Aggregate per class with damping.
-		var newResp [numClasses]float64
-		classMeans(tl, step.Response, &newResp)
-		for cls, cd := range classes {
-			nr := newResp[cls]
-			if nr <= 0 {
-				continue
-			}
-			cd.response = cfg.Damping*cd.response + (1-cfg.Damping)*nr
-			classes[cls] = cd
-		}
-		// A6: job response from the tree + convergence test.
-		total, err := p.estimate(cfg, tree, tl, step.Response, classes)
+		done, err := p.roundFold(cfg, classes, tl, tree, step.Response, iter, &prevTotal, &acc, &pred)
 		if err != nil {
 			return Prediction{}, err
 		}
-		total += cfg.Job.Profile.AMStartup
-		pred.Iterations = iter
-		pred.ResponseTime = total
-		if math.Abs(total-prevTotal) <= cfg.Epsilon && !acc.justExtrapolated {
-			pred.Converged = true
+		if done {
 			break
-		}
-		prevTotal = total
-		if cfg.AccelerateOuter {
-			acc.observe(classes)
 		}
 	}
 	for cls, cd := range classes {
@@ -581,6 +528,97 @@ func (p *Predictor) predict(ctx context.Context, cfg Config, seed *warmEntry, fa
 	pred.Timeline = tl
 	pred.Tree = tree
 	return pred, nil
+}
+
+// beginPredict validates and normalizes a configuration and initializes the
+// per-run hardware view, fault inflation and class working state — the
+// prologue shared by the scalar outer loop and the lane-lockstep batch
+// (batch.go). The returned Config has defaults applied.
+func (p *Predictor) beginPredict(cfg Config) (Config, map[timeline.Class]*classData, error) {
+	if err := cfg.validateTuning(); err != nil {
+		return cfg, nil, err
+	}
+	cfg.applyDefaults()
+	if err := cfg.Spec.Validate(); err != nil {
+		return cfg, nil, err
+	}
+	if err := cfg.Job.Validate(); err != nil {
+		return cfg, nil, err
+	}
+	if cfg.Job.NumMaps() == 0 {
+		return cfg, nil, errors.New("core: job has no map tasks")
+	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return cfg, nil, err
+	}
+	p.hw.init(cfg.Spec)
+	p.infl = faultFactors(cfg, &p.hw)
+	return cfg, initialize(cfg, &p.hw, p.infl), nil
+}
+
+// roundArtifacts runs one outer round's A2–A4 stages — timeline, precedence
+// tree, overlap factors, per-task demands, service centers — and assembles
+// the overlap-MVA input (A5's operand) for the current class responses. The
+// input's matrices alias Predictor scratch, valid until the next round.
+func (p *Predictor) roundArtifacts(cfg Config, classes map[timeline.Class]*classData, warm [][]float64, fast bool) (*timeline.Timeline, *ptree.Node, mva.OverlapInput, error) {
+	// A2: timeline from current class response times.
+	tl, err := p.buildTimeline(cfg, classes)
+	if err != nil {
+		return nil, nil, mva.OverlapInput{}, err
+	}
+	// A3: precedence tree.
+	tree, err := ptree.Build(tl)
+	if err != nil {
+		return nil, nil, mva.OverlapInput{}, err
+	}
+	// A4: overlap factors.
+	alpha, beta := p.overlapFactors(tl)
+	taskDemands := p.demandsFor(cfg, tl, classes)
+	p.servers = p.hw.servers(p.servers)
+	return tl, tree, mva.OverlapInput{
+		Tasks:      taskDemands,
+		Alpha:      alpha,
+		Beta:       beta,
+		Servers:    p.servers,
+		OtherJobs:  cfg.NumJobs - 1,
+		Warm:       warm,
+		Accelerate: fast,
+	}, nil
+}
+
+// roundFold folds one solved MVA step back into the outer state: per-class
+// damped response update, the A6 tree estimate, the convergence test and
+// the optional outer Aitken observation. It reports whether the outer fixed
+// point just converged (pred.Converged is set alongside).
+func (p *Predictor) roundFold(cfg Config, classes map[timeline.Class]*classData, tl *timeline.Timeline, tree *ptree.Node, taskResp []float64, iter int, prevTotal *float64, acc *outerAccel, pred *Prediction) (bool, error) {
+	// Aggregate per class with damping.
+	var newResp [numClasses]float64
+	classMeans(tl, taskResp, &newResp)
+	for cls, cd := range classes {
+		nr := newResp[cls]
+		if nr <= 0 {
+			continue
+		}
+		cd.response = cfg.Damping*cd.response + (1-cfg.Damping)*nr
+		classes[cls] = cd
+	}
+	// A6: job response from the tree + convergence test.
+	total, err := p.estimate(cfg, tree, tl, taskResp, classes)
+	if err != nil {
+		return false, err
+	}
+	total += cfg.Job.Profile.AMStartup
+	pred.Iterations = iter
+	pred.ResponseTime = total
+	if math.Abs(total-*prevTotal) <= cfg.Epsilon && !acc.justExtrapolated {
+		pred.Converged = true
+		return true, nil
+	}
+	*prevTotal = total
+	if cfg.AccelerateOuter {
+		acc.observe(classes)
+	}
+	return false, nil
 }
 
 // schedulingLatency is the per-container YARN control-loop cost the model
@@ -900,24 +938,56 @@ func (p *Predictor) overlapFactors(tl *timeline.Timeline) (alpha, beta [][][]flo
 	hw := &p.hw
 	n := len(tl.Tasks)
 	alpha, beta = p.overlapMatrices(n, hw.nc)
-	windows := p.laneWindows(tl)
+	laneOf, wins := p.laneWindows(tl)
 	netC := hw.netCenter()
 	for i := 0; i < n; i++ {
 		ti := tl.Tasks[i]
 		ci := hw.classOf[ti.Node]
 		cpuC, diskC := hw.cpuCenter(ci), hw.diskCenter(ci)
 		di := ti.Duration()
+		li := laneOf[i]
+		// The twin of task j draws its node from j's container pool; node(i)
+		// hosts a pool share of slots(class(i))/totalSlots.
+		invWMap, invWRed := hw.invWMap[ci], hw.invWRed[ci]
+		aNet, bNet := alpha[netC][i], beta[netC][i]
+		aCPU, aDisk := alpha[cpuC][i], alpha[diskC][i]
+		bCPU, bDisk := beta[cpuC][i], beta[diskC][i]
+		// The twin of task i in another job overlaps fully.
+		bNet[i] = 1
+		selfW := invWMap
+		if ti.Class != timeline.ClassMap {
+			selfW = invWRed
+		}
+		bCPU[i] = 1 / selfW
+		bDisk[i] = 1 / selfW
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue
 			}
-			tj := tl.Tasks[j]
+			tj := &tl.Tasks[j]
 			ov := 0.0
 			if di > 0 {
-				ov = timeline.Overlap(ti, tj) / di
+				lo, hi := ti.Start, ti.End
+				if tj.Start > lo {
+					lo = tj.Start
+				}
+				if tj.End < hi {
+					hi = tj.End
+				}
+				if hi > lo {
+					ov = (hi - lo) / di
+				}
 			}
-			// Network: global center, pairwise transfer overlap.
-			alpha[netC][i][j] = ov
+			// Network: global center, pairwise transfer overlap — the same
+			// α and β time-overlap (see the doc comment above).
+			aNet[j] = ov
+			invW := invWMap
+			if tj.Class != timeline.ClassMap {
+				invW = invWRed
+			}
+			bNet[j] = ov
+			bCPU[j] = ov / invW
+			bDisk[j] = ov / invW
 			// CPU and Disk: per-node centers (task i contends at its own
 			// class's center pair). Contention is assessed against the *lane*
 			// hosting task j rather than j's exact interval: on the real
@@ -927,29 +997,18 @@ func (p *Predictor) overlapFactors(tl *timeline.Timeline) (alpha, beta [][][]flo
 			// to their durations; same-lane tasks serialize and never
 			// contend.
 			if ti.Node == tj.Node {
-				lov := laneOverlap(ti, tj, windows, ov)
-				alpha[cpuC][i][j] = lov
-				alpha[diskC][i][j] = lov
-			}
-		}
-		for j := 0; j < n; j++ {
-			tj := tl.Tasks[j]
-			ov := 1.0 // the twin of task i in another job overlaps fully
-			if j != i {
-				ov = 0
-				if di > 0 {
-					ov = timeline.Overlap(ti, tj) / di
+				lj := laneOf[j]
+				lov := ov
+				if lj != li {
+					if w := &wins[lj]; w.total > 0 && di > 0 {
+						lov = timeline.Overlap(ti, w.placed) / di * (tj.Duration() / w.total)
+					}
+				} else {
+					lov = 0
 				}
+				aCPU[j] = lov
+				aDisk[j] = lov
 			}
-			// The twin of task j draws its node from j's container pool;
-			// node(i) hosts a pool share of slots(class(i))/totalSlots.
-			invW := hw.invWMap[ci]
-			if tj.Class != timeline.ClassMap {
-				invW = hw.invWRed[ci]
-			}
-			beta[netC][i][j] = ov
-			beta[cpuC][i][j] = ov / invW
-			beta[diskC][i][j] = ov / invW
 		}
 	}
 	return alpha, beta
@@ -969,18 +1028,27 @@ type laneWindow struct {
 	total  float64         // sum of task durations in the lane
 }
 
-func (p *Predictor) laneWindows(tl *timeline.Timeline) map[laneKey]laneWindow {
+// laneWindows resolves each task's container lane to a dense index and
+// builds the per-lane busy envelopes. The map is only touched once per task
+// here (ID assignment); the O(n²) factor loop above indexes slices — the
+// n² map hashes of the historical per-pair laneOverlap lookups dominated
+// the outer round's artifact cost once the MVA sweep itself got cheap.
+func (p *Predictor) laneWindows(tl *timeline.Timeline) (laneOf []int, wins []laneWindow) {
 	if p.lanes == nil {
-		p.lanes = make(map[laneKey]laneWindow)
+		p.lanes = make(map[laneKey]int)
 	}
 	clear(p.lanes)
-	out := p.lanes
-	for _, t := range tl.Tasks {
+	p.laneOf = resizeInts(p.laneOf, len(tl.Tasks))
+	p.laneWins = p.laneWins[:0]
+	for i, t := range tl.Tasks {
 		k := laneKey{mapPool: t.Class == timeline.ClassMap, node: t.Node, slot: t.Slot}
-		w, ok := out[k]
+		id, ok := p.lanes[k]
 		if !ok {
-			w = laneWindow{placed: t}
+			id = len(p.laneWins)
+			p.lanes[k] = id
+			p.laneWins = append(p.laneWins, laneWindow{placed: t})
 		} else {
+			w := &p.laneWins[id]
 			if t.Start < w.placed.Start {
 				w.placed.Start = t.Start
 			}
@@ -988,27 +1056,10 @@ func (p *Predictor) laneWindows(tl *timeline.Timeline) map[laneKey]laneWindow {
 				w.placed.End = t.End
 			}
 		}
-		w.total += t.Duration()
-		out[k] = w
+		p.laneWins[id].total += t.Duration()
+		p.laneOf[i] = id
 	}
-	return out
-}
-
-// laneOverlap returns the CPU/disk contention factor of task j on task i:
-// the overlap of i with j's lane envelope, weighted by j's share of the
-// lane's work. Same-lane tasks contribute nothing (they serialize). The
-// pairwise overlap is the fallback for degenerate lanes.
-func laneOverlap(ti, tj timeline.Placed, windows map[laneKey]laneWindow, pairwise float64) float64 {
-	ki := laneKey{mapPool: ti.Class == timeline.ClassMap, node: ti.Node, slot: ti.Slot}
-	kj := laneKey{mapPool: tj.Class == timeline.ClassMap, node: tj.Node, slot: tj.Slot}
-	if ki == kj {
-		return 0
-	}
-	w, ok := windows[kj]
-	if !ok || w.total <= 0 || ti.Duration() <= 0 {
-		return pairwise
-	}
-	return timeline.Overlap(ti, w.placed) / ti.Duration() * (tj.Duration() / w.total)
+	return p.laneOf, p.laneWins
 }
 
 // taskDemandOn prices one placed task against its node's hardware class:

@@ -1,0 +1,496 @@
+package mva
+
+import (
+	"fmt"
+	"math"
+)
+
+// BatchLanes is the lane width of BatchOverlapSolver's packed kernel: four
+// independent fixed points advance per sweep, interleaved element-by-element
+// so the inner dot product runs four add-latency chains in parallel (the
+// scalar kernel's two accumulators per lane times four lanes). The width is
+// fixed — callers pass any number of inputs and the solver chunks them.
+const BatchLanes = 4
+
+// BatchOverlapSolver advances several same-shape overlap-weighted fixed
+// points (see OverlapSolver.Step) through shared, lane-batched sweeps. Lanes
+// are packed lane-minor — element (i, c) of all four lanes sits in one cache
+// line — so one pass over the fused weight matrices advances every lane.
+//
+// Each lane carries its own tolerance, iteration cap, warm rows and Aitken
+// state, and freezes independently: a converged lane's result is snapshotted
+// at exactly the sweep the scalar kernel would have stopped on (its
+// trajectory is bit-identical to a scalar Step of the same input, because
+// the packed kernel replicates the scalar accumulation order per lane), then
+// the lane stays resident — it keeps riding the sweeps without contributing
+// deltas — until the whole group drains. Lanes that fail validation (for
+// example a zero-demand task) report a per-lane error without disturbing
+// their siblings.
+//
+// A solver is not safe for concurrent use. Result matrices alias
+// solver-owned memory, valid until the next Solve.
+type BatchOverlapSolver struct {
+	scalar OverlapSolver // singleton groups and Scalar lanes
+
+	// Packed scratch, lane-minor with stride BatchLanes.
+	demPk   []float64 // (i*k+c)*L + b: task demands
+	resPk   []float64 // (i*k+c)*L + b: residence, current iterate
+	nextPk  []float64 // (i*k+c)*L + b: residence, next iterate
+	rhoPk   []float64 // (c*n+j)*L + b: center-major visit probabilities
+	wPk     []float64 // ((c*n+i)*n+j)*L + b: fused weights
+	respPk  []float64 // i*L + b: per-task response
+	servPk  []float64 // c*L + b: center multiplicities
+	gather  []float64 // n*k per-lane Aitken staging
+	acc     [BatchLanes]Aitken
+	outFlat []float64   // per-call result backing (residence then response)
+	outRows [][]float64 // per-call residence row views
+
+	n, k int
+}
+
+// Solve runs every input to its own fixed point and returns per-lane
+// results and errors (res[i] is valid iff errs[i] == nil). All inputs must
+// share the (task, center) shape of the first valid one; inputs are chunked
+// into groups of BatchLanes, a trailing singleton — and any lane explicitly
+// requesting the Scalar kernel — runs through an embedded scalar solver
+// instead (same trajectory, no padding waste).
+func (s *BatchOverlapSolver) Solve(ins []OverlapInput) ([]OverlapResult, []error) {
+	m := len(ins)
+	results := make([]OverlapResult, m)
+	errs := make([]error, m)
+
+	// Size the result backing up front: views are handed out as we go, so
+	// the backing must never reallocate mid-call.
+	need := 0
+	for _, in := range ins {
+		if len(in.Tasks) > 0 && len(in.Tasks[0].Demands) > 0 {
+			n, k := len(in.Tasks), len(in.Tasks[0].Demands)
+			need += n*k + n // residence + response
+		}
+	}
+	if cap(s.outFlat) < need {
+		s.outFlat = make([]float64, 0, need)
+	}
+	s.outFlat = s.outFlat[:0]
+	s.outRows = s.outRows[:0]
+
+	var group []int
+	flush := func() {
+		if len(group) == 0 {
+			return
+		}
+		if len(group) == 1 {
+			i := group[0]
+			results[i], errs[i] = s.solveScalar(ins[i])
+		} else {
+			s.solveGroup(ins, group, results, errs)
+		}
+		group = group[:0]
+	}
+	for i := range ins {
+		if err := validateOverlapInput(&ins[i]); err != nil {
+			errs[i] = fmt.Errorf("mva: lane %d: %w", i, err)
+			continue
+		}
+		if ins[i].Scalar {
+			results[i], errs[i] = s.solveScalar(ins[i])
+			continue
+		}
+		group = append(group, i)
+		if len(group) == BatchLanes {
+			flush()
+		}
+	}
+	flush()
+	return results, errs
+}
+
+// solveScalar runs one lane through the embedded scalar solver and copies
+// the result into the call's output backing (the scalar scratch is reused
+// across lanes of one Solve).
+func (s *BatchOverlapSolver) solveScalar(in OverlapInput) (OverlapResult, error) {
+	res, err := s.scalar.Step(in)
+	if err != nil {
+		return OverlapResult{}, err
+	}
+	n := len(res.Residence)
+	k := len(res.Residence[0])
+	base := len(s.outFlat)
+	for _, row := range res.Residence {
+		s.outFlat = append(s.outFlat, row...)
+	}
+	s.outFlat = append(s.outFlat, res.Response...)
+	rowBase := len(s.outRows)
+	for i := 0; i < n; i++ {
+		s.outRows = append(s.outRows, s.outFlat[base+i*k:base+(i+1)*k:base+(i+1)*k])
+	}
+	return OverlapResult{
+		Residence:  s.outRows[rowBase : rowBase+n : rowBase+n],
+		Response:   s.outFlat[base+n*k : base+n*k+n : base+n*k+n],
+		Iterations: res.Iterations,
+	}, nil
+}
+
+// validateOverlapInput mirrors OverlapSolver.Step's input checks without
+// touching solver scratch, so a bad lane can be rejected independently.
+func validateOverlapInput(in *OverlapInput) error {
+	n := len(in.Tasks)
+	if n == 0 {
+		return fmt.Errorf("no tasks")
+	}
+	if len(in.Tasks[0].Demands) == 0 {
+		return fmt.Errorf("tasks need at least one center demand")
+	}
+	k := len(in.Tasks[0].Demands)
+	for i, t := range in.Tasks {
+		if len(t.Demands) != k {
+			return fmt.Errorf("task %d has %d demands, want %d", i, len(t.Demands), k)
+		}
+		tot := 0.0
+		for _, d := range t.Demands {
+			if d < 0 {
+				return fmt.Errorf("task %d has negative demand", i)
+			}
+			tot += d
+		}
+		if tot <= 0 {
+			return fmt.Errorf("task %d has zero total demand", i)
+		}
+	}
+	if len(in.Alpha) != k || len(in.Beta) != k {
+		return fmt.Errorf("overlap matrices must have one layer per center")
+	}
+	for c := 0; c < k; c++ {
+		if len(in.Alpha[c]) != n || len(in.Beta[c]) != n {
+			return fmt.Errorf("overlap matrix size mismatch")
+		}
+	}
+	if in.Servers != nil && len(in.Servers) != k {
+		return fmt.Errorf("Servers must have one entry per center")
+	}
+	return nil
+}
+
+// ensure sizes the packed scratch for n tasks over k centers.
+func (s *BatchOverlapSolver) ensure(n, k int) {
+	s.n, s.k = n, k
+	const L = BatchLanes
+	grow := func(buf []float64, need int) []float64 {
+		if cap(buf) < need {
+			return make([]float64, need)
+		}
+		return buf[:need]
+	}
+	s.demPk = grow(s.demPk, n*k*L)
+	s.resPk = grow(s.resPk, n*k*L)
+	s.nextPk = grow(s.nextPk, n*k*L)
+	s.rhoPk = grow(s.rhoPk, n*k*L)
+	s.wPk = grow(s.wPk, k*n*n*L)
+	s.respPk = grow(s.respPk, n*L)
+	s.servPk = grow(s.servPk, k*L)
+	s.gather = grow(s.gather, n*k)
+}
+
+// solveGroup advances 2..BatchLanes validated same-shape lanes in lockstep.
+// Slots beyond the group replicate the first lane's input (dead lanes: full
+// kernel cost, results discarded) so the packed kernel's width stays fixed.
+func (s *BatchOverlapSolver) solveGroup(ins []OverlapInput, group []int, results []OverlapResult, errs []error) {
+	const L = BatchLanes
+	first := &ins[group[0]]
+	n, k := len(first.Tasks), len(first.Tasks[0].Demands)
+	for _, gi := range group[1:] {
+		in := &ins[gi]
+		if len(in.Tasks) != n || len(in.Tasks[0].Demands) != k {
+			errs[gi] = fmt.Errorf("mva: lane %d: shape (%d tasks, %d centers) differs from batch (%d, %d)",
+				gi, len(in.Tasks), len(in.Tasks[0].Demands), n, k)
+		}
+	}
+	s.ensure(n, k)
+
+	// Slot assignment: real lanes first, then padding replicas of the first.
+	var slotIn [L]*OverlapInput
+	var slotIdx [L]int // index into ins, -1 for padding
+	var frozen [L]bool // no longer reporting (padding, or converged/capped)
+	var tol [L]float64
+	var maxIter [L]int
+	live := 0
+	for b := 0; b < L; b++ {
+		slotIdx[b] = -1
+		slotIn[b] = first
+		frozen[b] = true
+	}
+	for _, gi := range group {
+		if errs[gi] != nil {
+			continue
+		}
+		slotIn[live] = &ins[gi]
+		slotIdx[live] = gi
+		frozen[live] = false
+		live++
+	}
+	if live == 0 {
+		return
+	}
+	maxSweeps := 0
+	for b := 0; b < L; b++ {
+		in := slotIn[b]
+		tol[b] = in.Tol
+		if tol[b] <= 0 {
+			tol[b] = 1e-10
+		}
+		maxIter[b] = in.MaxIter
+		if maxIter[b] <= 0 {
+			maxIter[b] = 500
+		}
+		if !frozen[b] && maxIter[b] > maxSweeps {
+			maxSweeps = maxIter[b]
+		}
+		for c := 0; c < k; c++ {
+			v := 1.0
+			if in.Servers != nil && in.Servers[c] > 0 {
+				v = in.Servers[c]
+			}
+			s.servPk[c*L+b] = v
+		}
+		s.initLane(b, in)
+		if in.Accelerate {
+			if len(s.acc[b].x0) != n*k {
+				s.acc[b].Init(n * k)
+			} else {
+				s.acc[b].phase = 0
+			}
+		}
+	}
+	s.buildWeights(&slotIn)
+
+	for sweep := 1; sweep <= maxSweeps && live > 0; sweep++ {
+		md := s.sweepPacked()
+		for b := 0; b < L; b++ {
+			if frozen[b] {
+				continue
+			}
+			if md[b] < tol[b] {
+				s.snapshotLane(b, slotIdx[b], sweep, results)
+				frozen[b] = true
+				live--
+			}
+		}
+		// Aitken rides only live lanes, mirroring the scalar kernel's
+		// observe-after-tolerance-check ordering; a lane exhausting its
+		// sweep budget snapshots after the observe, like the scalar loop
+		// exiting past its last extrapolation.
+		for b := 0; b < L; b++ {
+			if frozen[b] {
+				continue
+			}
+			if slotIn[b].Accelerate {
+				s.observeLane(b, slotIn[b])
+			}
+			if sweep >= maxIter[b] {
+				s.snapshotLane(b, slotIdx[b], maxIter[b]+1, results)
+				frozen[b] = true
+				live--
+			}
+		}
+	}
+}
+
+// initLane writes slot b's packed demands and initial residence (cold
+// residence = demand, warm rows clamped from below by demand — the same
+// rules as the scalar Step).
+func (s *BatchOverlapSolver) initLane(b int, in *OverlapInput) {
+	const L = BatchLanes
+	n, k := s.n, s.k
+	for i := 0; i < n; i++ {
+		var row []float64
+		if i < len(in.Warm) && len(in.Warm[i]) == k {
+			row = in.Warm[i]
+		}
+		tot := 0.0
+		for c, d := range in.Tasks[i].Demands {
+			v := d
+			if row != nil && d > 0 && row[c] > d && !math.IsInf(row[c], 0) && !math.IsNaN(row[c]) {
+				v = row[c]
+			}
+			if d == 0 {
+				v = 0
+			}
+			s.demPk[(i*k+c)*L+b] = d
+			s.resPk[(i*k+c)*L+b] = v
+			tot += v
+		}
+		s.respPk[i*L+b] = tot
+	}
+}
+
+// buildWeights packs every slot's fused weight matrices in one dense pass,
+// identical in value to the scalar kernel's buildFusedWeights (every row is
+// built — a packed row is read for all lanes even when one lane's demand
+// there is zero). Building all four lanes together turns four strided
+// quarter-density walks over the largest scratch array into one contiguous
+// write stream.
+func (s *BatchOverlapSolver) buildWeights(slotIn *[BatchLanes]*OverlapInput) {
+	const L = BatchLanes
+	n, k := s.n, s.k
+	var oj [L]float64
+	for b := 0; b < L; b++ {
+		oj[b] = float64(slotIn[b].OtherJobs)
+	}
+	var aRow, bRow [L][]float64
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			for b := 0; b < L; b++ {
+				aRow[b] = slotIn[b].Alpha[c][i]
+				bRow[b] = slotIn[b].Beta[c][i]
+			}
+			base := ((c*n + i) * n) * L
+			w := s.wPk[base : base+n*L : base+n*L]
+			for j := 0; j < n; j++ {
+				p := j * L
+				w[p+0] = aRow[0][j] + oj[0]*bRow[0][j]
+				w[p+1] = aRow[1][j] + oj[1]*bRow[1][j]
+				w[p+2] = aRow[2][j] + oj[2]*bRow[2][j]
+				w[p+3] = aRow[3][j] + oj[3]*bRow[3][j]
+			}
+			p := i * L
+			w[p+0] = oj[0] * bRow[0][i]
+			w[p+1] = oj[1] * bRow[1][i]
+			w[p+2] = oj[2] * bRow[2][i]
+			w[p+3] = oj[3] * bRow[3][i]
+		}
+	}
+}
+
+// sweepPacked runs one packed sweep over all four lanes and returns each
+// lane's max response delta. Per lane the arithmetic replicates the scalar
+// fused kernel exactly: center-major ρ division, an even/odd-j accumulator
+// pair, c-ordered row sums.
+func (s *BatchOverlapSolver) sweepPacked() [BatchLanes]float64 {
+	const L = BatchLanes
+	n, k := s.n, s.k
+	for j := 0; j < n; j++ {
+		rb := j * L
+		for c := 0; c < k; c++ {
+			src := (j*k + c) * L
+			dst := (c*n + j) * L
+			s.rhoPk[dst+0] = s.resPk[src+0] / s.respPk[rb+0]
+			s.rhoPk[dst+1] = s.resPk[src+1] / s.respPk[rb+1]
+			s.rhoPk[dst+2] = s.resPk[src+2] / s.respPk[rb+2]
+			s.rhoPk[dst+3] = s.resPk[src+3] / s.respPk[rb+3]
+		}
+	}
+	for c := 0; c < k; c++ {
+		rc := s.rhoPk[c*n*L : (c+1)*n*L]
+		sv := s.servPk[c*L : (c+1)*L : (c+1)*L]
+		for i := 0; i < n; i++ {
+			wRow := s.wPk[((c*n+i)*n)*L : ((c*n+i+1)*n)*L]
+			var e0, e1, e2, e3, o0, o1, o2, o3 float64
+			var j int
+			for ; j+1 < n; j += 2 {
+				p := j * L
+				e0 += wRow[p] * rc[p]
+				e1 += wRow[p+1] * rc[p+1]
+				e2 += wRow[p+2] * rc[p+2]
+				e3 += wRow[p+3] * rc[p+3]
+				q := p + L
+				o0 += wRow[q] * rc[q]
+				o1 += wRow[q+1] * rc[q+1]
+				o2 += wRow[q+2] * rc[q+2]
+				o3 += wRow[q+3] * rc[q+3]
+			}
+			if j < n {
+				p := j * L
+				e0 += wRow[p] * rc[p]
+				e1 += wRow[p+1] * rc[p+1]
+				e2 += wRow[p+2] * rc[p+2]
+				e3 += wRow[p+3] * rc[p+3]
+			}
+			arr := [L]float64{e0 + o0, e1 + o1, e2 + o2, e3 + o3}
+			base := (i*k + c) * L
+			for b := 0; b < L; b++ {
+				d := s.demPk[base+b]
+				if d == 0 {
+					s.nextPk[base+b] = 0
+					continue
+				}
+				slowdown := (1 + arr[b]) / sv[b]
+				if slowdown < 1 {
+					slowdown = 1
+				}
+				s.nextPk[base+b] = d * slowdown
+			}
+		}
+	}
+	var md [L]float64
+	for i := 0; i < n; i++ {
+		var tot [L]float64
+		for c := 0; c < k; c++ {
+			base := (i*k + c) * L
+			tot[0] += s.nextPk[base+0]
+			tot[1] += s.nextPk[base+1]
+			tot[2] += s.nextPk[base+2]
+			tot[3] += s.nextPk[base+3]
+		}
+		rb := i * L
+		for b := 0; b < L; b++ {
+			if delta := math.Abs(tot[b] - s.respPk[rb+b]); delta > md[b] {
+				md[b] = delta
+			}
+			s.respPk[rb+b] = tot[b]
+		}
+	}
+	s.resPk, s.nextPk = s.nextPk, s.resPk
+	return md
+}
+
+// observeLane feeds slot b's iterate (unpacked task-major, the scalar
+// layout) to its Aitken accelerator, scattering any extrapolation back into
+// the packed matrix and refreshing the lane's response sums.
+func (s *BatchOverlapSolver) observeLane(b int, in *OverlapInput) {
+	const L = BatchLanes
+	n, k := s.n, s.k
+	for idx := 0; idx < n*k; idx++ {
+		s.gather[idx] = s.resPk[idx*L+b]
+	}
+	if !s.acc[b].Observe(s.gather, func(idx int) float64 { return in.Tasks[idx/k].Demands[idx%k] }) {
+		return
+	}
+	for idx := 0; idx < n*k; idx++ {
+		s.resPk[idx*L+b] = s.gather[idx]
+	}
+	for i := 0; i < n; i++ {
+		tot := 0.0
+		for c := 0; c < k; c++ {
+			tot += s.resPk[(i*k+c)*L+b]
+		}
+		s.respPk[i*L+b] = tot
+	}
+}
+
+// snapshotLane copies slot b's converged state into the call's result
+// backing: the lane stays resident in the packed sweeps, but its reported
+// result is pinned to this sweep — bit-identical to where the scalar kernel
+// would have stopped.
+func (s *BatchOverlapSolver) snapshotLane(b, inIdx, iterations int, results []OverlapResult) {
+	if inIdx < 0 {
+		return
+	}
+	const L = BatchLanes
+	n, k := s.n, s.k
+	base := len(s.outFlat)
+	for idx := 0; idx < n*k; idx++ {
+		s.outFlat = append(s.outFlat, s.resPk[idx*L+b])
+	}
+	for i := 0; i < n; i++ {
+		s.outFlat = append(s.outFlat, s.respPk[i*L+b])
+	}
+	rowBase := len(s.outRows)
+	for i := 0; i < n; i++ {
+		s.outRows = append(s.outRows, s.outFlat[base+i*k:base+(i+1)*k:base+(i+1)*k])
+	}
+	results[inIdx] = OverlapResult{
+		Residence:  s.outRows[rowBase : rowBase+n : rowBase+n],
+		Response:   s.outFlat[base+n*k : base+n*k+n : base+n*k+n],
+		Iterations: iterations,
+	}
+}

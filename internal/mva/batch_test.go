@@ -1,0 +1,275 @@
+package mva
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randomOverlap builds a randomized contended overlap spec of shape (n, k):
+// per-task demands in [0.5, 4.5) (occasionally zeroed at one center when
+// k > 1, exercising the skipped-row path), dense random α/β, random small
+// server multiplicities.
+func randomOverlap(rng *rand.Rand, n, k, otherJobs int) OverlapInput {
+	tasks := make([]TaskDemand, n)
+	for i := range tasks {
+		d := make([]float64, k)
+		for c := range d {
+			d[c] = 0.5 + 4*rng.Float64()
+		}
+		if k > 1 && rng.Float64() < 0.25 {
+			d[rng.Intn(k)] = 0
+		}
+		tasks[i] = TaskDemand{Demands: d}
+	}
+	alpha := make([][][]float64, k)
+	beta := make([][][]float64, k)
+	for c := 0; c < k; c++ {
+		alpha[c] = make([][]float64, n)
+		beta[c] = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			alpha[c][i] = make([]float64, n)
+			beta[c][i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if i != j {
+					alpha[c][i][j] = rng.Float64()
+				}
+				beta[c][i][j] = 0.5 * rng.Float64()
+			}
+		}
+	}
+	servers := make([]float64, k)
+	for c := range servers {
+		servers[c] = float64(1 + rng.Intn(4))
+	}
+	return OverlapInput{Tasks: tasks, Alpha: alpha, Beta: beta, Servers: servers, OtherJobs: otherJobs, Tol: 1e-11}
+}
+
+func copyResult(res OverlapResult) OverlapResult {
+	out := OverlapResult{
+		Residence:  make([][]float64, len(res.Residence)),
+		Response:   append([]float64(nil), res.Response...),
+		Iterations: res.Iterations,
+	}
+	for i, row := range res.Residence {
+		out.Residence[i] = append([]float64(nil), row...)
+	}
+	return out
+}
+
+// requireLaneEqual asserts a batch lane reproduced its scalar reference
+// bit-for-bit (the packed kernel replicates the scalar accumulation order,
+// so this is exact equality, well inside the 1e-10 relative contract).
+func requireLaneEqual(t *testing.T, lane int, got, want OverlapResult) {
+	t.Helper()
+	if got.Iterations != want.Iterations {
+		t.Errorf("lane %d: batch used %d sweeps, scalar %d", lane, got.Iterations, want.Iterations)
+	}
+	for i := range want.Response {
+		if got.Response[i] != want.Response[i] {
+			t.Errorf("lane %d task %d: batch response %x, scalar %x", lane, i, got.Response[i], want.Response[i])
+		}
+		for c := range want.Residence[i] {
+			if got.Residence[i][c] != want.Residence[i][c] {
+				t.Errorf("lane %d res[%d][%d]: batch %x, scalar %x", lane, i, c, got.Residence[i][c], want.Residence[i][c])
+			}
+		}
+	}
+}
+
+// TestBatchMatchesScalarLanes is the batch-vs-sequential equivalence
+// property: B lanes through one Solve must equal B scalar Step calls,
+// per-lane, over randomized flat and multi-class shapes, cold, warm and
+// accelerated. Lane counts straddle the group width so both the packed
+// kernel (groups of 2-4, padded) and the singleton delegation run.
+func TestBatchMatchesScalarLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	shapes := []struct{ n, k, lanes int }{
+		{6, 1, 4},  // flat, one full group
+		{9, 3, 5},  // full group + singleton
+		{12, 2, 3}, // padded group
+		{16, 5, 7}, // full group + padded group
+		{5, 2, 2},  // padded pair
+	}
+	for _, mode := range []string{"cold", "warm", "accelerated"} {
+		for _, sh := range shapes {
+			ins := make([]OverlapInput, sh.lanes)
+			for l := range ins {
+				ins[l] = randomOverlap(rng, sh.n, sh.k, 1+rng.Intn(4))
+				switch mode {
+				case "warm":
+					// Seed each lane from a neighbor's fixed point (one
+					// fewer competing job), the planner's reuse pattern.
+					neighbor := ins[l]
+					neighbor.OtherJobs++
+					var ns OverlapSolver
+					nres, err := ns.Step(neighbor)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ins[l].Warm = copyResult(nres).Residence
+				case "accelerated":
+					ins[l].Accelerate = true
+				}
+			}
+			want := make([]OverlapResult, sh.lanes)
+			for l := range ins {
+				var ref OverlapSolver
+				res, err := ref.Step(ins[l])
+				if err != nil {
+					t.Fatalf("%s shape %dx%d lane %d: %v", mode, sh.n, sh.k, l, err)
+				}
+				want[l] = copyResult(res)
+			}
+			var batch BatchOverlapSolver
+			got, errs := batch.Solve(ins)
+			for l := range ins {
+				if errs[l] != nil {
+					t.Fatalf("%s shape %dx%d lane %d: %v", mode, sh.n, sh.k, l, errs[l])
+				}
+				requireLaneEqual(t, l, got[l], want[l])
+			}
+		}
+	}
+}
+
+// Lanes converge independently: a warm lane freezing on sweep one must not
+// drag its cold siblings' iteration counts (or results) with it, and its
+// own count must stop accruing once masked out.
+func TestBatchLaneMasking(t *testing.T) {
+	cold := contendedInput(12)
+	var ref OverlapSolver
+	coldRes, err := ref.Step(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldWant := copyResult(coldRes)
+
+	warm := cold
+	warm.Warm = coldWant.Residence
+	var refW OverlapSolver
+	warmRes, err := refW.Step(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmWant := copyResult(warmRes)
+	if warmWant.Iterations >= coldWant.Iterations {
+		t.Fatalf("warm lane should converge faster: %d vs %d", warmWant.Iterations, coldWant.Iterations)
+	}
+
+	var batch BatchOverlapSolver
+	got, errs := batch.Solve([]OverlapInput{warm, cold, cold, warm})
+	for l, e := range errs {
+		if e != nil {
+			t.Fatalf("lane %d: %v", l, e)
+		}
+	}
+	requireLaneEqual(t, 0, got[0], warmWant)
+	requireLaneEqual(t, 1, got[1], coldWant)
+	requireLaneEqual(t, 2, got[2], coldWant)
+	requireLaneEqual(t, 3, got[3], warmWant)
+}
+
+// A degenerate lane (zero total demand on a task) errors with its lane
+// index and leaves every sibling's solve untouched.
+func TestBatchDegenerateLane(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ins := make([]OverlapInput, 5)
+	want := make([]OverlapResult, 5)
+	for l := range ins {
+		ins[l] = randomOverlap(rng, 8, 2, 2)
+		if l == 2 {
+			continue
+		}
+		var ref OverlapSolver
+		res, err := ref.Step(ins[l])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[l] = copyResult(res)
+	}
+	ins[2].Tasks[3].Demands = []float64{0, 0}
+
+	var batch BatchOverlapSolver
+	got, errs := batch.Solve(ins)
+	if errs[2] == nil {
+		t.Fatal("degenerate lane 2 did not error")
+	}
+	if !strings.Contains(errs[2].Error(), "lane 2") {
+		t.Errorf("error does not name the lane: %v", errs[2])
+	}
+	for l := range ins {
+		if l == 2 {
+			continue
+		}
+		if errs[l] != nil {
+			t.Fatalf("sibling lane %d poisoned: %v", l, errs[l])
+		}
+		requireLaneEqual(t, l, got[l], want[l])
+	}
+}
+
+// A lane whose shape differs from its group's errors without poisoning the
+// group, and a lane requesting the Scalar (legacy) kernel is honored.
+func TestBatchMixedLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	base := randomOverlap(rng, 10, 3, 2)
+	odd := randomOverlap(rng, 7, 3, 2)
+	legacy := base
+	legacy.Scalar = true
+
+	var refB, refL OverlapSolver
+	baseRes, err := refB.Step(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseWant := copyResult(baseRes)
+	legacyRes, err := refL.Step(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacyWant := copyResult(legacyRes)
+
+	var batch BatchOverlapSolver
+	got, errs := batch.Solve([]OverlapInput{base, odd, base, legacy})
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "lane 1") {
+		t.Fatalf("shape-mismatched lane 1: err = %v", errs[1])
+	}
+	for _, l := range []int{0, 2} {
+		if errs[l] != nil {
+			t.Fatalf("lane %d: %v", l, errs[l])
+		}
+		requireLaneEqual(t, l, got[l], baseWant)
+	}
+	if errs[3] != nil {
+		t.Fatalf("legacy lane: %v", errs[3])
+	}
+	requireLaneEqual(t, 3, got[3], legacyWant)
+}
+
+// Batch results must survive lane count changes across Solve calls on a
+// reused solver (scratch resizing, output backing growth).
+func TestBatchSolverReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var batch BatchOverlapSolver
+	for _, shape := range []struct{ n, k, lanes int }{{12, 2, 6}, {4, 1, 1}, {9, 4, 4}} {
+		ins := make([]OverlapInput, shape.lanes)
+		want := make([]OverlapResult, shape.lanes)
+		for l := range ins {
+			ins[l] = randomOverlap(rng, shape.n, shape.k, 1+l%3)
+			var ref OverlapSolver
+			res, err := ref.Step(ins[l])
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[l] = copyResult(res)
+		}
+		got, errs := batch.Solve(ins)
+		for l := range ins {
+			if errs[l] != nil {
+				t.Fatalf("%dx%d lane %d: %v", shape.n, shape.k, l, errs[l])
+			}
+			requireLaneEqual(t, l, got[l], want[l])
+		}
+	}
+}

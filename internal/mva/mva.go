@@ -163,14 +163,21 @@ func SchweitzerBardOpt(classes []ClassSpec, centers int, tol float64, maxIter in
 	if opts.Accelerate {
 		acc.Init(nc * centers)
 	}
+	// Double-buffer the queue lengths over flat backing: the historical loop
+	// allocated newQ and resid on every sweep, which dominated the allocation
+	// profile of long fixed points (TestSchweitzerBardAllocBudget pins the
+	// fixed budget).
+	nextQ := make([][]float64, nc)
+	nextFlat := make([]float64, nc*centers)
+	for c := range nextQ {
+		nextQ[c] = nextFlat[c*centers : (c+1)*centers : (c+1)*centers]
+	}
+	resid := make([]float64, centers)
 	var it int
 	for it = 0; it < maxIter; it++ {
 		maxDelta := 0.0
-		newQ := make([][]float64, nc)
 		for c := range classes {
-			newQ[c] = make([]float64, centers)
 			var total float64
-			resid := make([]float64, centers)
 			for k := 0; k < centers; k++ {
 				// Arrival theorem approximation.
 				arr := 0.0
@@ -185,13 +192,13 @@ func SchweitzerBardOpt(classes []ClassSpec, centers int, tol float64, maxIter in
 			resp[c] = total
 			thr[c] = x
 			for k := 0; k < centers; k++ {
-				newQ[c][k] = x * resid[k]
-				if d := math.Abs(newQ[c][k] - q[c][k]); d > maxDelta {
+				nextQ[c][k] = x * resid[k]
+				if d := math.Abs(nextQ[c][k] - q[c][k]); d > maxDelta {
 					maxDelta = d
 				}
 			}
 		}
-		q = newQ
+		q, nextQ = nextQ, q
 		if maxDelta < tol {
 			break
 		}
@@ -362,6 +369,14 @@ type OverlapInput struct {
 	// the plain damped iterate wherever the safeguards reject the step).
 	// Convergence is still only ever declared on a plain sweep's delta.
 	Accelerate bool
+	// Scalar selects the historical element-wise sweep (per-(i,j) alpha/beta
+	// loads with the j != i branch) instead of the fused struct-of-arrays
+	// kernel, reproducing the pre-SoA arithmetic bit-for-bit. The fused
+	// kernel hoists W[c] = Alpha[c] + OtherJobs·Beta[c] out of the sweep
+	// loop, which reassociates the arrival sum and can move results by a few
+	// ulps — Scalar is the escape hatch for byte-stable comparisons against
+	// historical pins.
+	Scalar bool
 }
 
 // OverlapResult holds per-task response and residence times.
@@ -390,7 +405,10 @@ type OverlapSolver struct {
 	next     [][]float64
 	resp     []float64
 	servers  []float64
-	rho      []float64 // n×k visit-probability matrix, rebuilt per sweep
+	rho      []float64 // n×k task-major visit probabilities (legacy kernel)
+	rhoC     []float64 // k×n center-major visit probabilities (fused kernel)
+	wFlat    []float64 // k×n×n fused weight matrices W[c] = α[c] + (N-1)β[c]
+	rowDirty []bool    // rows whose residence changed on the last sweep
 	acc      Aitken    // Δ² accelerator scratch (Accelerate inputs only)
 	n, k     int
 }
@@ -406,10 +424,20 @@ func (s *OverlapSolver) ensure(n, k int) {
 		s.resFlat = make([]float64, need)
 		s.nextFlat = make([]float64, need)
 		s.rho = make([]float64, need)
+		s.rhoC = make([]float64, need)
 	}
 	s.resFlat = s.resFlat[:need]
 	s.nextFlat = s.nextFlat[:need]
 	s.rho = s.rho[:need]
+	s.rhoC = s.rhoC[:need]
+	if cap(s.wFlat) < k*n*n {
+		s.wFlat = make([]float64, k*n*n)
+	}
+	s.wFlat = s.wFlat[:k*n*n]
+	if cap(s.rowDirty) < n {
+		s.rowDirty = make([]bool, n)
+	}
+	s.rowDirty = s.rowDirty[:n]
 	if cap(s.res) < n {
 		s.res = make([][]float64, n)
 		s.next = make([][]float64, n)
@@ -523,6 +551,21 @@ func (s *OverlapSolver) Step(in OverlapInput) (OverlapResult, error) {
 			s.acc.phase = 0
 		}
 	}
+	var it int
+	if in.Scalar {
+		it = s.sweepLegacy(&in, tol, maxIter)
+	} else {
+		it = s.sweepFused(&in, tol, maxIter)
+	}
+	return OverlapResult{Residence: s.res, Response: s.resp, Iterations: it + 1}, nil
+}
+
+// sweepLegacy is the historical element-wise sweep, kept verbatim behind
+// OverlapInput.Scalar: per-(i,j) alpha/beta loads with the j != i branch and
+// the interleaved α/β accumulation order. It reproduces the pre-SoA results
+// bit-for-bit.
+func (s *OverlapSolver) sweepLegacy(in *OverlapInput, tol float64, maxIter int) int {
+	n, k := s.n, s.k
 	otherJobs := float64(in.OtherJobs)
 	var it int
 	for it = 0; it < maxIter; it++ {
@@ -589,7 +632,184 @@ func (s *OverlapSolver) Step(in OverlapInput) (OverlapResult, error) {
 			}
 		}
 	}
-	return OverlapResult{Residence: s.res, Response: s.resp, Iterations: it + 1}, nil
+	return it
+}
+
+// buildFusedWeights packs W[c] = Alpha[c] + (N-1)·Beta[c] into s.wFlat,
+// center-major, one contiguous n-row per (c, i). The diagonal keeps only the
+// β self-term: the legacy sweep's j != i branch excluded the α self-overlap,
+// while the twin of task i in another job contends fully. Rows whose task
+// demand at the center is zero are skipped — the sweep never reads them.
+func (s *OverlapSolver) buildFusedWeights(in *OverlapInput) {
+	n, k := s.n, s.k
+	otherJobs := float64(in.OtherJobs)
+	for c := 0; c < k; c++ {
+		for i := 0; i < n; i++ {
+			if in.Tasks[i].Demands[c] == 0 {
+				continue
+			}
+			alphaRow := in.Alpha[c][i]
+			betaRow := in.Beta[c][i]
+			wRow := s.wFlat[(c*n+i)*n : (c*n+i+1)*n]
+			for j := range wRow {
+				wRow[j] = alphaRow[j] + otherJobs*betaRow[j]
+			}
+			wRow[i] = otherJobs * betaRow[i]
+		}
+	}
+}
+
+// sweepFused is the struct-of-arrays sweep: the fused weight matrices are
+// built once outside the loop, ρ is stored center-major so each center's
+// arrival sums read two contiguous arrays, and the inner loop is a pure
+// branch-free dot product split over two accumulators (even/odd j) to break
+// the add-latency dependency chain. BatchOverlapSolver lanes replicate this
+// exact accumulation order, so a batch lane and a scalar Step follow
+// bit-identical trajectories.
+func (s *OverlapSolver) sweepFused(in *OverlapInput, tol float64, maxIter int) int {
+	n, k := s.n, s.k
+	s.buildFusedWeights(in)
+	// All rows start dirty: ρ has never been computed for this iterate.
+	for i := range s.rowDirty {
+		s.rowDirty[i] = true
+	}
+	var it int
+	for it = 0; it < maxIter; it++ {
+		maxDelta := 0.0
+		// ρ_jk = R_jk / R_j, center-major. Rows whose residence was
+		// bit-unchanged by the previous sweep divide to the same value, so
+		// only dirty rows are recomputed — bit-identical, just cheaper when
+		// a warm start lands most rows on their fixed point immediately.
+		for j := 0; j < n; j++ {
+			if !s.rowDirty[j] {
+				continue
+			}
+			row := s.res[j]
+			inv := s.resp[j]
+			for c := 0; c < k; c++ {
+				s.rhoC[c*n+j] = row[c] / inv
+			}
+		}
+		for c := 0; c < k; c++ {
+			rc := s.rhoC[c*n : (c+1)*n]
+			base := c * n
+			// Task rows are independent within a center, so the dot
+			// products run two rows at a time — four accumulator chains
+			// hide FP-add latency. Each row keeps its own even/odd
+			// accumulation order, so results are bit-identical to the
+			// one-row-at-a-time walk.
+			i := 0
+			for ; i+1 < n; i += 2 {
+				d0 := in.Tasks[i].Demands[c]
+				d1 := in.Tasks[i+1].Demands[c]
+				if d0 == 0 || d1 == 0 {
+					if d0 == 0 {
+						s.next[i][c] = 0
+					} else {
+						s.next[i][c] = d0 * s.rowSlowdown(base, i, c, rc)
+					}
+					if d1 == 0 {
+						s.next[i+1][c] = 0
+					} else {
+						s.next[i+1][c] = d1 * s.rowSlowdown(base, i+1, c, rc)
+					}
+					continue
+				}
+				w0 := s.wFlat[(base+i)*n : (base+i+1)*n]
+				w1 := s.wFlat[(base+i+1)*n : (base+i+2)*n]
+				var a0, a1, b0, b1 float64
+				var j int
+				for ; j+1 < n; j += 2 {
+					rj, rj1 := rc[j], rc[j+1]
+					a0 += w0[j] * rj
+					a1 += w0[j+1] * rj1
+					b0 += w1[j] * rj
+					b1 += w1[j+1] * rj1
+				}
+				if j < n {
+					rj := rc[j]
+					a0 += w0[j] * rj
+					b0 += w1[j] * rj
+				}
+				s0 := (1 + (a0 + a1)) / s.servers[c]
+				if s0 < 1 {
+					s0 = 1
+				}
+				s.next[i][c] = d0 * s0
+				s1 := (1 + (b0 + b1)) / s.servers[c]
+				if s1 < 1 {
+					s1 = 1
+				}
+				s.next[i+1][c] = d1 * s1
+			}
+			if i < n {
+				if d := in.Tasks[i].Demands[c]; d == 0 {
+					s.next[i][c] = 0
+				} else {
+					s.next[i][c] = d * s.rowSlowdown(base, i, c, rc)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			var tot float64
+			changed := false
+			nextRow, resRow := s.next[i], s.res[i]
+			for c := 0; c < k; c++ {
+				tot += nextRow[c]
+				if nextRow[c] != resRow[c] {
+					changed = true
+				}
+			}
+			if delta := math.Abs(tot - s.resp[i]); delta > maxDelta {
+				maxDelta = delta
+			}
+			s.resp[i] = tot
+			s.rowDirty[i] = changed
+		}
+		s.res, s.next = s.next, s.res
+		s.resFlat, s.nextFlat = s.nextFlat, s.resFlat
+		if maxDelta < tol {
+			break
+		}
+		if in.Accelerate {
+			if s.acc.Observe(s.resFlat, func(idx int) float64 { return in.Tasks[idx/k].Demands[idx%k] }) {
+				// The extrapolated matrix changed the row sums the next
+				// sweep's visit probabilities divide by — and every row, so
+				// the dirty bitmap resets.
+				for i := 0; i < n; i++ {
+					tot := 0.0
+					for c := 0; c < k; c++ {
+						tot += s.res[i][c]
+					}
+					s.resp[i] = tot
+					s.rowDirty[i] = true
+				}
+			}
+		}
+	}
+	return it
+}
+
+// rowSlowdown computes one task row's contention slowdown at center c —
+// the single-row tail of the paired dot-product walk in sweepFused, with
+// the identical even/odd accumulation order.
+func (s *OverlapSolver) rowSlowdown(base, i, c int, rc []float64) float64 {
+	n := s.n
+	wRow := s.wFlat[(base+i)*n : (base+i+1)*n]
+	var a0, a1 float64
+	var j int
+	for ; j+1 < n; j += 2 {
+		a0 += wRow[j] * rc[j]
+		a1 += wRow[j+1] * rc[j+1]
+	}
+	if j < n {
+		a0 += wRow[j] * rc[j]
+	}
+	slowdown := (1 + (a0 + a1)) / s.servers[c]
+	if slowdown < 1 {
+		slowdown = 1
+	}
+	return slowdown
 }
 
 // OverlapStep solves one overlap-weighted residence-time step with a fresh

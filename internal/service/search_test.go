@@ -4,10 +4,12 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/core"
 	"hadoop2perf/internal/workload"
 )
 
@@ -83,7 +85,7 @@ func TestSearchNodeAxisMonotoneCurves(t *testing.T) {
 		// Deadlines spanning infeasible-everywhere to feasible-everywhere.
 		for _, d := range []float64{rt[0] * 1.1, (rt[0] + rt[n-1]) / 2, rt[n-1] * 1.05, rt[n-1] * 0.5} {
 			se := &syntheticEval{rt: rt}
-			out := searchNodeAxis(nodes, nodeWeights(nodes), d, se.eval, se.eval)
+			out := searchNodeAxis(nodes, nodeWeights(nodes), d, se.eval, se.eval, nil)
 			if !out.exact {
 				t.Fatalf("trial %d: fell back on a monotone curve", trial)
 			}
@@ -106,6 +108,66 @@ func TestSearchNodeAxisMonotoneCurves(t *testing.T) {
 	}
 }
 
+// syntheticBatch adapts a syntheticEval to an axisBatchEval, counting
+// batched calls and points.
+type syntheticBatch struct {
+	se     *syntheticEval
+	calls  atomic.Int64
+	points atomic.Int64
+}
+
+func (b *syntheticBatch) eval(idxs []int) ([]float64, []bool, error) {
+	b.calls.Add(1)
+	b.points.Add(int64(len(idxs)))
+	rts := make([]float64, len(idxs))
+	cached := make([]bool, len(idxs))
+	for j, i := range idxs {
+		rts[j], cached[j], _ = b.se.eval(i)
+	}
+	return rts, cached, nil
+}
+
+// With a batch evaluator, the bisection must finish narrow brackets in a
+// single batched call — at most one per axis — while returning the same
+// grid-exact best as the point-by-point walk.
+func TestSearchNodeAxisBatchBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		n := 6 + rng.Intn(30)
+		nodes := make([]int, n)
+		rt := make([]float64, n)
+		cur := 2 + rng.Intn(3)
+		floor := 5 + 40*rng.Float64()
+		work := 200 + 2000*rng.Float64()
+		for i := 0; i < n; i++ {
+			nodes[i] = cur
+			rt[i] = floor + work/float64(cur)
+			cur += 1 + rng.Intn(4)
+		}
+		for _, d := range []float64{rt[0] * 1.1, (rt[0] + rt[n-1]) / 2, rt[n-1] * 1.05} {
+			se := &syntheticEval{rt: rt}
+			sb := &syntheticBatch{se: se}
+			out := searchNodeAxis(nodes, nodeWeights(nodes), d, se.eval, se.eval, sb.eval)
+			if !out.exact {
+				t.Fatalf("trial %d: fell back on a monotone curve", trial)
+			}
+			if c := sb.calls.Load(); c > 1 {
+				t.Fatalf("trial %d: %d batched calls, want at most one", trial, c)
+			}
+			wc, wr, wok := bruteBest(nodes, rt, d)
+			gc, gr, gok := searchBest(out, d)
+			if wok != gok || (wok && (wc != gc || wr != gr)) {
+				t.Fatalf("trial %d deadline %v: search best (%v,%v,%v) != grid best (%v,%v,%v)",
+					trial, d, gc, gr, gok, wc, wr, wok)
+			}
+			if len(out.cands)+out.pruned != n {
+				t.Fatalf("trial %d: %d candidates + %d pruned != %d axis points",
+					trial, len(out.cands), out.pruned, n)
+			}
+		}
+	}
+}
+
 func TestSearchNodeAxisDetectsViolations(t *testing.T) {
 	// An alternating two-regime curve (the shape multi-reducer predictions
 	// take): the verifier must observe an inversion and fall back, making
@@ -121,7 +183,7 @@ func TestSearchNodeAxisDetectsViolations(t *testing.T) {
 	}
 	for _, d := range []float64{40, 55, 70, 100} {
 		se := &syntheticEval{rt: rt}
-		out := searchNodeAxis(nodes, nodeWeights(nodes), d, se.eval, se.eval)
+		out := searchNodeAxis(nodes, nodeWeights(nodes), d, se.eval, se.eval, nil)
 		wc, wr, wok := bruteBest(nodes, rt, d)
 		gc, gr, gok := searchBest(out, d)
 		if wok != gok || (wok && (wc != gc || wr != gr)) {
@@ -141,7 +203,7 @@ func TestSearchNodeAxisFrontierGuard(t *testing.T) {
 	// Frontier by monotone bisection would land at index 4..; index 3 dips
 	// under the deadline (48 <= 50) right below an infeasible point.
 	se := &syntheticEval{rt: rt}
-	out := searchNodeAxis(nodes, nodeWeights(nodes), deadline, se.eval, se.eval)
+	out := searchNodeAxis(nodes, nodeWeights(nodes), deadline, se.eval, se.eval, nil)
 	wc, wr, wok := bruteBest(nodes, rt, deadline)
 	gc, gr, gok := searchBest(out, deadline)
 	if wok != gok || wc != gc || wr != gr {
@@ -154,7 +216,7 @@ func TestSearchNodeAxisAllInfeasible(t *testing.T) {
 	nodes := []int{2, 4, 6, 8, 10, 12}
 	rt := []float64{100, 90, 80, 70, 65, 61}
 	se := &syntheticEval{rt: rt}
-	out := searchNodeAxis(nodes, nodeWeights(nodes), 60, se.eval, se.eval)
+	out := searchNodeAxis(nodes, nodeWeights(nodes), 60, se.eval, se.eval, nil)
 	if se.calls.Load() != 2 {
 		t.Errorf("infeasible axis used %d evaluations, want 2 (ceiling + midpoint guard)", se.calls.Load())
 	}
@@ -175,7 +237,7 @@ func TestSearchNodeAxisEndSpikeGuard(t *testing.T) {
 	rt := []float64{90, 80, 70, 60, 55, 52, 50, 75}
 	const deadline = 65.0
 	se := &syntheticEval{rt: rt}
-	out := searchNodeAxis(nodes, nodeWeights(nodes), deadline, se.eval, se.eval)
+	out := searchNodeAxis(nodes, nodeWeights(nodes), deadline, se.eval, se.eval, nil)
 	wc, wr, wok := bruteBest(nodes, rt, deadline)
 	gc, gr, gok := searchBest(out, deadline)
 	if wok != gok || wc != gc || wr != gr {
@@ -384,5 +446,139 @@ func TestPlanExhaustiveFlagForcesGrid(t *testing.T) {
 	}
 	if resp.Strategy != StrategyGrid || resp.Evaluated != 6 || resp.Pruned != 0 {
 		t.Errorf("strategy=%q evaluated=%d pruned=%d", resp.Strategy, resp.Evaluated, resp.Pruned)
+	}
+}
+
+// predictEvalBatch is the service's batched miss path: per-request cache
+// checks, one core batch call for the misses, per-miss counter accounting.
+// The inner/outer iteration counters must accrue exactly what the
+// equivalent sequential chain walk accrues (the regression guard for
+// mrserved_model_iterations_total{loop=inner} under batching), and a
+// second identical batch must be all cache hits.
+func TestPredictEvalBatchCountersMatchSequential(t *testing.T) {
+	job, err := workload.NewJob(0, 2*1024, 128, 1, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkReqs := func() []PredictRequest {
+		var reqs []PredictRequest
+		for _, n := range []int{4, 6, 8, 10, 12} {
+			reqs = append(reqs, PredictRequest{Spec: cluster.Default(n), Job: job, NumJobs: 3})
+		}
+		return reqs
+	}
+
+	// Sequential reference: the same requests through predictEval on one
+	// chain (the planner's pre-batching walk).
+	seqSvc := New(Options{Workers: 4})
+	seqChain := seqSvc.predictors.Get().(*core.Predictor)
+	var seqResp []PredictResponse
+	for _, r := range mkReqs() {
+		pr, err := seqSvc.predictEval(context.Background(), r, seqChain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqResp = append(seqResp, pr)
+	}
+	seqSvc.predictors.Put(seqChain)
+	seqM := seqSvc.Metrics()
+
+	batchSvc := New(Options{Workers: 4})
+	chain := batchSvc.predictors.Get().(*core.Predictor)
+	got, err := batchSvc.predictEvalBatch(context.Background(), mkReqs(), chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchSvc.predictors.Put(chain)
+	m := batchSvc.Metrics()
+
+	if m.CacheMisses != int64(len(got)) || m.CacheHits != 0 {
+		t.Errorf("batch: misses=%d hits=%d, want %d/0", m.CacheMisses, m.CacheHits, len(got))
+	}
+	var wantInner, wantOuter int64
+	for i, pr := range got {
+		if pr.Cached {
+			t.Errorf("req %d: fresh batch reported cached", i)
+		}
+		if pr.Prediction.ResponseTime != seqResp[i].Prediction.ResponseTime {
+			t.Errorf("req %d: batch %v != sequential %v",
+				i, pr.Prediction.ResponseTime, seqResp[i].Prediction.ResponseTime)
+		}
+		wantInner += int64(pr.Prediction.InnerIterations)
+		wantOuter += int64(pr.Prediction.Iterations)
+	}
+	if m.ModelInnerIterations != wantInner || m.ModelOuterIterations != wantOuter {
+		t.Errorf("batch counters inner=%d outer=%d, want %d/%d (sum of per-prediction counts)",
+			m.ModelInnerIterations, m.ModelOuterIterations, wantInner, wantOuter)
+	}
+	if m.ModelInnerIterations != seqM.ModelInnerIterations || m.ModelOuterIterations != seqM.ModelOuterIterations {
+		t.Errorf("batch accrued inner=%d outer=%d, sequential chain accrued %d/%d",
+			m.ModelInnerIterations, m.ModelOuterIterations, seqM.ModelInnerIterations, seqM.ModelOuterIterations)
+	}
+
+	// Replay: every entry must come from the cache with counters frozen.
+	chain2 := batchSvc.predictors.Get().(*core.Predictor)
+	again, err := batchSvc.predictEvalBatch(context.Background(), mkReqs(), chain2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchSvc.predictors.Put(chain2)
+	m2 := batchSvc.Metrics()
+	for i, pr := range again {
+		if !pr.Cached {
+			t.Errorf("replay req %d not served from cache", i)
+		}
+		if pr.Prediction.ResponseTime != got[i].Prediction.ResponseTime {
+			t.Errorf("replay req %d: %v != %v", i, pr.Prediction.ResponseTime, got[i].Prediction.ResponseTime)
+		}
+	}
+	if m2.ModelInnerIterations != m.ModelInnerIterations || m2.CacheMisses != m.CacheMisses {
+		t.Errorf("replay moved counters: inner %d→%d misses %d→%d",
+			m.ModelInnerIterations, m2.ModelInnerIterations, m.CacheMisses, m2.CacheMisses)
+	}
+}
+
+// Concurrent deadline plans over overlapping axes hammer the pooled
+// warm chains, the batched bisection band and the sharded cache from many
+// goroutines at once — the -race CI step runs this to hunt data races in
+// the batch path.
+func TestPlanSearchConcurrent(t *testing.T) {
+	job, err := workload.NewJob(0, 1024, 128, 1, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]int, 16)
+	for i := range nodes {
+		nodes[i] = 2 + i
+	}
+	s := New(Options{Workers: 4})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	resps := make([]PlanResponse, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			req := PlanRequest{
+				Spec: cluster.Default(4), Job: job, NumJobs: 1 + g%3,
+				Nodes:       nodes,
+				DeadlineSec: 200 + 40*float64(g%4),
+			}
+			resps[g], errs[g] = s.Plan(context.Background(), req)
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+		if resps[g].Strategy != StrategySearch {
+			t.Errorf("goroutine %d: strategy %q", g, resps[g].Strategy)
+		}
+		for _, c := range resps[g].Candidates {
+			if c.Err != "" {
+				t.Errorf("goroutine %d: candidate failed: %s", g, c.Err)
+			}
+		}
 	}
 }
