@@ -410,6 +410,75 @@ func BenchmarkServicePlanParallel(b *testing.B) {
 	})
 }
 
+// BenchmarkWorkflowPlan is the workflow planner comparison: one deadline
+// query for a 20-stage identical chain over a 64-point node axis, answered
+// by the exhaustive grid vs. the composed-makespan monotone search. Each
+// iteration uses a cold cache; predicts/op counts actual model executions
+// — per-stage cache sharing makes a candidate's 20 stages cost one solve,
+// so the chain plan should track BenchmarkPlanDeadline's run counts, not
+// 20x them.
+func BenchmarkWorkflowPlan(b *testing.B) {
+	nodes := make([]int, 64)
+	for i := range nodes {
+		nodes[i] = 2 + i
+	}
+	const stages = 20
+	wf := &ServiceWorkflow{}
+	job, err := NewJob(0, 1024, 128, 1, WordCount())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < stages; i++ {
+		wf.Stages = append(wf.Stages, ServiceWorkflowStage{Name: fmt.Sprintf("s%d", i), Job: job})
+		if i > 0 {
+			wf.Edges = append(wf.Edges, WorkflowEdge{From: fmt.Sprintf("s%d", i-1), To: fmt.Sprintf("s%d", i)})
+		}
+	}
+	base := PlanRequest{Spec: DefaultCluster(4), Workflow: wf, Nodes: nodes}
+
+	// Mid-range deadline from one exhaustive pass.
+	setup := NewService(ServiceOptions{})
+	ex := base
+	ex.Exhaustive = true
+	ex.DeadlineSec = 1
+	ref, err := setup.Plan(context.Background(), ex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lo, hi := ref.Candidates[0].ResponseTime, ref.Candidates[0].ResponseTime
+	for _, c := range ref.Candidates {
+		if c.ResponseTime < lo {
+			lo = c.ResponseTime
+		}
+		if c.ResponseTime > hi {
+			hi = c.ResponseTime
+		}
+	}
+	deadline := (lo + hi) / 2
+
+	run := func(b *testing.B, exhaustive bool) {
+		b.ReportAllocs()
+		var predicts int64
+		for i := 0; i < b.N; i++ {
+			svc := NewService(ServiceOptions{}) // cold cache per query
+			req := base
+			req.DeadlineSec = deadline
+			req.Exhaustive = exhaustive
+			resp, err := svc.Plan(context.Background(), req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.Best == nil {
+				b.Fatal("no feasible plan")
+			}
+			predicts += svc.Metrics().ModelOuterIterations
+		}
+		b.ReportMetric(float64(predicts)/float64(b.N), "outerIters/op")
+	}
+	b.Run("grid", func(b *testing.B) { run(b, true) })
+	b.Run("search", func(b *testing.B) { run(b, false) })
+}
+
 // benchTwoClassSpec is the 2-class cluster of the heterogeneous benchmarks:
 // a current generation plus a half-speed older one. Counts are overridden by
 // the planner's mix axis.

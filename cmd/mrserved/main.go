@@ -8,11 +8,14 @@
 //	GET  /healthz      liveness probe
 //	GET  /v1/metrics   request counts, cache hit rate, in-flight simulations
 //	GET  /v1/profiles  live calibrated profiles (name, version, expiry)
-//	POST /v1/predict   analytic model prediction
+//	POST /v1/predict   analytic model prediction; a "workflow" block swaps
+//	                   the single job for a DAG of precedence-ordered stages
+//	                   and adds a critical-path report
 //	POST /v1/simulate  discrete-event simulation (median of seeds)
 //	POST /v1/compare   model vs. simulator validation
 //	POST /v1/plan      what-if search (nodes × block size × reducers × policy;
-//	                   deadline queries bisect the node axis)
+//	                   deadline queries bisect the node axis); workflow plans
+//	                   sweep the cluster axis on the composed makespan
 //	POST /v1/calibrate fit a named profile from a job-history trace; requests
 //	                   reference it with "profile": "<name>"
 //

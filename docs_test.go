@@ -27,6 +27,7 @@ var godocAuditPackages = []string{
 	"internal/service",
 	"internal/trace",
 	"internal/cluster",
+	"internal/workflow",
 }
 
 func TestGodocCoverage(t *testing.T) {

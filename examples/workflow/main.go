@@ -1,0 +1,73 @@
+// Multi-job workflows: an ETL-style diamond — extract feeds two parallel
+// transforms that join into a load stage — evaluated analytically (stage
+// predictions composed along the DAG's critical path) and validated
+// against the simulator enforcing the same cross-job precedence. Single
+// jobs answer "how long does this job take?"; the workflow layer answers
+// "which stage should I speed up?".
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hadoop2perf"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec := hadoop2perf.DefaultCluster(4)
+
+	dag := &hadoop2perf.WorkflowDAG{
+		Stages: []string{"extract", "left", "right", "load"},
+		Edges: []hadoop2perf.WorkflowEdge{
+			{From: "extract", To: "left"}, {From: "extract", To: "right"},
+			{From: "left", To: "load"}, {From: "right", To: "load"},
+		},
+	}
+	inputs := []struct {
+		mb      float64
+		reduces int
+	}{{4 * 1024, 4}, {2 * 1024, 4}, {2 * 1024, 4}, {1024, 2}}
+
+	cfgs := make([]hadoop2perf.ModelConfig, len(inputs))
+	jobs := make([]hadoop2perf.Job, len(inputs))
+	for i, in := range inputs {
+		job, err := hadoop2perf.NewJob(i, in.mb, 128, in.reduces, hadoop2perf.WordCount())
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs[i] = job
+		cfgs[i] = hadoop2perf.ModelConfig{Spec: spec, Job: job, NumJobs: 1}
+	}
+
+	wf, err := hadoop2perf.PredictWorkflow(dag, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ETL diamond on a 4-node cluster (extract → left|right → load)")
+	fmt.Println("\nstage     start    finish    slack  critical  concurrency")
+	for i, st := range wf.Stages {
+		mark := " "
+		if st.Critical {
+			mark = "*"
+		}
+		fmt.Printf("%-8s %6.1fs  %7.1fs  %6.1fs     %s         %d\n",
+			dag.Stages[i], st.Start, st.Finish, st.Slack, mark, st.Concurrency)
+	}
+	fmt.Printf("\nmodel makespan: %.1fs  critical path: %v\n", wf.ResponseTime, wf.CriticalPath)
+
+	// The simulator releases each job only when its parents' last task
+	// completes — the same precedence the model composed.
+	sim, err := hadoop2perf.SimulateMedian(hadoop2perf.SimConfig{
+		Spec: spec, Jobs: jobs, Workflow: dag, Seed: 7,
+		Scheduler: hadoop2perf.PolicyFair,
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated makespan: %.1fs (%+.1f%% model error)\n",
+		sim.Makespan, 100*(wf.ResponseTime-sim.Makespan)/sim.Makespan)
+	fmt.Println("\nthe slack column is the planning signal: speeding up a stage with")
+	fmt.Println("slack buys nothing — only the critical path moves the makespan")
+}

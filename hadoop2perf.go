@@ -37,6 +37,7 @@ import (
 	"hadoop2perf/internal/service"
 	"hadoop2perf/internal/stats"
 	"hadoop2perf/internal/trace"
+	"hadoop2perf/internal/workflow"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
@@ -114,6 +115,22 @@ type (
 	FitOptions  = trace.FitOptions
 	FitResult   = trace.FitResult
 	FittedClass = trace.FittedClass
+	// WorkflowDAG is a multi-job workflow shape: named stages plus cross-job
+	// precedence edges (WorkflowEdge). Assign to SimConfig.Workflow to make
+	// the simulator release each job only when its parents finish, or
+	// evaluate analytically with PredictWorkflow.
+	WorkflowDAG  = workflow.DAG
+	WorkflowEdge = workflow.Edge
+	// WorkflowPrediction is the analytic workflow result: the critical-path
+	// makespan plus per-stage start/finish/slack (WorkflowStageResult).
+	WorkflowPrediction  = core.WorkflowPrediction
+	WorkflowStageResult = core.WorkflowStageResult
+	// ServiceWorkflow is the workflow block of service Predict/Plan requests
+	// (one ServiceWorkflowStage per job); WorkflowReport is the composed
+	// response slice.
+	ServiceWorkflow      = service.Workflow
+	ServiceWorkflowStage = service.WorkflowStage
+	WorkflowReport       = service.WorkflowReport
 )
 
 // Estimators (paper §4.2.4).
@@ -174,6 +191,19 @@ func PredictBatch(cfgs []ModelConfig) ([]Prediction, error) { return core.Predic
 // cluster utilization for the configured job (the paper's §6 future work).
 func EstimateResources(cfg ModelConfig) (ResourceEstimate, Prediction, error) {
 	return core.EstimateResources(cfg)
+}
+
+// WorkflowChain builds the DAG of a linear stage chain (each stage waits
+// for the previous one).
+func WorkflowChain(stages ...string) *WorkflowDAG { return workflow.Chain(stages...) }
+
+// PredictWorkflow evaluates a multi-job workflow analytically: stage i of
+// the DAG runs ModelConfig cfgs[i], stages are solved in topological order
+// with warm-start chaining (concurrent same-cluster stages priced at their
+// wave's population), and the per-stage times compose into the workflow's
+// critical-path makespan.
+func PredictWorkflow(dag *WorkflowDAG, cfgs []ModelConfig) (WorkflowPrediction, error) {
+	return core.PredictWorkflow(dag, cfgs)
 }
 
 // Simulate executes jobs on the discrete-event YARN cluster simulator.

@@ -36,6 +36,7 @@ import (
 	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/hdfs"
 	"hadoop2perf/internal/simevent"
+	"hadoop2perf/internal/workflow"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
@@ -146,7 +147,14 @@ type Config struct {
 	Spec cluster.Spec
 	Jobs []workload.Job
 	// SubmitTimes optionally staggers submissions; default all at t=0.
+	// Incompatible with Workflow, which derives submissions from precedence.
 	SubmitTimes []float64
+	// Workflow optionally imposes cross-job precedence: stage i of the DAG
+	// is Jobs[i], and a dependent job is submitted (AM negotiation and all)
+	// only at the instant its last parent job finishes. Root stages submit
+	// at t=0. This is the discrete-event counterpart of the analytic
+	// critical-path composition in internal/core.
+	Workflow *workflow.DAG
 	// Seed selects the jitter stream; identical seeds reproduce runs exactly.
 	Seed int64
 	// Scheduler selects the root-queue ordering policy. Multi-job experiments
@@ -183,6 +191,18 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.SubmitTimes != nil && len(cfg.SubmitTimes) != len(cfg.Jobs) {
 		return Result{}, errors.New("mrsim: SubmitTimes length mismatch")
 	}
+	if cfg.Workflow != nil {
+		if cfg.SubmitTimes != nil {
+			return Result{}, errors.New("mrsim: SubmitTimes and Workflow are mutually exclusive")
+		}
+		if err := cfg.Workflow.Validate(); err != nil {
+			return Result{}, err
+		}
+		if cfg.Workflow.NumStages() != len(cfg.Jobs) {
+			return Result{}, fmt.Errorf("mrsim: workflow has %d stages for %d jobs",
+				cfg.Workflow.NumStages(), len(cfg.Jobs))
+		}
+	}
 	if err := cfg.Faults.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -204,6 +224,9 @@ func RunContext(ctx context.Context, cfg Config) (Result, error) {
 	}
 	for i := range s.jobs {
 		jr := s.jobs[i]
+		if s.wfParentsLeft != nil && s.wfParentsLeft[i] > 0 {
+			continue // released by the last parent's maybeFinish
+		}
 		s.eng.At(jr.submit, func() { s.startJob(jr) })
 	}
 	if s.stats != nil {
@@ -259,6 +282,11 @@ type sim struct {
 	rng      *rand.Rand
 	jobs     []*jobRun
 	doneJobs int
+
+	// Workflow precedence state (nil without Config.Workflow): per-stage
+	// child indices and the count of unfinished parents gating each stage.
+	wfChildren    [][]int
+	wfParentsLeft []int
 
 	// Fault-injection state; stats is nil when no fault mechanics are active
 	// for this run (the fault-free fast path touches none of these).
@@ -330,6 +358,18 @@ func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
 		}
 	}
 
+	if cfg.Workflow != nil {
+		parents, children, err := cfg.Workflow.Adjacency()
+		if err != nil {
+			return nil, err
+		}
+		s.wfChildren = children
+		s.wfParentsLeft = make([]int, len(parents))
+		for i := range parents {
+			s.wfParentsLeft[i] = len(parents[i])
+		}
+	}
+
 	for i, job := range cfg.Jobs {
 		submit := 0.0
 		if cfg.SubmitTimes != nil {
@@ -342,6 +382,7 @@ func newSim(cfg Config, eng *simevent.Engine) (*sim, error) {
 		}
 		s.jobs = append(s.jobs, &jobRun{
 			sim:    s,
+			idx:    i,
 			job:    job,
 			file:   file,
 			submit: submit,
@@ -456,6 +497,7 @@ type mapAttempt struct {
 // jobRun is the per-job ApplicationMaster state.
 type jobRun struct {
 	sim    *sim
+	idx    int // position in Config.Jobs == workflow stage index
 	job    workload.Job
 	file   *hdfs.File
 	submit float64
@@ -959,6 +1001,28 @@ func (j *jobRun) maybeFinish() {
 	j.record.Response = j.record.End - j.record.Submit
 	j.sim.doneJobs++
 	j.sim.rm.Unregister(j.app)
+	j.releaseChildren()
+}
+
+// releaseChildren submits every workflow child whose last unfinished parent
+// was this job: the child's submit time is the release instant, so its
+// recorded response excludes the time spent waiting on precedence.
+func (j *jobRun) releaseChildren() {
+	s := j.sim
+	if s.wfChildren == nil {
+		return
+	}
+	now := s.eng.Now()
+	for _, c := range s.wfChildren[j.idx] {
+		s.wfParentsLeft[c]--
+		if s.wfParentsLeft[c] > 0 {
+			continue
+		}
+		child := s.jobs[c]
+		child.submit = now
+		child.record.Submit = now
+		s.startJob(child)
+	}
 }
 
 // reducerRun is one reduce task: a shuffle-sort subtask (per-map fetches over

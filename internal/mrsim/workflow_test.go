@@ -1,0 +1,128 @@
+package mrsim
+
+import (
+	"math"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workflow"
+	"hadoop2perf/internal/workload"
+	"hadoop2perf/internal/yarn"
+)
+
+func wfJobs(t *testing.T, inputMB float64, reduces, n int) []workload.Job {
+	t.Helper()
+	jobs := make([]workload.Job, n)
+	for i := range jobs {
+		jobs[i] = smallJob(t, inputMB, reduces)
+		jobs[i].ID = i
+	}
+	return jobs
+}
+
+func TestWorkflowValidation(t *testing.T) {
+	spec := cluster.Default(2)
+	jobs := wfJobs(t, 256, 1, 2)
+	chain := workflow.Chain("a", "b")
+	if _, err := Run(Config{Spec: spec, Jobs: jobs, Workflow: chain,
+		SubmitTimes: []float64{0, 0}}); err == nil {
+		t.Error("SubmitTimes combined with Workflow accepted")
+	}
+	if _, err := Run(Config{Spec: spec, Jobs: jobs[:1], Workflow: chain}); err == nil {
+		t.Error("stage/job count mismatch accepted")
+	}
+	cyclic := &workflow.DAG{Stages: []string{"a", "b"},
+		Edges: []workflow.Edge{{From: "a", To: "b"}, {From: "b", To: "a"}}}
+	if _, err := Run(Config{Spec: spec, Jobs: jobs, Workflow: cyclic}); err == nil {
+		t.Error("cyclic workflow accepted")
+	}
+}
+
+// TestWorkflowChainReleasesAtParentEnd pins the release semantics: in a
+// chain, each job's recorded submit time is exactly its parent's finish
+// time, and the makespan is the sum of the per-job responses.
+func TestWorkflowChainReleasesAtParentEnd(t *testing.T) {
+	res := run(t, Config{
+		Spec:      cluster.Default(2),
+		Jobs:      wfJobs(t, 512, 2, 3),
+		Workflow:  workflow.Chain("a", "b", "c"),
+		Seed:      1,
+		Scheduler: yarn.PolicyFair,
+	})
+	if len(res.Jobs) != 3 {
+		t.Fatalf("%d job results", len(res.Jobs))
+	}
+	var sum float64
+	for i, j := range res.Jobs {
+		sum += j.Response
+		if i == 0 {
+			if j.Submit != 0 {
+				t.Errorf("root submitted at %v, want 0", j.Submit)
+			}
+			continue
+		}
+		if j.Submit != res.Jobs[i-1].End {
+			t.Errorf("job %d submitted at %v, want parent end %v", i, j.Submit, res.Jobs[i-1].End)
+		}
+	}
+	if math.Abs(res.Makespan-sum) > 1e-9*sum {
+		t.Errorf("chain makespan %v != response sum %v", res.Makespan, sum)
+	}
+}
+
+// TestWorkflowDiamondJoinWaitsForBothParents checks fan-out then fan-in:
+// the two middle jobs are released together at the root's end, and the sink
+// starts only once the slower of the two finishes.
+func TestWorkflowDiamondJoinWaitsForBothParents(t *testing.T) {
+	res := run(t, Config{
+		Spec: cluster.Default(4),
+		Jobs: wfJobs(t, 512, 2, 4),
+		Workflow: &workflow.DAG{
+			Stages: []string{"src", "left", "right", "join"},
+			Edges: []workflow.Edge{
+				{From: "src", To: "left"}, {From: "src", To: "right"},
+				{From: "left", To: "join"}, {From: "right", To: "join"},
+			},
+		},
+		Seed:      2,
+		Scheduler: yarn.PolicyFair,
+	})
+	src, left, right, join := res.Jobs[0], res.Jobs[1], res.Jobs[2], res.Jobs[3]
+	if left.Submit != src.End || right.Submit != src.End {
+		t.Errorf("middle submits %v/%v, want root end %v", left.Submit, right.Submit, src.End)
+	}
+	if want := math.Max(left.End, right.End); join.Submit != want {
+		t.Errorf("join submitted at %v, want slower parent end %v", join.Submit, want)
+	}
+	if res.Makespan != join.End {
+		t.Errorf("makespan %v, want join end %v", res.Makespan, join.End)
+	}
+}
+
+// TestWorkflowDeterministicForSeed repeats a diamond run and requires
+// bit-identical records — precedence releases ride the event clock, not
+// wall time or map order.
+func TestWorkflowDeterministicForSeed(t *testing.T) {
+	cfg := Config{
+		Spec: cluster.Default(2),
+		Jobs: wfJobs(t, 512, 1, 4),
+		Workflow: &workflow.DAG{
+			Stages: []string{"a", "b", "c", "d"},
+			Edges: []workflow.Edge{
+				{From: "a", To: "b"}, {From: "a", To: "c"},
+				{From: "b", To: "d"}, {From: "c", To: "d"},
+			},
+		},
+		Seed:      5,
+		Scheduler: yarn.PolicyFair,
+	}
+	r1, r2 := run(t, cfg), run(t, cfg)
+	for i := range r1.Jobs {
+		if r1.Jobs[i].Submit != r2.Jobs[i].Submit || r1.Jobs[i].End != r2.Jobs[i].End {
+			t.Fatalf("job %d drifted between identical runs", i)
+		}
+	}
+	if r1.Makespan != r2.Makespan {
+		t.Fatalf("makespan drifted: %v vs %v", r1.Makespan, r2.Makespan)
+	}
+}

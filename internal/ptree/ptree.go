@@ -155,6 +155,8 @@ func shortClass(c timeline.Class) string {
 		return "m"
 	case timeline.ClassShuffleSort:
 		return "s"
+	case timeline.ClassStage:
+		return "j"
 	default:
 		return "g"
 	}
@@ -205,6 +207,20 @@ func Build(tl *timeline.Timeline) (*Node, error) {
 		}
 	}
 	return root, nil
+}
+
+// FromIntervals generalizes Build to arbitrary placed intervals — in
+// particular the cross-job stage intervals of a workflow schedule
+// (timeline.ClassStage leaves), where each leaf is a whole job rather than
+// one of its tasks. The same serial/parallel decomposition applies:
+// time-overlapping intervals form balanced P-groups, disjoint groups chain
+// with S — so a workflow's critical-path composition exposes the exact
+// tree shape the paper's estimators reason about, one level up.
+func FromIntervals(tasks []timeline.Placed) (*Node, error) {
+	if len(tasks) == 0 {
+		return nil, errors.New("ptree: no intervals")
+	}
+	return Build(&timeline.Timeline{Tasks: tasks})
 }
 
 // balancedP builds a balanced binary P-subtree over a group of tasks (the

@@ -1,0 +1,189 @@
+package service
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hadoop2perf/internal/cluster"
+	"hadoop2perf/internal/workload"
+)
+
+// The golden pins below freeze the exact wire behavior of workflow-less
+// requests: every response body and cache key captured here predates the
+// workflow layer, so any byte drift on the classic single-job surface —
+// a changed field, a reordered key, a bumped cache-key encoding — fails
+// loudly instead of silently invalidating clients and caches.
+//
+// Regenerate deliberately (only when the classic wire format is *meant* to
+// change) with:
+//
+//	GOLDEN_REGEN=1 go test -run TestGolden ./internal/service
+
+// goldenRegen reports whether the run should rewrite the golden files
+// instead of asserting against them.
+func goldenRegen() bool { return os.Getenv("GOLDEN_REGEN") == "1" }
+
+// goldenHTTPCases is the fixed request corpus: one deterministic body per
+// classic endpoint shape (flat predict, heterogeneous predict, simulate,
+// compare, grid plan, deadline-search plan). None carries a workflow block.
+var goldenHTTPCases = []struct {
+	name string
+	path string
+	body string
+}{
+	{
+		name: "predict-flat",
+		path: "/v1/predict",
+		body: `{"cluster":{"nodes":4},"job":{"inputMB":2048,"blockSizeMB":128,"reduces":4},"numJobs":2}`,
+	},
+	{
+		name: "predict-hetero",
+		path: "/v1/predict",
+		body: `{"cluster":{"classes":[
+			{"name":"fast","count":4,"capacity":{"memoryMB":32768,"vcores":32},"cpus":6,"disks":1,"diskMBps":240,"networkMBps":110,"speed":1},
+			{"name":"slow","count":4,"capacity":{"memoryMB":32768,"vcores":32},"cpus":6,"disks":1,"diskMBps":140,"networkMBps":110,"speed":0.5}
+		]},"job":{"inputMB":4096,"reduces":2,"profile":"terasort"},"estimator":"tripathi"}`,
+	},
+	{
+		name: "simulate",
+		path: "/v1/simulate",
+		body: `{"cluster":{"nodes":2},"job":{"inputMB":512,"reduces":2},"seed":1,"reps":3}`,
+	},
+	{
+		name: "compare",
+		path: "/v1/compare",
+		body: `{"cluster":{"nodes":2},"job":{"inputMB":512},"seed":3,"reps":2}`,
+	},
+	{
+		name: "plan-grid",
+		path: "/v1/plan",
+		body: `{"cluster":{"nodes":4},"job":{"inputMB":1024},"nodes":[2,4],"blockSizesMB":[64,128]}`,
+	},
+	{
+		name: "plan-search",
+		path: "/v1/plan",
+		body: `{"cluster":{"nodes":4},"job":{"inputMB":1024},"nodes":[2,3,4,6,8,12,16,24],"deadlineSec":600}`,
+	},
+}
+
+// goldenPath returns the pinned-response file for one case.
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".json")
+}
+
+// TestGoldenResponsesPinned posts every classic (workflow-less) request
+// against a fresh service and requires the response body to match the
+// pinned pre-workflow bytes exactly. Each case gets its own Service so
+// cache state (the "cached" flags) is deterministic, and the bare mux is
+// used so no per-request ID is spliced into the envelope.
+func TestGoldenResponsesPinned(t *testing.T) {
+	for _, tc := range goldenHTTPCases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := ServerConfig{}
+			cfg.applyDefaults()
+			srv := httptest.NewServer(newMux(New(Options{Workers: 4}), cfg))
+			defer srv.Close()
+			resp, err := http.Post(srv.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, got)
+			}
+			if goldenRegen() {
+				if err := os.MkdirAll(filepath.Dir(goldenPath(tc.name)), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(goldenPath(tc.name), got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath(tc.name))
+			if err != nil {
+				t.Fatalf("missing golden (run GOLDEN_REGEN=1 once): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("response drifted from pre-workflow golden\ngot:\n%s\nwant:\n%s", got, want)
+			}
+		})
+	}
+}
+
+// goldenKeyRequests builds the fixed request set whose cache keys are
+// pinned: a key change here means every pre-workflow cache entry (and any
+// external key-derived artifact) silently strands.
+func goldenKeyRequests(t *testing.T) map[string]string {
+	t.Helper()
+	job, err := workload.NewJob(0, 2048, 128, 4, workload.WordCount())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hjob, err := workload.NewJob(0, 4096, 256, 2, workload.TeraSort())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hetero := cluster.Default(0)
+	hetero.NumNodes = 0
+	hetero.Classes = []cluster.NodeClass{
+		{Name: "fast", Count: 4, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 240, NetworkMBps: 110, Speed: 1},
+		{Name: "slow", Count: 4, Capacity: cluster.Resource{MemoryMB: 32768, VCores: 32},
+			CPUs: 6, Disks: 1, DiskMBps: 140, NetworkMBps: 110, Speed: 0.5},
+	}
+	simJobs := []workload.Job{job, job}
+	simJobs[1].ID = 1
+	return map[string]string{
+		"predict":        predictKey(PredictRequest{Spec: cluster.Default(4), Job: job, NumJobs: 2}),
+		"predict-hetero": predictKey(PredictRequest{Spec: hetero, Job: hjob, NumJobs: 1, Estimator: 1}),
+		"simulate":       simulateKey(SimulateRequest{Spec: cluster.Default(4), Jobs: simJobs, Seed: 7, Reps: 3}),
+		"compare":        compareKey(CompareRequest{Spec: cluster.Default(2), Job: job, NumJobs: 1, Seed: 3, Reps: 2}),
+	}
+}
+
+// TestGoldenCacheKeysPinned requires the canonical cache-key encoding of
+// workflow-less requests to be byte-stable against the pre-workflow pins:
+// the workflow layer introduces its own key kinds and versions, and must
+// never perturb classic keys.
+func TestGoldenCacheKeysPinned(t *testing.T) {
+	keys := goldenKeyRequests(t)
+	path := filepath.Join("testdata", "golden", "keys.txt")
+	if goldenRegen() {
+		var b strings.Builder
+		for _, name := range []string{"predict", "predict-hetero", "simulate", "compare"} {
+			fmt.Fprintf(&b, "%s %s\n", name, keys[name])
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run GOLDEN_REGEN=1 once): %v", err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		name, want, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		if got := keys[name]; got != want {
+			t.Errorf("%s cache key drifted: got %s want %s", name, got, want)
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"hadoop2perf/internal/obs"
 	"hadoop2perf/internal/timeline"
 	"hadoop2perf/internal/trace"
+	"hadoop2perf/internal/workflow"
 	"hadoop2perf/internal/workload"
 	"hadoop2perf/internal/yarn"
 )
@@ -186,6 +187,7 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 			Cached:          resp.Cached,
 			Profile:         resp.Profile,
 			ProfileVersion:  resp.ProfileVersion,
+			Workflow:        resp.Workflow,
 		}, nil
 	}))
 	calCfg := cfg
@@ -623,6 +625,12 @@ type predictWire struct {
 	// its fitted statistics seed the model instead of the static
 	// initialization. Distinct from job.profile, which names a workload.
 	Profile string `json:"profile,omitempty"`
+	// Workflow predicts a DAG of dependent jobs instead of a single one:
+	// the stages' jobs replace the top-level job (then ignored and
+	// omittable), cluster becomes the default for stages without their own,
+	// and profile the default calibrated profile per the per-stage
+	// resolution rule (see docs/API.md).
+	Workflow *workflowWire `json:"workflow,omitempty"`
 }
 
 func (p predictWire) toRequest() (PredictRequest, error) {
@@ -630,12 +638,63 @@ func (p predictWire) toRequest() (PredictRequest, error) {
 	if err != nil {
 		return PredictRequest{}, err
 	}
+	req := PredictRequest{Spec: spec, NumJobs: p.NumJobs, Estimator: p.Estimator,
+		Faults: p.Faults, Profile: p.Profile}
+	if p.Workflow != nil {
+		wf, err := p.Workflow.toWorkflow()
+		if err != nil {
+			return PredictRequest{}, err
+		}
+		req.Workflow = wf
+		return req, nil
+	}
 	job, err := p.Job.job()
 	if err != nil {
 		return PredictRequest{}, err
 	}
-	return PredictRequest{Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator,
-		Faults: p.Faults, Profile: p.Profile}, nil
+	req.Job = job
+	return req, nil
+}
+
+// workflowStageWire is one stage of a request's workflow block.
+type workflowStageWire struct {
+	// Name identifies the stage in edges and the response.
+	Name string `json:"name"`
+	// Job is the stage's MapReduce job (same shape as the top-level job).
+	Job jobWire `json:"job"`
+	// Cluster optionally gives the stage its own cluster; omitted stages
+	// inherit the request's cluster.
+	Cluster *clusterWire `json:"cluster,omitempty"`
+	// Profile optionally overrides the request-level calibrated profile for
+	// this stage.
+	Profile string `json:"profile,omitempty"`
+}
+
+// workflowWire is the request-level workflow block: named job stages plus
+// precedence edges between stage names.
+type workflowWire struct {
+	Stages []workflowStageWire `json:"stages"`
+	Edges  []workflow.Edge     `json:"edges,omitempty"`
+}
+
+func (w *workflowWire) toWorkflow() (*Workflow, error) {
+	wf := &Workflow{Edges: w.Edges}
+	for _, st := range w.Stages {
+		job, err := st.Job.job()
+		if err != nil {
+			return nil, validationError{fmt.Errorf("workflow stage %q: %w", st.Name, err)}
+		}
+		stage := WorkflowStage{Name: st.Name, Job: job, Profile: st.Profile}
+		if st.Cluster != nil {
+			spec, err := st.Cluster.spec()
+			if err != nil {
+				return nil, validationError{fmt.Errorf("workflow stage %q: %w", st.Name, err)}
+			}
+			stage.Spec = &spec
+		}
+		wf.Stages = append(wf.Stages, stage)
+	}
+	return wf, nil
 }
 
 type predictResultWire struct {
@@ -651,6 +710,10 @@ type predictResultWire struct {
 	// seeded this prediction (absent for profile-less requests).
 	Profile        string `json:"profile,omitempty"`
 	ProfileVersion int64  `json:"profileVersion,omitempty"`
+	// Workflow carries the per-stage schedule, slack and critical path of a
+	// workflow-bearing request (absent for single-job requests, whose body
+	// stays byte-identical to the pre-workflow wire format).
+	Workflow *WorkflowReport `json:"workflow,omitempty"`
 }
 
 type simulateWire struct {
@@ -772,6 +835,11 @@ type planWire struct {
 	// Profile seeds every model-backed candidate from a calibrated profile;
 	// rejected when useSimulator is set.
 	Profile string `json:"profile,omitempty"`
+	// Workflow plans a whole DAG: each candidate's response time is the
+	// composed critical-path makespan on that candidate's cluster. Only the
+	// cluster axes (nodes or classCounts) apply; the top-level job is
+	// ignored and omittable.
+	Workflow *workflowWire `json:"workflow,omitempty"`
 }
 
 func (p planWire) toRequest() (PlanRequest, error) {
@@ -779,17 +847,27 @@ func (p planWire) toRequest() (PlanRequest, error) {
 	if err != nil {
 		return PlanRequest{}, err
 	}
-	job, err := p.Job.job()
-	if err != nil {
-		return PlanRequest{}, err
-	}
-	return PlanRequest{
-		Spec: spec, Job: job, NumJobs: p.NumJobs, Estimator: p.Estimator,
+	req := PlanRequest{
+		Spec: spec, NumJobs: p.NumJobs, Estimator: p.Estimator,
 		Nodes: p.Nodes, ClassCounts: p.ClassCounts, BlockSizesMB: p.BlockSizesMB,
 		Reducers: p.Reducers, Policies: p.Policies, DeadlineSec: p.DeadlineSec,
 		Exhaustive: p.Exhaustive, UseSimulator: p.UseSimulator, Seed: p.Seed, Reps: p.Reps,
 		Faults: p.Faults, Quantile: p.Quantile, Profile: p.Profile,
-	}, nil
+	}
+	if p.Workflow != nil {
+		wf, err := p.Workflow.toWorkflow()
+		if err != nil {
+			return PlanRequest{}, err
+		}
+		req.Workflow = wf
+		return req, nil
+	}
+	job, err := p.Job.job()
+	if err != nil {
+		return PlanRequest{}, err
+	}
+	req.Job = job
+	return req, nil
 }
 
 // calibrateWire is the POST /v1/calibrate body: a trace document plus fit

@@ -10,6 +10,7 @@ import (
 	"hadoop2perf/internal/core"
 	"hadoop2perf/internal/fault"
 	"hadoop2perf/internal/timeline"
+	"hadoop2perf/internal/workflow"
 	"hadoop2perf/internal/workload"
 )
 
@@ -171,6 +172,39 @@ func (w *keyWriter) putResolvedProfile(p *calibratedProfile) {
 		return
 	}
 	w.putString(p.info.Hash)
+}
+
+// workflowKeyVersion versions the workflow-bearing key layout. Workflow
+// requests hash under their own kind tag ("predict-workflow"), so this
+// version can move independently — classic predict/simulate/compare keys
+// stay byte-stable across workflow-layer changes.
+const workflowKeyVersion = 1
+
+// workflowPredictKey canonically hashes a resolved workflow: every stage's
+// full model inputs (cluster, job, wave population, faults, resolved
+// profile content) in declaration order, then the DAG's edges by stage
+// name. Two workflows differing only in shape (same stages, different
+// edges) get distinct keys.
+func workflowPredictKey(dag *workflow.DAG, stageReqs []PredictRequest) string {
+	w := newKeyWriter("predict-workflow")
+	w.putInt(workflowKeyVersion)
+	w.putInt(len(dag.Stages))
+	for i, name := range dag.Stages {
+		sr := &stageReqs[i]
+		w.putString(name)
+		w.putSpec(sr.Spec)
+		w.putJob(sr.Job)
+		w.putInt(sr.NumJobs)
+		w.putInt(int(sr.Estimator))
+		w.putFaults(sr.Faults)
+		w.putResolvedProfile(sr.resolved)
+	}
+	w.putInt(len(dag.Edges))
+	for _, e := range dag.Edges {
+		w.putString(e.From)
+		w.putString(e.To)
+	}
+	return w.sum()
 }
 
 func predictKey(req PredictRequest) string {

@@ -94,6 +94,14 @@ type PlanRequest struct {
 	// mix that meets the deadline even in bad draws". Rejected without
 	// UseSimulator — the analytic model predicts means, not quantiles.
 	Quantile float64
+
+	// Workflow, when non-nil, plans a whole DAG instead of one job: each
+	// candidate's ResponseTime is the composed critical-path makespan of
+	// the workflow on that candidate's cluster (stages with their own Spec
+	// keep it; the rest inherit the swept spec). Only the cluster axes
+	// (Nodes or ClassCounts) apply — job-shape axes and UseSimulator are
+	// rejected, and Job is ignored. See Service.planWorkflow.
+	Workflow *Workflow
 }
 
 func (r *PlanRequest) validate() error {
@@ -313,6 +321,9 @@ func nodeChoices(req *PlanRequest) []nodeChoice {
 // Predict or Simulate call, so overlapping plans share work.
 func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, error) {
 	s.planReqs.Add(1)
+	if req.Workflow != nil {
+		return s.planWorkflow(ctx, req)
+	}
 	if err := req.validate(); err != nil {
 		return PlanResponse{}, invalid(err)
 	}

@@ -154,6 +154,9 @@ type Metrics struct {
 	// RateLimited counts requests rejected with HTTP 429 by the per-client
 	// token-bucket limiter (0 when rate limiting is disabled).
 	RateLimited int64 `json:"rateLimited"`
+	// WorkflowRequests counts predict/plan requests that carried a workflow
+	// block (also included in PredictRequests/PlanRequests).
+	WorkflowRequests int64 `json:"workflowRequests"`
 	// SimFaultsInjected accumulates node failures (including preemptible
 	// revocations) injected across the seeded repetitions of completed
 	// simulator executions; SimTasksReexecuted the task attempts re-enqueued
@@ -206,6 +209,7 @@ type Service struct {
 	rateLimited   atomic.Int64
 	simFaults     atomic.Int64
 	simReexec     atomic.Int64
+	workflowReqs  atomic.Int64
 }
 
 // Request-kind indices into the request-duration histograms, aligned with
@@ -292,6 +296,7 @@ func (s *Service) Metrics() Metrics {
 		ModelInnerIterations: s.innerIters.Load(),
 		WarmPredictions:      s.warmPredicts.Load(),
 		RateLimited:          s.rateLimited.Load(),
+		WorkflowRequests:     s.workflowReqs.Load(),
 		SimFaultsInjected:    s.simFaults.Load(),
 		SimTasksReexecuted:   s.simReexec.Load(),
 
@@ -402,6 +407,12 @@ type PredictRequest struct {
 	// resolved pins the profile snapshot for the lifetime of one request
 	// (and across every candidate of one plan); nil when Profile is empty.
 	resolved *calibratedProfile
+	// Workflow, when non-nil, turns the request into a DAG evaluation: the
+	// stages' jobs replace Job (which is then ignored), Spec becomes the
+	// default cluster of stages without their own, Profile the default
+	// calibrated profile, and the response carries the composed
+	// critical-path makespan plus a per-stage WorkflowReport.
+	Workflow *Workflow
 }
 
 func (r *PredictRequest) validate() error {
@@ -439,11 +450,20 @@ type PredictResponse struct {
 	// that seeded the model (empty/0 when the request named none).
 	Profile        string
 	ProfileVersion int64 // see Profile
+	// Workflow carries the per-stage schedule and critical path of a
+	// workflow-bearing request; nil for single-job requests, whose wire
+	// shape is byte-identical to the pre-workflow service.
+	Workflow *WorkflowReport
 }
 
-// Predict runs (or recalls) one analytic model evaluation.
+// Predict runs (or recalls) one analytic model evaluation — or, when the
+// request carries a Workflow block, the composed critical-path evaluation
+// of the whole DAG.
 func (s *Service) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
 	s.predictReqs.Add(1)
+	if req.Workflow != nil {
+		return s.predictWorkflow(ctx, req)
+	}
 	return s.predict(ctx, req)
 }
 

@@ -26,11 +26,15 @@ import (
 // Class is a model task class (C = 3 in the paper, §4.1).
 type Class int
 
-// The three task classes.
+// The three task classes, plus ClassStage for cross-job composition.
 const (
 	ClassMap Class = iota
 	ClassShuffleSort
 	ClassMerge
+	// ClassStage labels a whole job stage as one placed interval in a
+	// workflow-level timeline: the cross-job generalization where a leaf is
+	// an entire job rather than one of its tasks (internal/workflow).
+	ClassStage
 )
 
 func (c Class) String() string {
@@ -39,6 +43,8 @@ func (c Class) String() string {
 		return "map"
 	case ClassShuffleSort:
 		return "shuffle-sort"
+	case ClassStage:
+		return "stage"
 	default:
 		return "merge"
 	}

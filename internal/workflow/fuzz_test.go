@@ -1,0 +1,132 @@
+package workflow
+
+import (
+	"testing"
+)
+
+// decodeDAG deterministically expands fuzz bytes into a DAG, deliberately
+// covering the whole defect space: empty and duplicate stage names, edges
+// to undefined stages, self-edges, duplicate edges and cycles all occur
+// with high probability under random bytes.
+func decodeDAG(data []byte) *DAG {
+	d := &DAG{}
+	if len(data) == 0 {
+		return d
+	}
+	name := func(b byte) string {
+		switch b % 7 {
+		case 5:
+			return "" // empty name
+		case 6:
+			return "undefined" // never declared below
+		default:
+			return string(rune('a' + int(b%5)))
+		}
+	}
+	n := int(data[0] % 8)
+	data = data[1:]
+	for i := 0; i < n && len(data) > 0; i++ {
+		d.Stages = append(d.Stages, name(data[0]))
+		data = data[1:]
+	}
+	for len(data) >= 2 {
+		d.Edges = append(d.Edges, Edge{From: name(data[0]), To: name(data[1])})
+		data = data[2:]
+	}
+	return d
+}
+
+// hasCycle is an independent oracle: plain DFS three-coloring over the raw
+// edge list, resolving names by first declaration and ignoring edges that
+// reference undefined stages.
+func hasCycle(d *DAG) bool {
+	idx := map[string]int{}
+	for i, s := range d.Stages {
+		if _, ok := idx[s]; !ok {
+			idx[s] = i
+		}
+	}
+	adj := make([][]int, len(d.Stages))
+	for _, e := range d.Edges {
+		f, okF := idx[e.From]
+		t, okT := idx[e.To]
+		if okF && okT {
+			adj[f] = append(adj[f], t)
+		}
+	}
+	color := make([]int, len(d.Stages)) // 0 white, 1 gray, 2 black
+	var visit func(int) bool
+	visit = func(u int) bool {
+		color[u] = 1
+		for _, v := range adj[u] {
+			if color[v] == 1 || (color[v] == 0 && visit(v)) {
+				return true
+			}
+		}
+		color[u] = 2
+		return false
+	}
+	for i := range color {
+		if color[i] == 0 && visit(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzValidate drives Validate (and TopoOrder behind it) with arbitrary
+// DAG shapes: it must never panic, must reject every cycle, self-edge and
+// undefined-stage edge, and when it accepts, the topological order must be
+// a true linearization of the edges.
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 'a'})                               // single stage
+	f.Add([]byte{3, 'a', 'b', 'c', 'a', 'b', 'b', 'c'}) // chain
+	f.Add([]byte{2, 'a', 'b', 'a', 'b', 'b', 'a'})      // 2-cycle
+	f.Add([]byte{1, 'a', 'a', 'a'})                     // self-edge
+	f.Add([]byte{2, 'a', 'a'})                          // duplicate names
+	f.Add([]byte{1, 'a', 'a', 6})                       // undefined ref
+	f.Add([]byte{0, 'a', 'b'})                          // edges without stages
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := decodeDAG(data)
+		err := d.Validate() // must not panic, whatever the bytes
+		if err != nil {
+			return
+		}
+		// Accepted: re-check every guarantee with independent oracles.
+		seen := map[string]bool{}
+		for _, s := range d.Stages {
+			if s == "" {
+				t.Fatalf("accepted empty stage name: %+v", d)
+			}
+			if seen[s] {
+				t.Fatalf("accepted duplicate stage %q: %+v", s, d)
+			}
+			seen[s] = true
+		}
+		for _, e := range d.Edges {
+			if !seen[e.From] || !seen[e.To] {
+				t.Fatalf("accepted edge %q->%q with undefined stage: %+v", e.From, e.To, d)
+			}
+			if e.From == e.To {
+				t.Fatalf("accepted self-edge on %q: %+v", e.From, d)
+			}
+		}
+		if hasCycle(d) {
+			t.Fatalf("accepted cyclic DAG: %+v", d)
+		}
+		order, err := d.TopoOrder()
+		if err != nil {
+			t.Fatalf("Validate passed but TopoOrder failed: %v", err)
+		}
+		pos := make([]int, len(d.Stages))
+		for p, i := range order {
+			pos[i] = p
+		}
+		for _, e := range d.Edges {
+			if pos[d.Index(e.From)] >= pos[d.Index(e.To)] {
+				t.Fatalf("order %v violates edge %q->%q", order, e.From, e.To)
+			}
+		}
+	})
+}
