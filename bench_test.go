@@ -839,6 +839,31 @@ func BenchmarkServicePlan(b *testing.B) {
 	})
 }
 
+// BenchmarkAdmissionShed prices the rejection fast path: with the admission
+// bound smaller than one expensive request's cost, every simulate turns into
+// a structured 503. Shedding only protects the service if a rejection costs
+// microseconds, not a worker slot — this pins that property under the same
+// concurrent HTTP traffic as the accept-path benchmarks (and runs in CI's
+// race-enabled bench smoke).
+func BenchmarkAdmissionShed(b *testing.B) {
+	svc := NewService(ServiceOptions{Workers: 2, AdmitMaxQueueCost: 1})
+	h := NewServiceHandler(svc, 0)
+	body := []byte(`{"cluster":{"nodes":4},"job":{"inputMB":512},"reps":1}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			req := httptest.NewRequest(http.MethodPost, "/v1/simulate", bytes.NewReader(body))
+			req.RemoteAddr = "10.0.0.1:1"
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusServiceUnavailable {
+				b.Fatalf("status %d: %s", w.Code, w.Body.String())
+			}
+		}
+	})
+}
+
 func benchName(prefix string, v int) string {
 	return fmt.Sprintf("%s=%03d", prefix, v)
 }

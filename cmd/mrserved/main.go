@@ -51,7 +51,10 @@ func main() {
 		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "worker-pool size (model/simulator executions in flight)")
 		cacheSize  = flag.Int("cache-size", service.DefaultCacheSize, "LRU cache entries")
 		simReps    = flag.Int("sim-reps", service.DefaultSimReps, "default median-of-seeds repetitions")
-		timeout    = flag.Duration("timeout", 30*time.Second, "per-request handling timeout")
+		timeout    = flag.Duration("timeout", 0, "uniform per-request handling timeout (0 = per-kind defaults: 10s predict/compare, 30s simulate/plan/calibrate)")
+		cacheTTL   = flag.Duration("cache-ttl", 0, "cache-entry freshness lifetime; expired entries are recomputed, or served stale under pool saturation (0 = never expire)")
+		drainWait  = flag.Duration("drain-timeout", 15*time.Second, "grace period for in-flight requests after SIGTERM/SIGINT before forced exit")
+		drainHold  = flag.Duration("drain-notice", time.Second, "how long the listener stays open (answering /readyz 503 draining, shedding POSTs) after SIGTERM/SIGINT before new connections are refused, so load balancers observe the flip")
 		profileTTL = flag.Duration("profile-ttl", service.DefaultProfileTTL, "default calibrated-profile lifetime")
 		pprofAddr  = flag.String("pprof-addr", "127.0.0.1:6060", "loopback /debug/pprof listener (empty = disabled)")
 		rateLimit  = flag.Float64("rate-limit", 0, "per-client request rate over /v1/* in req/s (429 + Retry-After past it; 0 = unlimited)")
@@ -69,6 +72,7 @@ func main() {
 	svc := service.New(service.Options{
 		Workers:    *workers,
 		CacheSize:  *cacheSize,
+		CacheTTL:   *cacheTTL,
 		SimReps:    *simReps,
 		ProfileTTL: *profileTTL,
 	})
@@ -100,8 +104,9 @@ func main() {
 		}),
 		ReadHeaderTimeout: 10 * time.Second,
 		// WriteTimeout outlives the handler timeout so slow requests get a
-		// 504 body instead of a severed connection.
-		WriteTimeout: *timeout + 5*time.Second,
+		// 504 body instead of a severed connection. With per-kind timeouts
+		// (-timeout 0) the longest default is the expensive 30s class.
+		WriteTimeout: writeTimeout(*timeout),
 		IdleTimeout:  2 * time.Minute,
 	}
 
@@ -116,18 +121,46 @@ func main() {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-stop:
-		log.Printf("received %s, draining", sig)
-		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		// Drain: flip /readyz to 503 draining and shed new admissions so load
+		// balancers stop routing here, then let in-flight requests finish
+		// under the grace period. A second signal forces immediate exit.
+		log.Printf("received %s, draining (grace %s)", sig, *drainWait)
+		svc.StartDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		go func() {
+			sig := <-stop
+			log.Printf("received %s during drain, forcing exit", sig)
+			cancel()
+		}()
+		// Shutdown closes the listener immediately, so hold it open briefly
+		// first: readiness probes on fresh connections must be able to see
+		// the 503 draining flip (and POSTs the structured shed) before new
+		// connections start being refused outright.
+		select {
+		case <-time.After(*drainHold):
+		case <-ctx.Done():
+		}
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
 		m := svc.Metrics()
-		log.Printf("served %d predict / %d simulate / %d compare / %d plan; cache hit rate %.0f%%",
-			m.PredictRequests, m.SimulateRequests, m.CompareRequests, m.PlanRequests, 100*m.HitRate)
+		log.Printf("served %d predict / %d simulate / %d compare / %d plan; cache hit rate %.0f%%; shed %d",
+			m.PredictRequests, m.SimulateRequests, m.CompareRequests, m.PlanRequests, 100*m.HitRate,
+			m.Admission.ShedQueueFull+m.Admission.ShedDeadline+m.Admission.ShedDraining)
 	case err := <-done:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}
+}
+
+// writeTimeout pads the handler timeout so timed-out requests receive their
+// 504 body. A zero flag means per-kind handler timeouts, whose longest
+// default is the expensive class.
+func writeTimeout(handler time.Duration) time.Duration {
+	if handler <= 0 {
+		handler = 30 * time.Second
+	}
+	return handler + 5*time.Second
 }

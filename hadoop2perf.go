@@ -244,8 +244,10 @@ func FitTrace(res SimResult, opts FitOptions) (FitResult, error) { return trace.
 func NewService(opts ServiceOptions) *Service { return service.New(opts) }
 
 // NewServiceHandler exposes a Service as the mrserved HTTP API (/healthz,
-// /v1/metrics, /v1/predict, /v1/simulate, /v1/compare, /v1/plan). A zero
-// timeout selects the 30-second default.
+// /readyz, /v1/metrics, /v1/predict, /v1/simulate, /v1/compare, /v1/plan).
+// A zero timeout selects the per-kind defaults (10s for predict/compare,
+// 30s for simulate/plan/calibrate); clients may shrink a request's budget
+// with an X-Deadline-Ms header or a timeoutSec body field.
 func NewServiceHandler(s *Service, timeout time.Duration) http.Handler {
 	return service.NewHandler(s, service.ServerConfig{Timeout: timeout})
 }

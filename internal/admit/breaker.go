@@ -1,0 +1,169 @@
+package admit
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	// StateClosed: the backend is healthy; calls pass through.
+	StateClosed = iota
+	// StateOpen: consecutive timeouts tripped the breaker; calls are
+	// refused until the cooldown elapses.
+	StateOpen
+	// StateHalfOpen: the cooldown elapsed; exactly one probe call is let
+	// through to test whether the backend recovered.
+	StateHalfOpen
+)
+
+// StateName returns the stable metric-label name of a breaker state.
+func StateName(s int) string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half_open"
+	}
+	return "unknown"
+}
+
+// Breaker tuning defaults.
+const (
+	// DefaultTripThreshold consecutive timeouts open the breaker.
+	DefaultTripThreshold = 3
+	// DefaultCooldown is how long the breaker stays open before allowing a
+	// half-open probe.
+	DefaultCooldown = 10 * time.Second
+)
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// TripThreshold is the consecutive-timeout count that opens the
+	// breaker (0 = DefaultTripThreshold).
+	TripThreshold int
+	// Cooldown is the open-state duration before a half-open probe
+	// (0 = DefaultCooldown).
+	Cooldown time.Duration
+	// Now is an injectable clock for tests (nil = time.Now).
+	Now func() time.Time
+}
+
+// Breaker is a consecutive-failure circuit breaker guarding one backend
+// (here: the discrete-event simulator). Callers ask Allow before the slow
+// path; on false they take the degraded fallback. After an allowed call
+// they report Success or Timeout. Timeouts are the only failures that
+// count — an invalid request or a client cancellation says nothing about
+// backend health.
+//
+// State machine: TripThreshold consecutive timeouts close→open; after
+// Cooldown, the next Allow transitions open→half-open and admits exactly
+// one probe; the probe's Success closes the breaker, its Timeout re-opens
+// it for another cooldown.
+//
+// All methods are safe for concurrent use. A single mutex (never held
+// across calls out) keeps the transitions atomic; the breaker sits in
+// front of work measured in seconds, so the lock is not a hot path.
+type Breaker struct {
+	mu          sync.Mutex
+	state       int
+	consecutive int
+	openedAt    time.Time
+	probing     bool
+	trips       int64
+	threshold   int
+	cooldown    time.Duration
+	now         func() time.Time
+}
+
+// NewBreaker builds a Breaker with the given tuning.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.TripThreshold <= 0 {
+		cfg.TripThreshold = DefaultTripThreshold
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = DefaultCooldown
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{threshold: cfg.TripThreshold, cooldown: cfg.Cooldown, now: cfg.Now}
+}
+
+// Allow reports whether a call to the guarded backend may proceed. In the
+// open state it returns false until the cooldown elapses, then admits a
+// single half-open probe (concurrent callers during the probe get false).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case StateClosed:
+		return true
+	case StateOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = StateHalfOpen
+		b.probing = true
+		return true
+	case StateHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a call that completed in time, closing the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecutive = 0
+	b.probing = false
+	b.state = StateClosed
+}
+
+// Timeout records a call that exceeded its deadline. At the trip
+// threshold (or on a failed half-open probe) the breaker opens and the
+// cooldown restarts.
+func (b *Breaker) Timeout() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if b.state == StateHalfOpen {
+		// Failed probe: straight back to open for another cooldown.
+		b.state = StateOpen
+		b.openedAt = b.now()
+		b.trips++
+		return
+	}
+	b.consecutive++
+	if b.state == StateClosed && b.consecutive >= b.threshold {
+		b.state = StateOpen
+		b.openedAt = b.now()
+		b.trips++
+	}
+}
+
+// State returns the current breaker state (one of the State* constants).
+// An elapsed cooldown reads as half-open even before the next Allow, so
+// metrics reflect that probes are welcome.
+func (b *Breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

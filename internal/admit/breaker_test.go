@@ -1,0 +1,109 @@
+package admit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{TripThreshold: 3, Cooldown: 10 * time.Second, Now: clk.Now})
+
+	if !b.Allow() {
+		t.Fatal("fresh breaker refuses calls")
+	}
+	// Two timeouts: still closed.
+	b.Timeout()
+	b.Timeout()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after 2 timeouts = %s, want closed", StateName(got))
+	}
+	// Third consecutive timeout trips it.
+	b.Timeout()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after 3 timeouts = %s, want open", StateName(got))
+	}
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call inside the cooldown")
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+
+	// Cooldown elapses → half-open, exactly one probe.
+	clk.Advance(10 * time.Second)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state after cooldown = %s, want half_open", StateName(got))
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	// Probe succeeds → closed, counters reset.
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after successful probe = %s, want closed", StateName(got))
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker refuses calls after recovery")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{TripThreshold: 1, Cooldown: 5 * time.Second, Now: clk.Now})
+	b.Timeout()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %s, want open", StateName(got))
+	}
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Timeout() // failed probe
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %s, want open", StateName(got))
+	}
+	if b.Allow() {
+		t.Fatal("breaker allowed a call right after a failed probe")
+	}
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// Recovery still possible after another cooldown.
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Success()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after recovery = %s, want closed", StateName(got))
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	b := NewBreaker(BreakerConfig{TripThreshold: 3})
+	b.Timeout()
+	b.Timeout()
+	b.Success() // streak broken
+	b.Timeout()
+	b.Timeout()
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %s, want closed (streak was reset)", StateName(got))
+	}
+	b.Timeout()
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %s, want open after 3 consecutive", StateName(got))
+	}
+}
+
+func TestStateName(t *testing.T) {
+	cases := map[int]string{StateClosed: "closed", StateOpen: "open", StateHalfOpen: "half_open", 42: "unknown"}
+	for s, want := range cases {
+		if got := StateName(s); got != want {
+			t.Fatalf("StateName(%d) = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -28,8 +28,11 @@ type Stage int
 
 // The serving-path stages, in pipeline order.
 const (
+	// StageAdmission is the admission-control decision: cost accounting,
+	// queue-depth and deadline-aware shed checks (microseconds by design).
+	StageAdmission Stage = iota
 	// StageQueueWait is time spent waiting for a worker-pool slot.
-	StageQueueWait Stage = iota
+	StageQueueWait
 	// StageCacheLookup is the canonical-key LRU probe.
 	StageCacheLookup
 	// StageProfileResolve is calibrated-profile registry resolution.
@@ -46,7 +49,7 @@ const (
 
 // stageNames are the stable wire/metric names of the stages.
 var stageNames = [NumStages]string{
-	"queue_wait", "cache_lookup", "profile_resolve",
+	"admission", "queue_wait", "cache_lookup", "profile_resolve",
 	"model_solve", "simulate", "plan_search",
 }
 

@@ -50,7 +50,7 @@ func TestValidRequestID(t *testing.T) {
 }
 
 func TestStageString(t *testing.T) {
-	want := []string{"queue_wait", "cache_lookup", "profile_resolve", "model_solve", "simulate", "plan_search"}
+	want := []string{"admission", "queue_wait", "cache_lookup", "profile_resolve", "model_solve", "simulate", "plan_search"}
 	names := StageNames()
 	if len(names) != len(want) {
 		t.Fatalf("StageNames() has %d entries, want %d", len(names), len(want))

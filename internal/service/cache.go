@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 )
 
 // cacheShards is the shard count of the service cache and singleflight
@@ -30,8 +31,15 @@ func shardOf(key string) uint32 {
 // return the stored value directly, so callers must not mutate results.
 // Each shard holds its own mutex, recency list and capacity slice; total
 // capacity is split evenly (rounded up, minimum one entry per shard).
+//
+// A positive ttl ages entries: an expired entry is invisible to get (a
+// miss — the recompute repopulates it) but stays resident until evicted by
+// capacity, so getStale can serve it as a last resort when the pool is too
+// saturated to recompute (the serve-stale degradation mode). ttl zero
+// preserves the historical never-expire behavior exactly.
 type shardedCache struct {
 	shards [cacheShards]lruShard
+	ttl    time.Duration
 }
 
 // lruShard is one independently locked LRU slice of the cache.
@@ -43,22 +51,25 @@ type lruShard struct {
 }
 
 type lruEntry struct {
-	key string
-	val any
+	key      string
+	val      any
+	storedAt time.Time
 }
 
-func newShardedCache(max int) *shardedCache {
+func newShardedCache(max int, ttl time.Duration) *shardedCache {
 	perShard := (max + cacheShards - 1) / cacheShards
 	if perShard < 1 {
 		perShard = 1
 	}
-	c := &shardedCache{}
+	c := &shardedCache{ttl: ttl}
 	for i := range c.shards {
 		c.shards[i] = lruShard{max: perShard, order: list.New(), items: make(map[string]*list.Element)}
 	}
 	return c
 }
 
+// get returns a live entry; expired entries read as misses (but stay
+// resident for getStale).
 func (c *shardedCache) get(key string) (any, bool) {
 	s := &c.shards[shardOf(key)]
 	s.mu.Lock()
@@ -67,7 +78,26 @@ func (c *shardedCache) get(key string) (any, bool) {
 	if !ok {
 		return nil, false
 	}
+	e := el.Value.(*lruEntry)
+	if c.ttl > 0 && time.Since(e.storedAt) > c.ttl {
+		return nil, false
+	}
 	s.order.MoveToFront(el)
+	return e.val, true
+}
+
+// getStale returns an entry regardless of age — the serve-stale fallback
+// for saturation, when an expired answer beats queueing for a recompute.
+// The entry's recency is not refreshed: a stale serve must not keep dead
+// entries pinned against eviction.
+func (c *shardedCache) getStale(key string) (any, bool) {
+	s := &c.shards[shardOf(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
 	return el.Value.(*lruEntry).val, true
 }
 
@@ -77,10 +107,12 @@ func (c *shardedCache) add(key string, val any) {
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
 		s.order.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		e.val = val
+		e.storedAt = time.Now()
 		return
 	}
-	s.items[key] = s.order.PushFront(&lruEntry{key: key, val: val})
+	s.items[key] = s.order.PushFront(&lruEntry{key: key, val: val, storedAt: time.Now()})
 	for s.order.Len() > s.max {
 		tail := s.order.Back()
 		s.order.Remove(tail)

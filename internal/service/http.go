@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"hadoop2perf/internal/admit"
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
 	"hadoop2perf/internal/fault"
@@ -31,7 +32,12 @@ import (
 // ServerConfig tunes the HTTP layer.
 type ServerConfig struct {
 	// Timeout bounds one request's handling, including queueing for a pool
-	// slot (default 30s).
+	// slot. Zero (the default) selects per-kind budgets: 10s for the cheap
+	// model-backed endpoints (predict, compare) and 30s for the expensive
+	// simulator/plan-backed ones (simulate, plan, calibrate). A positive
+	// value applies uniformly to every kind. Either way a client-supplied
+	// budget — the X-Deadline-Ms header or the body's timeoutSec field —
+	// overrides the server default, clamped to 5 minutes.
 	Timeout time.Duration
 	// MaxBodyBytes bounds request bodies (default 1 MiB).
 	MaxBodyBytes int64
@@ -62,7 +68,16 @@ type ServerConfig struct {
 }
 
 const (
-	defaultHTTPTimeout           = 30 * time.Second
+	// defaultCheapTimeout and defaultExpensiveTimeout are the per-kind
+	// handling budgets used when ServerConfig.Timeout is zero: model-backed
+	// endpoints answer in milliseconds and deserve a tight bound; the
+	// simulator and plan sweeps legitimately run for seconds.
+	defaultCheapTimeout     = 10 * time.Second
+	defaultExpensiveTimeout = 30 * time.Second
+	// maxClientDeadline caps client-supplied deadline budgets so one caller
+	// cannot pin a worker slot indefinitely.
+	maxClientDeadline = 5 * time.Minute
+
 	defaultMaxBodyBytes          = 1 << 20
 	defaultCalibrateMaxBodyBytes = 16 << 20
 	defaultSlowRequestThreshold  = 10 * time.Second
@@ -75,11 +90,19 @@ const (
 // case-insensitive on the wire.
 const RequestIDHeader = "X-Request-Id"
 
+// DeadlineHeader carries a client-supplied handling budget in milliseconds.
+// It wins over the body's timeoutSec field and the server default, clamped
+// to maxClientDeadline; the budget rides the request context end to end
+// (pool queueing, cache, model, simulator) and activates the admission
+// controller's deadline-aware shedding.
+const DeadlineHeader = "X-Deadline-Ms"
+
 // Route patterns of the mrserved HTTP API, in registration order. NewHandler
 // registers exactly these; Routes exposes the list so docs-coverage tests
 // can hold docs/API.md to it.
 const (
 	routeHealthz   = "GET /healthz"
+	routeReadyz    = "GET /readyz"
 	routeMetrics   = "GET /v1/metrics"
 	routeProfiles  = "GET /v1/profiles"
 	routePredict   = "POST /v1/predict"
@@ -94,14 +117,15 @@ const (
 // coverage tests binding the two.
 func Routes() []string {
 	return []string{
-		routeHealthz, routeMetrics, routeProfiles,
+		routeHealthz, routeReadyz, routeMetrics, routeProfiles,
 		routePredict, routeSimulate, routeCompare, routePlan, routeCalibrate,
 	}
 }
 
 // NewHandler builds the mrserved HTTP API over a Service:
 //
-//	GET  /healthz      — liveness
+//	GET  /healthz      — liveness (answers as long as the process serves)
+//	GET  /readyz       — readiness: 503 while draining or overloaded
 //	GET  /v1/metrics   — service counters: Prometheus text exposition by
 //	                     default, JSON under Accept: application/json
 //	GET  /v1/profiles  — live calibrated profiles (name, version, expiry)
@@ -114,7 +138,7 @@ func Routes() []string {
 // docs/API.md is the complete wire reference.
 func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 	cfg.applyDefaults()
-	var h http.Handler = newMux(s, cfg)
+	var h http.Handler = recoverMiddleware(cfg, newMux(s, cfg))
 	if cfg.RateLimit > 0 {
 		burst := cfg.RateBurst
 		if burst <= 0 {
@@ -125,11 +149,10 @@ func NewHandler(s *Service, cfg ServerConfig) http.Handler {
 	return traceMiddleware(s, cfg, h)
 }
 
-// applyDefaults fills the zero ServerConfig fields.
+// applyDefaults fills the zero ServerConfig fields. Timeout deliberately
+// keeps its zero value: zero selects the per-kind defaults at endpoint
+// construction (see effectiveTimeout).
 func (cfg *ServerConfig) applyDefaults() {
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = defaultHTTPTimeout
-	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = defaultMaxBodyBytes
 	}
@@ -156,6 +179,16 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 			UptimeSeconds: time.Since(started).Seconds(),
 		})
 	})
+	mux.HandleFunc(routeReadyz, func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case s.Draining():
+			writeJSON(w, r, http.StatusServiceUnavailable, readyWire{Status: "draining"})
+		case s.Overloaded():
+			writeJSON(w, r, http.StatusServiceUnavailable, readyWire{Status: "overloaded"})
+		default:
+			writeJSON(w, r, http.StatusOK, readyWire{Status: "ready"})
+		}
+	})
 	mux.HandleFunc(routeMetrics, func(w http.ResponseWriter, r *http.Request) {
 		m := s.Metrics()
 		if wantsJSON(r.Header.Get("Accept")) {
@@ -169,7 +202,7 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 	mux.HandleFunc(routeProfiles, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, r, http.StatusOK, profilesWire{Profiles: s.Profiles()})
 	})
-	mux.HandleFunc(routePredict, jsonEndpoint(cfg, func(ctx context.Context, req predictWire) (any, error) {
+	mux.HandleFunc(routePredict, jsonEndpoint(s, cfg, admit.ClassCheap, func(ctx context.Context, req predictWire) (any, error) {
 		pr, err := req.toRequest()
 		if err != nil {
 			return nil, err
@@ -185,6 +218,7 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 			Converged:       resp.Prediction.Converged,
 			Estimator:       pr.Estimator,
 			Cached:          resp.Cached,
+			Stale:           resp.Stale,
 			Profile:         resp.Profile,
 			ProfileVersion:  resp.ProfileVersion,
 			Workflow:        resp.Workflow,
@@ -192,7 +226,7 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 	}))
 	calCfg := cfg
 	calCfg.MaxBodyBytes = cfg.CalibrateMaxBodyBytes
-	mux.HandleFunc(routeCalibrate, jsonEndpoint(calCfg, func(ctx context.Context, req calibrateWire) (any, error) {
+	mux.HandleFunc(routeCalibrate, jsonEndpoint(s, calCfg, admit.ClassExpensive, func(ctx context.Context, req calibrateWire) (any, error) {
 		cr, err := req.toRequest()
 		if err != nil {
 			return nil, err
@@ -206,7 +240,7 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 			Classes: classWire(resp.Classes),
 		}, nil
 	}))
-	mux.HandleFunc(routeSimulate, jsonEndpoint(cfg, func(ctx context.Context, req simulateWire) (any, error) {
+	mux.HandleFunc(routeSimulate, jsonEndpoint(s, cfg, admit.ClassExpensive, func(ctx context.Context, req simulateWire) (any, error) {
 		sr, err := req.toRequest()
 		if err != nil {
 			return nil, err
@@ -223,20 +257,22 @@ func newMux(s *Service, cfg ServerConfig) *http.ServeMux {
 			FailedSeeds:  resp.FailedSeeds,
 			Faults:       resp.Result.Faults,
 			Cached:       resp.Cached,
+			Degraded:     resp.Degraded,
+			Stale:        resp.Stale,
 		}
 		for _, j := range resp.Result.Jobs {
 			out.Jobs = append(out.Jobs, simJobWire{ID: j.JobID, Response: j.Response})
 		}
 		return out, nil
 	}))
-	mux.HandleFunc(routeCompare, jsonEndpoint(cfg, func(ctx context.Context, req compareWire) (any, error) {
+	mux.HandleFunc(routeCompare, jsonEndpoint(s, cfg, admit.ClassCheap, func(ctx context.Context, req compareWire) (any, error) {
 		cr, err := req.toRequest()
 		if err != nil {
 			return nil, err
 		}
 		return s.Compare(ctx, cr)
 	}))
-	mux.HandleFunc(routePlan, jsonEndpoint(cfg, func(ctx context.Context, req planWire) (any, error) {
+	mux.HandleFunc(routePlan, jsonEndpoint(s, cfg, admit.ClassExpensive, func(ctx context.Context, req planWire) (any, error) {
 		pr, err := req.toRequest()
 		if err != nil {
 			return nil, err
@@ -257,6 +293,14 @@ type healthWire struct {
 	GoVersion string `json:"goVersion"`
 	// UptimeSeconds is the age of this handler (seconds since NewHandler).
 	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// readyWire is the GET /readyz response body. Unlike /healthz (liveness:
+// "is the process serving at all"), readiness answers "should a balancer
+// route new traffic here" — 503 with status "draining" once shutdown drain
+// began, or "overloaded" while the admission queue sits at its bound.
+type readyWire struct {
+	Status string `json:"status"` // "ready", "draining" or "overloaded"
 }
 
 // buildInfo extracts the module version and toolchain from the binary's
@@ -303,7 +347,7 @@ func traceOf(w http.ResponseWriter) *obs.Trace {
 // RequestKinds for the label domain).
 func kindOf(path string) int {
 	switch path {
-	case "/healthz":
+	case "/healthz", "/readyz":
 		return kindHealthz
 	case "/v1/metrics":
 		return kindMetrics
@@ -413,18 +457,98 @@ type validationError struct{ err error }
 
 func (e validationError) Error() string { return e.err.Error() }
 
-// jsonEndpoint wires one POST endpoint: decode, handle under the configured
-// timeout, encode. Validation failures map to 400, timeouts to 504. The
-// request's trace rides the handler context, so the engine's stages and
-// counters (pool → cache → profiles → planner → core) land on it.
-func jsonEndpoint[Req any](cfg ServerConfig, handle func(context.Context, Req) (any, error)) http.HandlerFunc {
+// recoverMiddleware isolates handler panics: one poisoned request logs the
+// stack and answers a structured 500 instead of tearing down the connection
+// (and, under http.Server, noisily killing its goroutine). http.ErrAbortHandler
+// re-panics — it is the sanctioned way to abort a response mid-stream.
+func recoverMiddleware(cfg ServerConfig, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			if cfg.AccessLog != nil {
+				cfg.AccessLog.Error("handler panic",
+					"requestId", traceOf(w).RequestID(),
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()))
+			}
+			writeError(w, r, http.StatusInternalServerError, errors.New("internal error"))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// deadlineFields is embedded in every POST wire type: an optional
+// client-supplied handling budget in seconds, riding the body for clients
+// that cannot set headers. The X-Deadline-Ms header wins when both are set.
+type deadlineFields struct {
+	TimeoutSec float64 `json:"timeoutSec,omitempty"`
+}
+
+// clientTimeoutSec exposes the budget to jsonEndpoint through a plain
+// interface, keeping the generic code free of per-wire-type switches.
+func (d deadlineFields) clientTimeoutSec() float64 { return d.TimeoutSec }
+
+// clientBudget extracts the request's deadline budget: the X-Deadline-Ms
+// header when present (wins), else the body's timeoutSec field. Zero means
+// "no client budget" (the server default applies); negative or malformed
+// values are client errors.
+func clientBudget(r *http.Request, req any) (time.Duration, error) {
+	if h := r.Header.Get(DeadlineHeader); h != "" {
+		ms, err := strconv.ParseFloat(h, 64)
+		if err != nil || ms <= 0 {
+			return 0, validationError{fmt.Errorf("%s: want a positive millisecond count, got %q", DeadlineHeader, h)}
+		}
+		return time.Duration(ms * float64(time.Millisecond)), nil
+	}
+	if cb, ok := req.(interface{ clientTimeoutSec() float64 }); ok {
+		switch sec := cb.clientTimeoutSec(); {
+		case sec > 0:
+			return time.Duration(sec * float64(time.Second)), nil
+		case sec < 0:
+			return 0, validationError{fmt.Errorf("timeoutSec must be positive, got %g", sec)}
+		}
+	}
+	return 0, nil
+}
+
+// effectiveTimeout resolves one request's handling budget: a client budget
+// wins (clamped to maxClientDeadline), then a configured uniform Timeout,
+// then the request class's default.
+func effectiveTimeout(cfg ServerConfig, class admit.Class, budget time.Duration) time.Duration {
+	if budget > 0 {
+		if budget > maxClientDeadline {
+			budget = maxClientDeadline
+		}
+		return budget
+	}
+	if cfg.Timeout > 0 {
+		return cfg.Timeout
+	}
+	if class == admit.ClassCheap {
+		return defaultCheapTimeout
+	}
+	return defaultExpensiveTimeout
+}
+
+// jsonEndpoint wires one POST endpoint: decode, resolve the deadline
+// budget, pass admission, handle, encode. Validation failures map to 400,
+// shed admissions to 503 with Retry-After, timeouts to 504. The request's
+// trace rides the handler context, so the engine's stages and counters
+// (admission → pool → cache → profiles → planner → core) land on it.
+func jsonEndpoint[Req any](s *Service, cfg ServerConfig, class admit.Class, handle func(context.Context, Req) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		ctx := r.Context()
 		if tr := traceOf(w); tr != nil {
 			ctx = obs.WithTrace(ctx, tr)
 		}
-		ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
-		defer cancel()
 		var req Req
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, cfg.MaxBodyBytes))
 		dec.DisallowUnknownFields()
@@ -432,6 +556,21 @@ func jsonEndpoint[Req any](cfg ServerConfig, handle func(context.Context, Req) (
 			writeError(w, r, http.StatusBadRequest, fmt.Errorf("decode request: %w", err))
 			return
 		}
+		budget, err := clientBudget(r, req)
+		if err != nil {
+			writeError(w, r, http.StatusBadRequest, err)
+			return
+		}
+		ctx, cancel := context.WithTimeout(ctx, effectiveTimeout(cfg, class, budget))
+		defer cancel()
+		admitStart := time.Now()
+		ticket, err := s.admission.Admit(ctx, class)
+		s.endSpan(obs.FromContext(ctx), obs.StageAdmission, admitStart)
+		if err != nil {
+			writeError(w, r, http.StatusServiceUnavailable, err)
+			return
+		}
+		defer ticket.Done()
 		out, err := handle(ctx, req)
 		if err != nil {
 			// Client faults (malformed wire input, rejected validation) map
@@ -540,9 +679,43 @@ func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	_, _ = w.Write(out.Bytes())
 }
 
-// writeError renders one error body ({"requestId": ..., "error": ...}).
+// errorWire is the structured error envelope: every error response carries
+// "error" (and "requestId" via writeJSON's splice); retryable rejections
+// (429, 503, 504) also carry the machine-readable shed reason and the
+// Retry-After hint mirrored into the body, so clients behind proxies that
+// strip headers still see it.
+type errorWire struct {
+	Error string `json:"error"`
+	// Reason is the admission shed reason ("queue_full", "deadline",
+	// "draining") when the rejection came from the admission controller.
+	Reason string `json:"reason,omitempty"`
+	// RetryAfterSec mirrors the Retry-After response header.
+	RetryAfterSec int `json:"retryAfterSec,omitempty"`
+}
+
+// writeError renders one structured error body, attaching Retry-After to
+// every retryable status (429/503/504; a default of 1s when no layer
+// supplied a better estimate) and the shed reason for admission rejections.
 func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
-	writeJSON(w, r, status, map[string]string{"error": err.Error()})
+	body := errorWire{Error: err.Error()}
+	if se, ok := admit.IsShed(err); ok {
+		body.Reason = se.Reason
+		secs := int(math.Ceil(se.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	switch status {
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
+		if secs, convErr := strconv.Atoi(w.Header().Get("Retry-After")); convErr == nil {
+			body.RetryAfterSec = secs
+		}
+	}
+	writeJSON(w, r, status, body)
 }
 
 // clusterWire selects a cluster: the calibrated default scaled to "nodes", a
@@ -613,6 +786,7 @@ func (j jobWire) job() (workload.Job, error) {
 }
 
 type predictWire struct {
+	deadlineFields
 	Cluster   clusterWire    `json:"cluster"`
 	Job       jobWire        `json:"job"`
 	NumJobs   int            `json:"numJobs,omitempty"`
@@ -706,6 +880,9 @@ type predictResultWire struct {
 	Converged       bool           `json:"converged"`
 	Estimator       core.Estimator `json:"estimator"`
 	Cached          bool           `json:"cached"`
+	// Stale marks an expired cache entry served under pool saturation
+	// (absent in healthy operation — fault-free bodies stay byte-identical).
+	Stale bool `json:"stale,omitempty"`
 	// Profile/ProfileVersion echo the calibrated profile snapshot that
 	// seeded this prediction (absent for profile-less requests).
 	Profile        string `json:"profile,omitempty"`
@@ -717,6 +894,7 @@ type predictResultWire struct {
 }
 
 type simulateWire struct {
+	deadlineFields
 	Cluster clusterWire `json:"cluster"`
 	Job     jobWire     `json:"job"`
 	// NumJobs submits that many identical copies of Job at t = 0.
@@ -782,9 +960,16 @@ type simulateResultWire struct {
 	// for fault-free runs).
 	Faults *mrsim.FaultStats `json:"faults,omitempty"`
 	Cached bool              `json:"cached"`
+	// Degraded marks a model-only synthesis served while the simulator
+	// circuit breaker was open; Stale an expired cache entry served under
+	// pool saturation. Both absent in healthy operation, keeping fault-free
+	// responses byte-identical.
+	Degraded bool `json:"degraded,omitempty"`
+	Stale    bool `json:"stale,omitempty"` // see Degraded
 }
 
 type compareWire struct {
+	deadlineFields
 	Cluster clusterWire `json:"cluster"`
 	Job     jobWire     `json:"job"`
 	NumJobs int         `json:"numJobs,omitempty"`
@@ -812,6 +997,7 @@ func (c compareWire) toRequest() (CompareRequest, error) {
 }
 
 type planWire struct {
+	deadlineFields
 	Cluster      clusterWire    `json:"cluster"`
 	Job          jobWire        `json:"job"`
 	NumJobs      int            `json:"numJobs,omitempty"`
@@ -874,6 +1060,7 @@ func (p planWire) toRequest() (PlanRequest, error) {
 // controls. The trace is decoded and validated by trace.Read, so a calibrate
 // body gets exactly the sanity checks a trace file does.
 type calibrateWire struct {
+	deadlineFields
 	// Name registers (or replaces) the profile under this reference key.
 	Name string `json:"name"`
 	// Trace is a trace.Document: {"version": 1, "result": {...}}.

@@ -54,6 +54,18 @@ func writePrometheus(w io.Writer, m Metrics) error {
 		{"mrserved_warm_predictions_total", "Computed predictions seeded from a retained warm-start neighbor.", "counter", "", float64(m.WarmPredictions)},
 		{"mrserved_workflow_requests_total", "Predict/plan requests that carried a workflow block (also counted in their kind).", "counter", "", float64(m.WorkflowRequests)},
 		{"mrserved_rate_limited_total", "Requests rejected with 429 by the per-client token-bucket limiter.", "counter", "", float64(m.RateLimited)},
+		{"mrserved_admission_queued_cost", "Outstanding admitted cost units (queued + executing) in the admission controller.", "gauge", "", float64(m.Admission.QueuedCost)},
+		{"mrserved_admission_queue_limit", "Admission bound in cost units; reaching it sheds with queue_full.", "gauge", "", float64(m.Admission.MaxQueueCost)},
+		{"mrserved_admission_est_wait_seconds", "Estimated queue wait for a newly admitted request at the observed per-unit service time.", "gauge", "", m.Admission.EstWaitSeconds},
+		{"mrserved_admission_admitted_total", "Requests admitted past the controller, by cost class.", "counter", `class="cheap"`, float64(m.Admission.AdmittedCheap)},
+		{"mrserved_admission_admitted_total", "", "", `class="expensive"`, float64(m.Admission.AdmittedExpensive)},
+		{"mrserved_admission_shed_total", "Requests shed with a structured 503, by reason.", "counter", `reason="queue_full"`, float64(m.Admission.ShedQueueFull)},
+		{"mrserved_admission_shed_total", "", "", `reason="deadline"`, float64(m.Admission.ShedDeadline)},
+		{"mrserved_admission_shed_total", "", "", `reason="draining"`, float64(m.Admission.ShedDraining)},
+		{"mrserved_breaker_state", "Simulator circuit breaker state: 0 closed, 1 open, 2 half-open.", "gauge", "", float64(m.BreakerStateCode)},
+		{"mrserved_breaker_trips_total", "Closed-to-open transitions of the simulator circuit breaker.", "counter", "", float64(m.BreakerTrips)},
+		{"mrserved_degraded_responses_total", "Simulator-backed answers served from the model-only fallback while the breaker was open.", "counter", "", float64(m.DegradedResponses)},
+		{"mrserved_stale_served_total", "Expired cache entries served under worker-pool saturation (serve-stale mode).", "counter", "", float64(m.StaleServed)},
 	}
 	seen := ""
 	for _, mt := range metrics {

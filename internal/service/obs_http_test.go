@@ -267,12 +267,12 @@ func TestRateLimited429Logging(t *testing.T) {
 	if w.Code != http.StatusTooManyRequests {
 		t.Fatalf("second request code = %d, want 429", w.Code)
 	}
-	var out map[string]string
+	var out map[string]any
 	if err := json.NewDecoder(w.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
 	if out["requestId"] != "shed-load-911" {
-		t.Errorf("429 body requestId = %q", out["requestId"])
+		t.Errorf("429 body requestId = %v", out["requestId"])
 	}
 	if got := w.Header().Get(RequestIDHeader); got != "shed-load-911" {
 		t.Errorf("429 header requestId = %q", got)

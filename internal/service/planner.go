@@ -227,6 +227,12 @@ type PlanCandidate struct {
 	Feasible bool `json:"feasible"`
 	// Cached reports whether this candidate was served from the cache.
 	Cached bool `json:"cached"`
+	// Degraded reports a simulator-backed candidate that fell back to the
+	// model while the circuit breaker was open (see
+	// SimulateResponse.Degraded); Stale an expired cache entry served under
+	// pool saturation. Both absent on healthy evaluations.
+	Degraded bool `json:"degraded,omitempty"`
+	Stale    bool `json:"stale,omitempty"` // see Degraded
 	// Err is set when this candidate failed to evaluate (the rest of the
 	// grid still completes).
 	Err string `json:"err,omitempty"`
@@ -259,6 +265,29 @@ type PlanResponse struct {
 	Pruned int `json:"pruned,omitempty"`
 	// Strategy reports how the plan was evaluated: "grid" or "search".
 	Strategy string `json:"strategy"`
+	// DeadlineExceeded reports a plan whose time budget expired mid-sweep:
+	// the response carries the candidates evaluated before the deadline
+	// (partial but honest — every listed candidate is real) instead of an
+	// opaque 504. Unevaluated grid points simply carry Err. Absent when the
+	// plan completed.
+	DeadlineExceeded bool `json:"deadlineExceeded,omitempty"`
+}
+
+// partialOnDeadline converts a deadline expiry after the fan-out into a
+// partial response: when at least one candidate evaluated, the plan returns
+// what it has with DeadlineExceeded set rather than discarding paid-for
+// work behind a 504. Cancellation (a gone client) and a deadline that beat
+// every candidate still propagate as errors.
+func partialOnDeadline(ctx context.Context, resp PlanResponse) (PlanResponse, error) {
+	err := ctx.Err()
+	if err == nil {
+		return resp, nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) && resp.Evaluated > 0 {
+		resp.DeadlineExceeded = true
+		return resp, nil
+	}
+	return PlanResponse{}, err
 }
 
 // axis returns the grid values for one dimension, defaulting to the
@@ -376,14 +405,11 @@ func (s *Service) Plan(ctx context.Context, req PlanRequest) (PlanResponse, erro
 		}(&cands[i])
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return PlanResponse{}, err
-	}
 	obs.FromContext(ctx).AddCounter(obs.CounterPlanCandidates, int64(len(cands)))
 
 	resp := PlanResponse{Candidates: cands, Strategy: StrategyGrid}
 	finalizePlan(&resp, &req)
-	return resp, nil
+	return partialOnDeadline(ctx, resp)
 }
 
 // candidateSpec derives one grid point's cluster: a class mix rebuilds the
@@ -438,6 +464,7 @@ func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCan
 		}
 		c.ResponseTime = pr.Prediction.ResponseTime
 		c.Cached = pr.Cached
+		c.Stale = pr.Stale
 		return
 	}
 
@@ -468,6 +495,8 @@ func (s *Service) evalCandidate(ctx context.Context, req PlanRequest, c *PlanCan
 	}
 	c.FailedSeeds = sr.FailedSeeds
 	c.Cached = sr.Cached
+	c.Degraded = sr.Degraded
+	c.Stale = sr.Stale
 }
 
 // sortCandidates ranks the grid best-first. Failed candidates sink to the

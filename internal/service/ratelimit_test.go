@@ -148,7 +148,7 @@ func TestRateLimitMiddleware(t *testing.T) {
 	if ra, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || ra < 1 {
 		t.Errorf("Retry-After = %q", w.Header().Get("Retry-After"))
 	}
-	var errBody map[string]string
+	var errBody map[string]any
 	if err := json.NewDecoder(w.Body).Decode(&errBody); err != nil || errBody["error"] == "" {
 		t.Errorf("429 body = %v (%v)", errBody, err)
 	}

@@ -398,9 +398,6 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 		}(ci)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return PlanResponse{}, err
-	}
 
 	// Per-combo predict counts on the trace: how many node-axis points each
 	// block×reducer×policy combo actually evaluated (vs pruned) — the
@@ -426,7 +423,7 @@ func (s *Service) planSearch(ctx context.Context, req PlanRequest, choices []nod
 		resp.Pruned += out.pruned
 	}
 	finalizePlan(&resp, &req)
-	return resp, nil
+	return partialOnDeadline(ctx, resp)
 }
 
 // finalizePlan computes the derived candidate fields, ranks the grid and

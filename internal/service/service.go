@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"hadoop2perf/internal/admit"
 	"hadoop2perf/internal/cluster"
 	"hadoop2perf/internal/core"
 	"hadoop2perf/internal/fault"
@@ -75,6 +76,22 @@ type Options struct {
 	// MaxProfiles bounds the calibrated-profile registry population
 	// (default DefaultMaxProfiles).
 	MaxProfiles int
+	// CacheTTL ages response-cache entries: an entry older than CacheTTL
+	// reads as a miss (and is recomputed), but stays resident so the
+	// serve-stale degradation path can fall back to it when the worker pool
+	// is saturated. Zero (the default) never expires entries — the
+	// historical behavior.
+	CacheTTL time.Duration
+	// AdmitMaxQueueCost bounds the admission controller's outstanding
+	// admitted cost (default Workers × admit.DefaultQueueFactor). Requests
+	// beyond the bound are shed with a structured 503.
+	AdmitMaxQueueCost int
+	// BreakerThreshold is the consecutive-timeout count that trips the
+	// simulator circuit breaker (default admit.DefaultTripThreshold);
+	// BreakerCooldown how long it stays open before a half-open probe
+	// (default admit.DefaultCooldown).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration // see BreakerThreshold
 }
 
 func (o *Options) applyDefaults() {
@@ -164,6 +181,26 @@ type Metrics struct {
 	// fault-free traffic.
 	SimFaultsInjected  int64 `json:"simFaultsInjected"`
 	SimTasksReexecuted int64 `json:"simTasksReexecuted"` // see SimFaultsInjected
+	// Admission is the admission controller's live snapshot: outstanding
+	// admitted cost, the queue bound, the current wait estimate and the
+	// per-class admitted / per-reason shed totals.
+	Admission admit.Snapshot `json:"admission"`
+	// BreakerState names the simulator circuit breaker's current state
+	// ("closed", "open", "half_open"); BreakerStateCode is its numeric twin
+	// (0/1/2) for the mrserved_breaker_state gauge; BreakerTrips counts
+	// closed→open transitions since start.
+	BreakerState     string `json:"breakerState"`
+	BreakerStateCode int    `json:"breakerStateCode"` // see BreakerState
+	BreakerTrips     int64  `json:"breakerTrips"`     // see BreakerState
+	// DegradedResponses counts simulator-backed answers served from the
+	// model-only fallback while the breaker was open; StaleServed counts
+	// expired cache entries served under pool saturation. Both stay 0 in
+	// healthy operation.
+	DegradedResponses int64 `json:"degradedResponses"`
+	StaleServed       int64 `json:"staleServed"` // see DegradedResponses
+	// Draining reports whether the service has begun shutdown drain (new
+	// work is shed, in-flight work finishes).
+	Draining bool `json:"draining"`
 	// RequestDurations and StageDurations are the JSON twins of the
 	// mrserved_request_duration_seconds and mrserved_stage_duration_seconds
 	// Prometheus families: cumulative fixed-bucket latency histograms keyed
@@ -193,6 +230,11 @@ type Service struct {
 	// once in New and read-only afterwards, so recording needs no locks.
 	reqHist   [numKinds]*obs.Histogram
 	stageHist [obs.NumStages]*obs.Histogram
+	// admission is the bounded cost-classed admission controller fronting
+	// the worker pool; breaker the consecutive-timeout circuit breaker
+	// guarding simulator-backed paths.
+	admission *admit.Controller
+	breaker   *admit.Breaker
 
 	predictReqs   atomic.Int64
 	simulateReqs  atomic.Int64
@@ -210,6 +252,8 @@ type Service struct {
 	simFaults     atomic.Int64
 	simReexec     atomic.Int64
 	workflowReqs  atomic.Int64
+	degradedResps atomic.Int64
+	staleServed   atomic.Int64
 }
 
 // Request-kind indices into the request-duration histograms, aligned with
@@ -243,10 +287,18 @@ func New(opts Options) *Service {
 	s := &Service{
 		opts:       opts,
 		sem:        make(chan struct{}, opts.Workers),
-		cache:      newShardedCache(opts.CacheSize),
+		cache:      newShardedCache(opts.CacheSize, opts.CacheTTL),
 		flight:     newShardedFlight(),
 		profiles:   newProfileRegistry(opts.MaxProfiles, opts.ProfileTTL),
 		predictors: sync.Pool{New: func() any { return core.NewPredictor() }},
+		admission: admit.NewController(admit.Config{
+			Capacity:     opts.Workers,
+			MaxQueueCost: opts.AdmitMaxQueueCost,
+		}),
+		breaker: admit.NewBreaker(admit.BreakerConfig{
+			TripThreshold: opts.BreakerThreshold,
+			Cooldown:      opts.BreakerCooldown,
+		}),
 	}
 	for i := range s.reqHist {
 		s.reqHist[i] = obs.NewHistogram(obs.DefaultLatencyBuckets())
@@ -300,9 +352,17 @@ func (s *Service) Metrics() Metrics {
 		SimFaultsInjected:    s.simFaults.Load(),
 		SimTasksReexecuted:   s.simReexec.Load(),
 
+		Admission:         s.admission.Snapshot(),
+		BreakerTrips:      s.breaker.Trips(),
+		DegradedResponses: s.degradedResps.Load(),
+		StaleServed:       s.staleServed.Load(),
+		Draining:          s.admission.Draining(),
+
 		RequestDurations: make(map[string]obs.HistogramSnapshot, numKinds),
 		StageDurations:   make(map[string]obs.HistogramSnapshot, obs.NumStages),
 	}
+	m.BreakerStateCode = s.breaker.State()
+	m.BreakerState = admit.StateName(m.BreakerStateCode)
 	if tot := m.CacheHits + m.CacheMisses; tot > 0 {
 		m.HitRate = float64(m.CacheHits) / float64(tot)
 	}
@@ -338,12 +398,44 @@ func (s *Service) acquire(ctx context.Context) error {
 
 func (s *Service) release() { <-s.sem }
 
+// saturated reports whether every worker-pool slot is busy right now — the
+// trigger for the serve-stale cache fallback.
+func (s *Service) saturated() bool { return len(s.sem) == cap(s.sem) }
+
+// Admission exposes the service's admission controller so transports can
+// make shed decisions before decoding bodies and lifecycle code can drain.
+func (s *Service) Admission() *admit.Controller { return s.admission }
+
+// StartDrain begins shutdown drain: every subsequent admission is shed with
+// a draining 503 and Draining/readiness flips, while in-flight requests run
+// to completion. Irreversible by design — drain precedes process exit.
+func (s *Service) StartDrain() { s.admission.StartDrain() }
+
+// Draining reports whether StartDrain was called.
+func (s *Service) Draining() bool { return s.admission.Draining() }
+
+// Overloaded reports whether the admission queue is at its bound — the
+// not-ready signal for load balancers (see /readyz).
+func (s *Service) Overloaded() bool { return s.admission.Overloaded() }
+
+// errBreakerOpen aborts a simulator compute when the circuit breaker
+// refuses the call; callers catch it and serve the model-only fallback.
+// Raised inside the compute closure (not before the cache lookup) so cache
+// hits keep flowing while the breaker is open.
+var errBreakerOpen = errors.New("service: simulator circuit breaker open")
+
 // cachedCompute serves one request through the LRU + singleflight path:
 // cache hit, or join an in-flight identical computation, or compute and
 // populate the cache. compute is responsible for its own worker-pool usage
 // (acquire/release) so that uninterruptible work can keep its slot past a
 // caller's cancellation.
-func (s *Service) cachedCompute(ctx context.Context, key string, compute func() (any, error)) (any, bool, error) {
+//
+// When entries carry a TTL (Options.CacheTTL > 0) and the worker pool is
+// saturated, an expired-but-resident entry is served immediately with
+// stale=true instead of queueing a recompute — an old answer beats an
+// overloaded queue. Stale serves never happen while the pool has capacity
+// (the entry just recomputes) and never with TTL zero.
+func (s *Service) cachedCompute(ctx context.Context, key string, compute func() (any, error)) (v any, cached, stale bool, err error) {
 	tr := obs.FromContext(ctx)
 	lookupStart := time.Now()
 	v, ok := s.cache.get(key)
@@ -351,7 +443,15 @@ func (s *Service) cachedCompute(ctx context.Context, key string, compute func() 
 	if ok {
 		s.hits.Add(1)
 		tr.AddCounter(obs.CounterCacheHits, 1)
-		return v, true, nil
+		return v, true, false, nil
+	}
+	if s.opts.CacheTTL > 0 && s.saturated() {
+		if v, ok := s.cache.getStale(key); ok {
+			s.staleServed.Add(1)
+			s.hits.Add(1)
+			tr.AddCounter(obs.CounterCacheHits, 1)
+			return v, true, true, nil
+		}
 	}
 	// The leader rechecks the cache before computing: it may have lost a
 	// race with a previous leader that populated the entry between this
@@ -370,7 +470,7 @@ func (s *Service) cachedCompute(ctx context.Context, key string, compute func() 
 		return v, nil
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
 	if shared || fromCache {
 		s.hits.Add(1)
@@ -379,7 +479,7 @@ func (s *Service) cachedCompute(ctx context.Context, key string, compute func() 
 		s.misses.Add(1)
 		tr.AddCounter(obs.CounterCacheMisses, 1)
 	}
-	return v, shared || fromCache, nil
+	return v, shared || fromCache, false, nil
 }
 
 // PredictRequest asks for one analytic model evaluation.
@@ -446,6 +546,10 @@ type PredictResponse struct {
 	// Cached reports whether the response was served without a fresh model
 	// run (LRU hit or shared in-flight computation).
 	Cached bool
+	// Stale reports that the answer came from an expired cache entry served
+	// under pool saturation (see Options.CacheTTL); always false in healthy
+	// operation.
+	Stale bool
 	// Profile and ProfileVersion identify the calibrated profile snapshot
 	// that seeded the model (empty/0 when the request named none).
 	Profile        string
@@ -507,7 +611,7 @@ func (s *Service) predictEval(ctx context.Context, req PredictRequest, chain *co
 	if err := s.resolveProfile(ctx, req.Profile, &req.resolved); err != nil {
 		return PredictResponse{}, err
 	}
-	v, cached, err := s.cachedCompute(ctx, predictKey(req), func() (any, error) {
+	v, cached, stale, err := s.cachedCompute(ctx, predictKey(req), func() (any, error) {
 		if err := s.acquire(ctx); err != nil {
 			return nil, err
 		}
@@ -550,7 +654,7 @@ func (s *Service) predictEval(ctx context.Context, req PredictRequest, chain *co
 	if err != nil {
 		return PredictResponse{}, err
 	}
-	out := PredictResponse{Prediction: v.(core.Prediction), Cached: cached}
+	out := PredictResponse{Prediction: v.(core.Prediction), Cached: cached, Stale: stale}
 	if req.resolved != nil {
 		out.Profile = req.resolved.info.Name
 		out.ProfileVersion = req.resolved.info.Version
@@ -726,6 +830,14 @@ type SimulateResponse struct {
 	FailedSeeds int
 	// Cached reports whether the response was served without a fresh run.
 	Cached bool
+	// Degraded reports that the simulator circuit breaker was open and the
+	// response was synthesized from the analytic model instead of simulated:
+	// Result carries the model's response time per job, Events is 0 and all
+	// quantiles coincide. Degraded responses are never cached.
+	Degraded bool
+	// Stale reports an expired cache entry served under pool saturation
+	// (see Options.CacheTTL).
+	Stale bool
 }
 
 // Simulate runs (or recalls) a batch of consecutively seeded cluster
@@ -739,18 +851,65 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) (SimulateRe
 }
 
 // simulate is Simulate without the API-call counter (see predict).
+//
+// The circuit breaker gates the compute closure, not the cache: cached
+// results keep flowing while the breaker is open (they cost nothing and
+// can't time out), and the single half-open probe is a real simulator run
+// rather than a cache hit that would report a misleading Success. When the
+// breaker refuses, the response degrades to a model-only synthesis flagged
+// Degraded — and is never cached, since the compute aborted with an error.
 func (s *Service) simulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
 	if err := req.validate(s.opts.SimReps); err != nil {
 		return SimulateResponse{}, invalid(err)
 	}
-	v, cached, err := s.cachedCompute(ctx, simulateKey(req), func() (any, error) {
-		return s.runSim(ctx, req)
+	v, cached, stale, err := s.cachedCompute(ctx, simulateKey(req), func() (any, error) {
+		if !s.breaker.Allow() {
+			return nil, errBreakerOpen
+		}
+		o, err := s.runSim(ctx, req)
+		switch {
+		case err == nil:
+			s.breaker.Success()
+		case errors.Is(err, context.DeadlineExceeded):
+			s.breaker.Timeout()
+		}
+		return o, err
 	})
+	if errors.Is(err, errBreakerOpen) {
+		return s.degradedSimulate(ctx, req)
+	}
 	if err != nil {
 		return SimulateResponse{}, err
 	}
 	o := v.(simOutcome)
-	return SimulateResponse{Result: o.median, Quantiles: o.quantiles, FailedSeeds: o.failed, Cached: cached}, nil
+	return SimulateResponse{Result: o.median, Quantiles: o.quantiles, FailedSeeds: o.failed, Cached: cached, Stale: stale}, nil
+}
+
+// degradedSimulate synthesizes a SimulateResponse from the analytic model
+// while the simulator breaker is open: the model predicts the mean response
+// of the closed network of len(Jobs) concurrent copies of the first job, and
+// every per-job response (and all quantiles) carries that estimate. The
+// shape is honest about its provenance — Events is 0, Degraded is true —
+// and the result bypasses the cache entirely.
+func (s *Service) degradedSimulate(ctx context.Context, req SimulateRequest) (SimulateResponse, error) {
+	s.degradedResps.Add(1)
+	pred, err := s.predict(ctx, PredictRequest{
+		Spec: req.Spec, Job: req.Jobs[0], NumJobs: len(req.Jobs),
+		Faults: req.Faults,
+	})
+	if err != nil {
+		return SimulateResponse{}, err
+	}
+	rt := pred.Prediction.ResponseTime
+	res := mrsim.Result{Jobs: make([]mrsim.JobResult, len(req.Jobs)), Makespan: rt}
+	for i := range res.Jobs {
+		res.Jobs[i] = mrsim.JobResult{JobID: i, Response: rt, End: rt}
+	}
+	return SimulateResponse{
+		Result:    res,
+		Quantiles: SimQuantiles{P50: rt, P95: rt, P99: rt},
+		Degraded:  true,
+	}, nil
 }
 
 // runSim executes the seeded simulation batch under a worker-pool slot,
@@ -859,11 +1018,25 @@ type CompareResponse struct {
 	TripathiErr float64 // see ForkJoin
 	// Cached reports whether the comparison was served without computing.
 	Cached bool
+	// Degraded reports that the simulator breaker was open, so "Simulated"
+	// is itself a model synthesis (see SimulateResponse.Degraded) and the
+	// error columns measure model-vs-model agreement, not accuracy. Wire
+	// tags keep both resilience flags omitted in healthy operation.
+	Degraded bool `json:"Degraded,omitempty"`
+	// Stale reports an expired cache entry served under pool saturation.
+	Stale bool `json:"Stale,omitempty"`
 	// Profile and ProfileVersion identify the calibrated profile snapshot
 	// that seeded the model side (empty/0 when the request named none).
 	Profile        string
 	ProfileVersion int64 // see Profile
 }
+
+// errDegraded carries a degraded CompareResponse out of the compute closure
+// as an error, so cachedCompute never caches it: the next comparison after
+// the breaker closes recomputes against a real simulation.
+type errDegraded struct{ resp CompareResponse }
+
+func (errDegraded) Error() string { return "service: degraded comparison (not cached)" }
 
 // Compare validates both model variants against a simulated execution.
 func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareResponse, error) {
@@ -874,14 +1047,30 @@ func (s *Service) Compare(ctx context.Context, req CompareRequest) (CompareRespo
 	if err := s.resolveProfile(ctx, req.Profile, &req.resolved); err != nil {
 		return CompareResponse{}, err
 	}
-	v, cached, err := s.cachedCompute(ctx, compareKey(req), func() (any, error) {
-		return s.runCompare(ctx, req)
+	v, cached, stale, err := s.cachedCompute(ctx, compareKey(req), func() (any, error) {
+		resp, err := s.runCompare(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Degraded {
+			// Surface the degraded comparison as an error so it skips the
+			// cache; Compare unwraps it below.
+			return nil, errDegraded{resp}
+		}
+		return resp, nil
 	})
-	if err != nil {
+	var out CompareResponse
+	var deg errDegraded
+	switch {
+	case err == nil:
+		out = v.(CompareResponse)
+		out.Cached = cached
+		out.Stale = stale
+	case errors.As(err, &deg):
+		out = deg.resp
+	default:
 		return CompareResponse{}, err
 	}
-	out := v.(CompareResponse)
-	out.Cached = cached
 	if req.resolved != nil {
 		out.Profile = req.resolved.info.Name
 		out.ProfileVersion = req.resolved.info.Version
@@ -941,5 +1130,6 @@ func (s *Service) runCompare(ctx context.Context, req CompareRequest) (CompareRe
 		Tripathi:    tp.ResponseTime,
 		ForkJoinErr: stats.SignedRelError(fj.ResponseTime, measured),
 		TripathiErr: stats.SignedRelError(tp.ResponseTime, measured),
+		Degraded:    sim.Degraded,
 	}, nil
 }

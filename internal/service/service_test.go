@@ -292,7 +292,7 @@ func TestLRUEviction(t *testing.T) {
 		}
 	}
 	a, b, c3 := keys[0], keys[1], keys[2]
-	c := newShardedCache(2 * cacheShards) // two entries per shard
+	c := newShardedCache(2*cacheShards, 0) // two entries per shard
 	c.add(a, 1)
 	c.add(b, 2)
 	if _, ok := c.get(a); !ok { // refresh a
@@ -312,7 +312,7 @@ func TestLRUEviction(t *testing.T) {
 // and hits must keep returning the stored values.
 func TestShardedCacheCapacityAndSpread(t *testing.T) {
 	const max = 64
-	c := newShardedCache(max)
+	c := newShardedCache(max, 0)
 	for i := 0; i < 10*max; i++ {
 		c.add(fmt.Sprintf("key-%d", i), i)
 	}

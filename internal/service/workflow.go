@@ -247,14 +247,14 @@ func (s *Service) workflowEval(ctx context.Context, dag *workflow.DAG, stageReqs
 // workflowEvalCached serves one composed workflow through the cache and
 // singleflight under its workflow-level key (the per-stage evaluations
 // inside keep their own keys either way).
-func (s *Service) workflowEvalCached(ctx context.Context, dag *workflow.DAG, stageReqs []PredictRequest, chain *core.Predictor) (*workflowOutcome, bool, error) {
-	v, cached, err := s.cachedCompute(ctx, workflowPredictKey(dag, stageReqs), func() (any, error) {
+func (s *Service) workflowEvalCached(ctx context.Context, dag *workflow.DAG, stageReqs []PredictRequest, chain *core.Predictor) (*workflowOutcome, bool, bool, error) {
+	v, cached, stale, err := s.cachedCompute(ctx, workflowPredictKey(dag, stageReqs), func() (any, error) {
 		return s.workflowEval(ctx, dag, stageReqs, chain)
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, false, false, err
 	}
-	return v.(*workflowOutcome), cached, nil
+	return v.(*workflowOutcome), cached, stale, nil
 }
 
 // predictWorkflow serves a workflow-bearing Predict request.
@@ -265,12 +265,12 @@ func (s *Service) predictWorkflow(ctx context.Context, req PredictRequest) (Pred
 		return PredictResponse{}, err
 	}
 	chain := s.predictors.Get().(*core.Predictor)
-	o, cached, err := s.workflowEvalCached(ctx, dag, stageReqs, chain)
+	o, cached, stale, err := s.workflowEvalCached(ctx, dag, stageReqs, chain)
 	s.predictors.Put(chain)
 	if err != nil {
 		return PredictResponse{}, err
 	}
-	return PredictResponse{Prediction: o.pred, Cached: cached, Workflow: &o.report}, nil
+	return PredictResponse{Prediction: o.pred, Cached: cached, Stale: stale, Workflow: &o.report}, nil
 }
 
 // planWorkflow serves a workflow-bearing Plan request: the cluster-size
@@ -323,7 +323,7 @@ func (s *Service) planWorkflow(ctx context.Context, req PlanRequest) (PlanRespon
 				return
 			}
 			chain := s.predictors.Get().(*core.Predictor)
-			o, cached, err := s.workflowEvalCached(ctx, dag, stageReqs, chain)
+			o, cached, stale, err := s.workflowEvalCached(ctx, dag, stageReqs, chain)
 			s.predictors.Put(chain)
 			if err != nil {
 				c.Err = err.Error()
@@ -331,17 +331,15 @@ func (s *Service) planWorkflow(ctx context.Context, req PlanRequest) (PlanRespon
 			}
 			c.ResponseTime = o.report.ResponseTime
 			c.Cached = cached
+			c.Stale = stale
 		}(i)
 	}
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return PlanResponse{}, err
-	}
 	obs.FromContext(ctx).AddCounter(obs.CounterPlanCandidates, int64(len(cands)))
 
 	resp := PlanResponse{Candidates: cands, Strategy: StrategyGrid}
 	finalizePlan(&resp, &req)
-	return resp, nil
+	return partialOnDeadline(ctx, resp)
 }
 
 // useWorkflowSearch gates the workflow deadline fast path: same conditions
@@ -386,7 +384,7 @@ func (s *Service) planWorkflowSearch(ctx context.Context, req PlanRequest, choic
 		if err != nil {
 			return 0, false, err
 		}
-		o, cached, err := s.workflowEvalCached(ctx, dag, stageReqs, chain)
+		o, cached, _, err := s.workflowEvalCached(ctx, dag, stageReqs, chain)
 		if err != nil {
 			return 0, false, err
 		}
@@ -417,7 +415,7 @@ func (s *Service) planWorkflowSearch(ctx context.Context, req PlanRequest, choic
 	}
 	resp.Pruned = out.pruned
 	finalizePlan(&resp, &req)
-	return resp, nil
+	return partialOnDeadline(ctx, resp)
 }
 
 // validateWorkflowPlan checks the plan fields meaningful for a workflow
